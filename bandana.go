@@ -1,0 +1,146 @@
+// Package bandana is the public API of the Bandana embedding store — a
+// reproduction of "Bandana: Using Non-volatile Memory for Storing Deep
+// Learning Models" (Eisenman et al., MLSys 2019).
+//
+// Bandana keeps recommender-system embedding tables on block-addressable NVM
+// and uses a small DRAM cache in front of it. Because NVM must be read in
+// 4 KB blocks while embedding vectors are only 64-256 B, the system's job is
+// to make every block read count:
+//
+//   - vectors that are accessed by the same requests are stored in the same
+//     physical block (Social Hash Partitioning of the lookup hypergraph), so
+//     that one block read prefetches useful neighbours, and
+//   - prefetched vectors are admitted to the DRAM cache only when their
+//     access count during training exceeds a per-table threshold that is
+//     tuned automatically by simulating dozens of miniature caches.
+//
+// # Quick start
+//
+//	tables  := []*bandana.Table{ ... }            // embedding tables
+//	store, _ := bandana.Open(bandana.Config{Tables: tables})
+//	defer store.Close()
+//
+//	// Optional: train placement + caching from a historical trace.
+//	store.Train(traces, bandana.TrainOptions{})
+//
+//	vec, _ := store.Lookup(0, 12345)              // one embedding vector
+//
+// The subpackages under internal/ implement the substrates (NVM device
+// model, trace generation, partitioners, cache simulation); this package
+// re-exports the types a downstream application needs.
+package bandana
+
+import (
+	"bandana/internal/core"
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// BlockSize is the NVM read granularity in bytes (4 KB).
+const BlockSize = nvm.BlockSize
+
+// Store is a Bandana embedding store. See the package documentation for the
+// lifecycle (Open -> Train -> Lookup).
+type Store = core.Store
+
+// Config configures Open.
+type Config = core.Config
+
+// TrainOptions configures Store.Train.
+type TrainOptions = core.TrainOptions
+
+// TrainReport describes the decisions made by Store.Train.
+type TrainReport = core.TrainReport
+
+// TableTrainReport is the per-table part of a TrainReport.
+type TableTrainReport = core.TableTrainReport
+
+// TableStats is a snapshot of one table's serving counters.
+type TableStats = core.TableStats
+
+// Request is one recommendation request: vector IDs to look up per table.
+type Request = core.Request
+
+// Open creates a Store from a Config: it sizes the NVM device, writes every
+// table to it and starts serving lookups with per-table LRU caches (no
+// prefetching until Train is called).
+func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// Table is an embedding table: a dense collection of fp16 vectors addressed
+// by 32-bit vector IDs.
+type Table = table.Table
+
+// TableGenerateOptions configures GenerateTable.
+type TableGenerateOptions = table.GenerateOptions
+
+// GeneratedTable bundles a synthetic table with its ground-truth cluster
+// assignment.
+type GeneratedTable = table.Generated
+
+// NewTable creates an empty (all-zero) embedding table.
+func NewTable(name string, numVectors, dim int) *Table { return table.New(name, numVectors, dim) }
+
+// GenerateTable creates a synthetic embedding table drawn from a Gaussian
+// mixture; see TableGenerateOptions.
+func GenerateTable(name string, opts TableGenerateOptions) *GeneratedTable {
+	return table.Generate(name, opts)
+}
+
+// Trace is a sequence of queries (per-request vector ID sets) against one
+// table; it is both the SHP training input and the cache workload.
+type Trace = trace.Trace
+
+// Query is the set of vector IDs one request reads from one table.
+type Query = trace.Query
+
+// Profile describes the statistical shape of one table's lookup stream.
+type Profile = trace.Profile
+
+// Workload is a set of per-table traces generated from one request stream.
+type Workload = trace.Workload
+
+// TraceStats summarises a trace (Table 1 of the paper).
+type TraceStats = trace.Stats
+
+// DefaultProfiles returns the 8 user-embedding-table profiles of the paper's
+// Table 1, scaled by the given factor (1.0 = the paper's 10-20 M vectors).
+func DefaultProfiles(scale float64) []Profile { return trace.DefaultProfiles(scale) }
+
+// GenerateWorkload produces synthetic traces for every profile over a shared
+// request stream.
+func GenerateWorkload(profiles []Profile, numRequests int) *Workload {
+	return trace.GenerateWorkload(profiles, numRequests)
+}
+
+// GenerateTrace produces a synthetic trace for a single table profile.
+func GenerateTrace(p Profile, numQueries int) *Trace { return trace.GenerateTable(p, numQueries) }
+
+// CommunityAssignment returns the co-access community of every vector for a
+// profile; passing it to GenerateTable aligns embedding geometry with
+// co-access so that semantic (K-means) partitioning has signal.
+func CommunityAssignment(p Profile) []int32 { return trace.CommunityAssignment(p) }
+
+// Device is a simulated block-NVM device.
+type Device = nvm.Device
+
+// DeviceConfig configures NewDevice.
+type DeviceConfig = nvm.DeviceConfig
+
+// DeviceStats is a snapshot of device counters.
+type DeviceStats = nvm.Stats
+
+// PerformanceModel converts device load into latency and bandwidth.
+type PerformanceModel = nvm.PerformanceModel
+
+// NewDevice creates a simulated NVM device.
+func NewDevice(cfg DeviceConfig) *Device { return nvm.NewDevice(cfg) }
+
+// NewPerformanceModel builds a device performance model from calibration
+// points (nil uses the paper's Figure 2 calibration).
+func NewPerformanceModel(points []nvm.CalibrationPoint) *PerformanceModel {
+	return nvm.NewPerformanceModel(points)
+}

@@ -1,0 +1,104 @@
+package bandana_test
+
+import (
+	"testing"
+
+	"bandana"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the way a downstream
+// application would: generate tables + traces, open a store, train it, look
+// up embeddings and read stats.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	profiles := bandana.DefaultProfiles(0.0005)[:2] // two small tables
+	for i := range profiles {
+		profiles[i].AvgLookups = 16
+	}
+	workload := bandana.GenerateWorkload(profiles, 400)
+
+	tables := make([]*bandana.Table, len(profiles))
+	for i, p := range profiles {
+		g := bandana.GenerateTable(p.Name, bandana.TableGenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         64,
+			NumClusters: p.NumVectors / 64,
+			Seed:        int64(i),
+			Assignments: workload.Communities[i],
+		})
+		tables[i] = g.Table
+	}
+
+	store, err := bandana.Open(bandana.Config{Tables: tables, DRAMBudgetVectors: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if store.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", store.NumTables())
+	}
+
+	trains := make([]*bandana.Trace, len(workload.Traces))
+	evals := make([]*bandana.Trace, len(workload.Traces))
+	for i, tr := range workload.Traces {
+		trains[i], evals[i] = tr.Split(0.5)
+	}
+	report, err := store.Train(trains, bandana.TrainOptions{SHPIterations: 4, MiniCacheSampling: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Tables) != 2 {
+		t.Fatalf("train report covers %d tables", len(report.Tables))
+	}
+
+	// Serve the evaluation traces.
+	for ti, tr := range evals {
+		for _, q := range tr.Queries {
+			if _, err := store.LookupBatch(ti, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats := store.Stats()
+	for _, st := range stats {
+		if st.Lookups == 0 {
+			t.Fatalf("table %s served no lookups", st.Name)
+		}
+		if !st.Prefetching {
+			t.Fatalf("table %s should have prefetching enabled after training", st.Name)
+		}
+	}
+	if store.DeviceStats().BlocksRead == 0 {
+		t.Fatal("no NVM reads recorded")
+	}
+
+	// Single lookup matches the source table.
+	got, err := store.LookupByName(tables[0].Name, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tables[0].Vector(3)
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("lookup mismatch at element %d", d)
+		}
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if bandana.BlockSize != 4096 {
+		t.Fatalf("BlockSize = %d", bandana.BlockSize)
+	}
+	if bandana.Version == "" {
+		t.Fatal("version must be set")
+	}
+	m := bandana.NewPerformanceModel(nil)
+	if m.MaxBandwidthGBs() <= 0 {
+		t.Fatal("performance model broken")
+	}
+	d := bandana.NewDevice(bandana.DeviceConfig{NumBlocks: 4})
+	defer d.Close()
+	if d.NumBlocks() != 4 {
+		t.Fatal("device creation broken")
+	}
+}

@@ -1,0 +1,108 @@
+// Command bandana-server runs a Bandana store as an HTTP service.
+//
+// It builds synthetic embedding tables (scaled-down versions of the paper's
+// Table 1), optionally trains placement and caching from a synthetic trace,
+// and serves lookups over JSON/HTTP. It is the network-facing counterpart of
+// examples/recommender and is meant for load testing and demos.
+//
+// Usage:
+//
+//	bandana-server --addr :8080 --scale 0.001 --train
+//	curl 'localhost:8080/v1/lookup?table=table1&id=42'
+//	curl -d '{"table":"table2","ids":[1,2,3]}' localhost:8080/v1/batch
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"bandana/internal/core"
+	"bandana/internal/server"
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Float64("scale", 0.001, "table size scale vs the paper's 10-20M vectors")
+		tables   = flag.Int("tables", 3, "number of embedding tables to serve (max 8)")
+		requests = flag.Int("requests", 1500, "synthetic requests used for training")
+		budget   = flag.Int("dram", 0, "DRAM budget in vectors (default: 5% of all vectors)")
+		train    = flag.Bool("train", true, "train placement and caching before serving")
+		seed     = flag.Int64("seed", 1, "random seed")
+		stateOut = flag.String("save-state", "", "write the trained state to this file before serving")
+	)
+	flag.Parse()
+	if *tables < 1 {
+		*tables = 1
+	}
+	if *tables > 8 {
+		*tables = 8
+	}
+
+	log.Printf("generating %d synthetic tables at scale %g", *tables, *scale)
+	profiles := trace.DefaultProfiles(*scale)[:*tables]
+	for i := range profiles {
+		profiles[i].Seed += *seed * 100
+	}
+	workload := trace.GenerateWorkload(profiles, *requests)
+	embTables := make([]*table.Table, len(profiles))
+	for i, p := range profiles {
+		g := table.Generate(p.Name, table.GenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         64,
+			NumClusters: p.NumVectors / trace.DefaultCommunitySize,
+			Seed:        *seed + int64(i),
+			Assignments: workload.Communities[i],
+		})
+		embTables[i] = g.Table
+	}
+
+	store, err := core.Open(core.Config{Tables: embTables, DRAMBudgetVectors: *budget, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	if *train {
+		log.Printf("training placement and caching on %d requests...", *requests)
+		start := time.Now()
+		report, err := store.Train(workload.Traces, core.TrainOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tr := range report.Tables {
+			log.Printf("  %-10s fanout %.1f -> %.1f, cache %d vectors, threshold %d",
+				tr.Name, tr.InitialFanout, tr.FinalFanout, tr.CacheVectors, tr.Threshold)
+		}
+		log.Printf("training finished in %s", time.Since(start).Round(time.Millisecond))
+		if *stateOut != "" {
+			f, err := os.Create(*stateOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := store.SaveState(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("trained state written to %s", *stateOut)
+		}
+	}
+
+	srv := server.New(store)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("bandana-server listening on %s (%d tables, %s)\n", *addr, store.NumTables(), store.Device())
+	log.Fatal(httpServer.ListenAndServe())
+}

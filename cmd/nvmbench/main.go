@@ -1,0 +1,68 @@
+// Command nvmbench runs Fio-style micro-benchmarks against the simulated NVM
+// device: a queue-depth sweep of 4 KB random reads (the paper's Figure 2)
+// and a latency-vs-throughput curve for the baseline 128 B-per-block policy
+// versus full 4 KB reads (Figure 5).
+//
+// Usage:
+//
+//	nvmbench --mode qd                  # queue depth sweep (Figure 2)
+//	nvmbench --mode load --vector 128   # latency vs load (Figure 5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"bandana/internal/nvm"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "qd", "benchmark mode: qd (queue depth sweep) or load (latency vs throughput)")
+		jobs       = flag.Int("jobs", 4, "concurrent jobs (qd mode)")
+		ops        = flag.Int("ops", 500, "reads per worker (qd mode)")
+		blocks     = flag.Int("blocks", 8192, "device size in 4 KB blocks")
+		vectorSize = flag.Int("vector", 128, "vector size in bytes (load mode baseline)")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	device := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: *blocks, Seed: *seed})
+	defer device.Close()
+
+	switch *mode {
+	case "qd":
+		fmt.Printf("4 KB random reads, %d jobs, device %s\n\n", *jobs, device)
+		fmt.Printf("%-12s %-18s %-18s %-16s\n", "queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)")
+		for _, res := range nvm.QueueDepthSweep(device, *jobs, []int{1, 2, 4, 8}, *ops, *seed) {
+			fmt.Printf("%-12d %-18.1f %-18.1f %-16.2f\n", res.QueueDepth, res.MeanLatencyUS, res.P99LatencyUS, res.BandwidthGBs)
+		}
+	case "load":
+		model := device.Model()
+		frac := float64(*vectorSize) / float64(nvm.BlockSize)
+		sweep := []float64{10, 25, 50, 70, 100, 250, 500, 1000, 1500, 2000, 2300}
+		baseline := nvm.ThroughputLatencyCurve(model, frac, sweep)
+		full := nvm.ThroughputLatencyCurve(model, 1.0, sweep)
+		fmt.Printf("baseline = %d B useful per 4 KB block read (%.1f%% effective bandwidth)\n\n", *vectorSize, frac*100)
+		fmt.Printf("%-22s %-20s %-20s %-20s %-20s\n",
+			"app throughput (MB/s)", "baseline mean (us)", "baseline p99 (us)", "4KB-read mean (us)", "4KB-read p99 (us)")
+		f := func(v float64, sat bool) string {
+			if sat || math.IsInf(v, 1) {
+				return "saturated"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		for i := range sweep {
+			fmt.Printf("%-22.0f %-20s %-20s %-20s %-20s\n", sweep[i],
+				f(baseline[i].MeanLatencyUS, baseline[i].Saturated),
+				f(baseline[i].P99LatencyUS, baseline[i].Saturated),
+				f(full[i].MeanLatencyUS, full[i].Saturated),
+				f(full[i].P99LatencyUS, full[i].Saturated))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracegen generates synthetic embedding-lookup traces calibrated to
+// the paper's Table 1 and writes them to disk in Bandana's binary trace
+// format, one file per table.
+//
+// Usage:
+//
+//	tracegen --out /tmp/traces --scale 0.004 --requests 5000
+//	tracegen --stats /tmp/traces/table2.trace     # print stats of a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bandana/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output directory for generated traces")
+		scale    = flag.Float64("scale", 0.004, "table size scale vs the paper's 10-20M vectors")
+		requests = flag.Int("requests", 5000, "number of requests to generate")
+		seed     = flag.Int64("seed", 1, "random seed")
+		stats    = flag.String("stats", "", "print statistics of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		if err := printStats(*stats); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "error: --out directory is required (or use --stats)")
+		os.Exit(2)
+	}
+	if err := generate(*out, *scale, *requests, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(dir string, scale float64, requests int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	profiles := trace.DefaultProfiles(scale)
+	for i := range profiles {
+		profiles[i].Seed += seed * 100
+	}
+	w := trace.GenerateWorkload(profiles, requests)
+	for i, tr := range w.Traces {
+		path := filepath.Join(dir, fmt.Sprintf("%s.trace", profiles[i].Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		s := tr.Stats()
+		fmt.Printf("%-10s %10d vectors %10d lookups  avg %.1f lookups/request  compulsory %.2f%%  -> %s\n",
+			profiles[i].Name, s.NumVectors, s.Lookups, s.AvgLookups, s.CompulsoryMissFrac*100, path)
+	}
+	return nil
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Printf("table:              %s\n", s.TableName)
+	fmt.Printf("vectors:            %d\n", s.NumVectors)
+	fmt.Printf("queries:            %d\n", s.Queries)
+	fmt.Printf("lookups:            %d\n", s.Lookups)
+	fmt.Printf("avg lookups/query:  %.2f\n", s.AvgLookups)
+	fmt.Printf("unique vectors:     %d\n", s.UniqueVectors)
+	fmt.Printf("compulsory misses:  %.2f%%\n", s.CompulsoryMissFrac*100)
+	fmt.Printf("max access count:   %d\n", s.MaxAccessCount)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Capacityplanner: split a DRAM budget across embedding tables.
+//
+// The hit-rate curves produced by Bandana's miniature caches let a datacenter
+// operator decide how much DRAM each embedding table deserves (§4.3.3 of the
+// paper). This example builds the curves for the paper's 8 user-embedding
+// tables, allocates a DRAM budget across them by greedy marginal utility,
+// and compares the result with a naive even split.
+//
+// Run with:
+//
+//	go run ./examples/capacityplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bandana"
+)
+
+func main() {
+	const (
+		scale    = 0.002 // 20k/40k-vector tables
+		requests = 2500
+	)
+	profiles := bandana.DefaultProfiles(scale)
+	workload := bandana.GenerateWorkload(profiles, requests)
+
+	// Build one hit-rate curve per table from (sampled) stack distances.
+	demands := make([]bandana.TableDemand, len(profiles))
+	var totalVectors int
+	for i, tr := range workload.Traces {
+		demands[i] = bandana.TableDemand{
+			Name:       profiles[i].Name,
+			HRC:        bandana.HitRateCurveOf(tr, 0.2),
+			MaxVectors: tr.NumVectors,
+			MinVectors: bandana.DefaultBlockVectors,
+		}
+		totalVectors += tr.NumVectors
+	}
+
+	// Sweep a few DRAM budgets (as a fraction of the total vector count).
+	fmt.Printf("%-22s %-14s %-14s %-12s\n", "DRAM budget (vectors)", "greedy hits", "even-split hits", "improvement")
+	for _, frac := range []float64{0.01, 0.02, 0.05} {
+		budget := int(frac * float64(totalVectors))
+		greedy, err := bandana.AllocateDRAM(demands, bandana.AllocateOptions{TotalVectors: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		even := bandana.EvenSplitDRAM(demands, budget)
+		improvement := 0.0
+		if even.ExpectedHits > 0 {
+			improvement = greedy.ExpectedHits/even.ExpectedHits - 1
+		}
+		fmt.Printf("%-22d %-14.0f %-14.0f %+.1f%%\n", budget, greedy.ExpectedHits, even.ExpectedHits, improvement*100)
+	}
+
+	// Show the per-table breakdown at the middle budget.
+	budget := int(0.02 * float64(totalVectors))
+	greedy, err := bandana.AllocateDRAM(demands, bandana.AllocateOptions{TotalVectors: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-table allocation at a budget of %d vectors:\n", budget)
+	fmt.Printf("  %-10s %-10s %-16s %-16s %-14s\n", "table", "vectors", "lookup share", "compulsory miss", "DRAM granted")
+	shares := workload.LookupShares()
+	for i, d := range demands {
+		stats := workload.Traces[i].Stats()
+		fmt.Printf("  %-10s %-10d %-16s %-16s %-14d\n",
+			d.Name, stats.NumVectors,
+			fmt.Sprintf("%.1f%%", shares[i]*100),
+			fmt.Sprintf("%.1f%%", stats.CompulsoryMissFrac*100),
+			greedy.Vectors[i])
+	}
+	fmt.Println("\ncacheable, high-traffic tables (low compulsory misses, high lookup share) receive the largest slices.")
+}

@@ -1,0 +1,141 @@
+// Recommender: a simulated post-ranking service on top of the Bandana store.
+//
+// The paper's motivating workload is Facebook's post recommendation system:
+// for every request, the service reads the user's embeddings (many lookups
+// across several user-embedding tables), combines them into a user vector,
+// scores a set of candidate posts by dot product and returns the top posts.
+// User embeddings live on NVM behind Bandana; post embeddings (read far more
+// often) stay in DRAM, exactly as the paper describes.
+//
+// Run with:
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"bandana"
+)
+
+const (
+	dim           = 64
+	numPosts      = 2000
+	candidatesPer = 100
+	topK          = 5
+	numRequests   = 400
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// User embedding tables served from NVM via Bandana.
+	profiles := bandana.DefaultProfiles(0.001)[:3]
+	workload := bandana.GenerateWorkload(profiles, 1500)
+	userTables := make([]*bandana.Table, len(profiles))
+	for i, p := range profiles {
+		g := bandana.GenerateTable(p.Name, bandana.TableGenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         dim,
+			NumClusters: p.NumVectors / 64,
+			Seed:        int64(i + 1),
+			Assignments: workload.Communities[i],
+		})
+		userTables[i] = g.Table
+	}
+	store, err := bandana.Open(bandana.Config{Tables: userTables, DRAMBudgetVectors: 2000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Train placement and caching from the first part of the workload.
+	trains := make([]*bandana.Trace, len(workload.Traces))
+	evals := make([]*bandana.Trace, len(workload.Traces))
+	for i, tr := range workload.Traces {
+		trains[i], evals[i] = tr.Split(0.6)
+	}
+	if _, err := store.Train(trains, bandana.TrainOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Post embeddings: DRAM-resident (they are read ~20x more often than
+	// user embeddings and have a much longer ranking pipeline).
+	posts := bandana.GenerateTable("posts", bandana.TableGenerateOptions{
+		NumVectors: numPosts, Dim: dim, NumClusters: 50, Seed: 99,
+	}).Table
+
+	// Serve ranking requests: each request reads its user embeddings
+	// through Bandana, averages them into a user vector, and scores random
+	// candidate posts.
+	var served, ranked int
+	var totalLatency time.Duration
+	for reqIdx := 0; reqIdx < numRequests && reqIdx < len(evals[0].Queries); reqIdx++ {
+		start := time.Now()
+		user := make([]float32, dim)
+		var lookups int
+		req := make(bandana.Request, len(evals))
+		for ti := range evals {
+			if reqIdx < len(evals[ti].Queries) {
+				req[ti] = evals[ti].Queries[reqIdx]
+			}
+		}
+		vecsByTable, err := store.ServeRequest(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, vecs := range vecsByTable {
+			for _, v := range vecs {
+				for d := 0; d < dim; d++ {
+					user[d] += v[d]
+				}
+				lookups++
+			}
+		}
+		if lookups == 0 {
+			continue
+		}
+		for d := range user {
+			user[d] /= float32(lookups)
+		}
+
+		// Score candidate posts by dot product with the user vector.
+		type scored struct {
+			post  uint32
+			score float32
+		}
+		cands := make([]scored, candidatesPer)
+		for c := range cands {
+			post := uint32(rng.Intn(numPosts))
+			pv, err := posts.Vector(post)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var s float32
+			for d := 0; d < dim; d++ {
+				s += user[d] * pv[d]
+			}
+			cands[c] = scored{post, s}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+		ranked += topK
+		served++
+		totalLatency += time.Since(start)
+	}
+
+	stats := store.Stats()
+	fmt.Printf("served %d ranking requests (%d posts ranked), avg host latency %.2f ms\n",
+		served, ranked, float64(totalLatency.Microseconds())/float64(served)/1000)
+	fmt.Println("\nuser embedding store (NVM-backed):")
+	for _, st := range stats {
+		fmt.Printf("  %-8s lookups=%-6d hitRate=%.2f blockReads=%-6d prefetchHits=%-5d effBW=%.1f%% meanNVMlat=%.0fus\n",
+			st.Name, st.Lookups, st.HitRate, st.BlockReads, st.PrefetchHits, st.EffectiveBandwidth*100, st.Latency.Mean)
+	}
+	dev := store.DeviceStats()
+	fmt.Printf("\nNVM device: %d block reads (%.1f MB), %d block writes, drive writes so far %.3f (endurance budget %.0f/day)\n",
+		dev.BlocksRead, float64(dev.BytesRead)/1e6, dev.BlocksWritten, dev.DriveWrites, dev.EnduranceDWPD)
+}

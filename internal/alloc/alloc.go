@@ -1,0 +1,154 @@
+// Package alloc distributes a global DRAM budget across embedding tables.
+//
+// Bandana runs one cache per table; §4.3.3 of the paper notes that the hit
+// rate curves produced by the miniature caches let the datacenter operator
+// split DRAM across tables to maximise the total hit rate. Because the
+// measured curves are convex (diminishing returns), a greedy
+// marginal-utility allocation — repeatedly giving the next chunk of DRAM to
+// the table whose hit count grows the most — is optimal, which is the
+// Dynacache/Cliffhanger-style approach the paper cites.
+package alloc
+
+import (
+	"fmt"
+
+	"bandana/internal/mrc"
+)
+
+// TableDemand describes one table's appetite for DRAM.
+type TableDemand struct {
+	Name string
+	// HRC is the table's hit-rate curve (hits as a function of cached
+	// vectors), built from its lookup trace.
+	HRC *mrc.HRC
+	// MaxVectors caps the allocation (a cache larger than the table is
+	// useless). Zero means no cap.
+	MaxVectors int
+	// MinVectors guarantees a floor allocation (e.g. one block worth of
+	// vectors). Zero means no floor.
+	MinVectors int
+}
+
+// Options configures an allocation run.
+type Options struct {
+	// TotalVectors is the DRAM budget in vectors across all tables.
+	TotalVectors int
+	// ChunkVectors is the granularity of the greedy allocation. Defaults to
+	// TotalVectors/256 (at least 1).
+	ChunkVectors int
+}
+
+// Result maps each table (by position in the demand slice) to its allocated
+// cache size in vectors.
+type Result struct {
+	Vectors []int
+	// ExpectedHits is the predicted total hit count at this allocation.
+	ExpectedHits float64
+}
+
+// Allocate splits the DRAM budget across tables by greedy marginal utility.
+func Allocate(demands []TableDemand, opts Options) (*Result, error) {
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("alloc: no tables")
+	}
+	if opts.TotalVectors <= 0 {
+		return nil, fmt.Errorf("alloc: non-positive DRAM budget %d", opts.TotalVectors)
+	}
+	for i, d := range demands {
+		if d.HRC == nil {
+			return nil, fmt.Errorf("alloc: table %d (%s) has no hit rate curve", i, d.Name)
+		}
+	}
+	chunk := opts.ChunkVectors
+	if chunk <= 0 {
+		chunk = opts.TotalVectors / 256
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	alloc := make([]int, len(demands))
+	remaining := opts.TotalVectors
+
+	// Satisfy floors first.
+	for i, d := range demands {
+		if d.MinVectors > 0 && remaining > 0 {
+			grant := d.MinVectors
+			if grant > remaining {
+				grant = remaining
+			}
+			alloc[i] = grant
+			remaining -= grant
+		}
+	}
+
+	for remaining > 0 {
+		best := -1
+		var bestGain float64
+		for i, d := range demands {
+			if d.MaxVectors > 0 && alloc[i] >= d.MaxVectors {
+				continue
+			}
+			grant := chunk
+			if grant > remaining {
+				grant = remaining
+			}
+			if d.MaxVectors > 0 && alloc[i]+grant > d.MaxVectors {
+				grant = d.MaxVectors - alloc[i]
+			}
+			if grant <= 0 {
+				continue
+			}
+			gain := d.HRC.MarginalHits(alloc[i], alloc[i]+grant)
+			// Ties (common when hit-rate curves are coarse step functions
+			// built from sampled stack distances) are broken towards the
+			// table with the smallest allocation so far, so that flat
+			// regions do not starve later tables.
+			if best == -1 || gain > bestGain || (gain == bestGain && alloc[i] < alloc[best]) {
+				best = i
+				bestGain = gain
+			}
+		}
+		if best == -1 {
+			break // every table is capped
+		}
+		grant := chunk
+		if grant > remaining {
+			grant = remaining
+		}
+		if demands[best].MaxVectors > 0 && alloc[best]+grant > demands[best].MaxVectors {
+			grant = demands[best].MaxVectors - alloc[best]
+		}
+		alloc[best] += grant
+		remaining -= grant
+	}
+
+	res := &Result{Vectors: alloc}
+	for i, d := range demands {
+		res.ExpectedHits += d.HRC.HitsAt(alloc[i])
+	}
+	return res, nil
+}
+
+// EvenSplit is the baseline allocation: the budget divided equally across
+// tables (capped by table size). Used as a comparison point in the
+// capacity-planner example.
+func EvenSplit(demands []TableDemand, totalVectors int) *Result {
+	alloc := make([]int, len(demands))
+	if len(demands) == 0 {
+		return &Result{Vectors: alloc}
+	}
+	per := totalVectors / len(demands)
+	for i, d := range demands {
+		a := per
+		if d.MaxVectors > 0 && a > d.MaxVectors {
+			a = d.MaxVectors
+		}
+		alloc[i] = a
+	}
+	res := &Result{Vectors: alloc}
+	for i, d := range demands {
+		res.ExpectedHits += d.HRC.HitsAt(alloc[i])
+	}
+	return res
+}

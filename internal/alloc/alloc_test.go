@@ -1,0 +1,139 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bandana/internal/mrc"
+)
+
+// hrcFromStream builds a hit-rate curve for a synthetic stream with the
+// given number of hot keys (heavier reuse = steeper curve).
+func hrcFromStream(hotKeys int, accesses int, seed int64) *mrc.HRC {
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]uint32, accesses)
+	for i := range stream {
+		stream[i] = uint32(math.Pow(rng.Float64(), 3) * float64(hotKeys))
+	}
+	return mrc.StackDistances(stream).HitRateCurve()
+}
+
+func TestAllocateErrors(t *testing.T) {
+	if _, err := Allocate(nil, Options{TotalVectors: 100}); err == nil {
+		t.Fatal("empty demand list should error")
+	}
+	d := []TableDemand{{Name: "a", HRC: hrcFromStream(100, 1000, 1)}}
+	if _, err := Allocate(d, Options{TotalVectors: 0}); err == nil {
+		t.Fatal("zero budget should error")
+	}
+	if _, err := Allocate([]TableDemand{{Name: "x"}}, Options{TotalVectors: 10}); err == nil {
+		t.Fatal("missing HRC should error")
+	}
+}
+
+func TestAllocateUsesFullBudget(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "hot", HRC: hrcFromStream(200, 20000, 1)},
+		{Name: "cold", HRC: hrcFromStream(5000, 20000, 2)},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 1000, ChunkVectors: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range res.Vectors {
+		total += v
+	}
+	if total != 1000 {
+		t.Fatalf("allocated %d vectors, want 1000", total)
+	}
+	if res.ExpectedHits <= 0 {
+		t.Fatalf("expected hits should be positive")
+	}
+}
+
+func TestAllocateFavoursCacheableTable(t *testing.T) {
+	// The "hot" table concentrates accesses on few keys; the "uniform"
+	// table spreads them widely. Greedy allocation should give the uniform
+	// table no more than the hot one until the hot one saturates.
+	demands := []TableDemand{
+		{Name: "hot", HRC: hrcFromStream(300, 30000, 3)},
+		{Name: "uniform", HRC: hrcFromStream(20000, 30000, 4)},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 400, ChunkVectors: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[0] <= res.Vectors[1] {
+		t.Fatalf("hot table should receive more DRAM: got %v", res.Vectors)
+	}
+}
+
+func TestAllocateBeatsEvenSplit(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "a", HRC: hrcFromStream(200, 30000, 5)},
+		{Name: "b", HRC: hrcFromStream(3000, 30000, 6)},
+		{Name: "c", HRC: hrcFromStream(30000, 30000, 7)},
+	}
+	greedy, err := Allocate(demands, Options{TotalVectors: 1500, ChunkVectors: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := EvenSplit(demands, 1500)
+	if greedy.ExpectedHits < even.ExpectedHits {
+		t.Fatalf("greedy allocation (%.0f hits) should not lose to even split (%.0f hits)",
+			greedy.ExpectedHits, even.ExpectedHits)
+	}
+}
+
+func TestAllocateRespectsCapsAndFloors(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "capped", HRC: hrcFromStream(200, 20000, 8), MaxVectors: 100},
+		{Name: "floored", HRC: hrcFromStream(5000, 20000, 9), MinVectors: 150},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 500, ChunkVectors: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[0] > 100 {
+		t.Fatalf("cap violated: %d", res.Vectors[0])
+	}
+	if res.Vectors[1] < 150 {
+		t.Fatalf("floor violated: %d", res.Vectors[1])
+	}
+}
+
+func TestAllocateAllTablesCapped(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "a", HRC: hrcFromStream(100, 5000, 10), MaxVectors: 50},
+		{Name: "b", HRC: hrcFromStream(100, 5000, 11), MaxVectors: 50},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 1000, ChunkVectors: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[0] != 50 || res.Vectors[1] != 50 {
+		t.Fatalf("capped allocation wrong: %v", res.Vectors)
+	}
+}
+
+func TestEvenSplitEmpty(t *testing.T) {
+	res := EvenSplit(nil, 100)
+	if len(res.Vectors) != 0 || res.ExpectedHits != 0 {
+		t.Fatalf("empty even split should be empty")
+	}
+}
+
+func TestAllocateDefaultChunk(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "a", HRC: hrcFromStream(500, 10000, 12)},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[0] != 100 {
+		t.Fatalf("single table should receive the whole budget, got %d", res.Vectors[0])
+	}
+}

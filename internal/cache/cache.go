@@ -1,0 +1,202 @@
+// Package cache implements Bandana's DRAM vector cache and the admission
+// policies for prefetched vectors studied in §4.3 of the paper.
+//
+// The cache is an LRU queue of vector IDs. Vectors that the application
+// explicitly requested are always cached (at the MRU position); vectors that
+// were merely *prefetched* — co-located in the same 4 KB NVM block as a
+// requested vector — pass through an AdmissionPolicy which decides whether
+// they enter the queue at all and at which position. The paper evaluates:
+//
+//   - inserting prefetched vectors at a configurable queue position
+//     (Figure 11a),
+//   - admitting them only on a hit in a keys-only shadow cache that
+//     simulates a prefetch-free cache (Figure 11b),
+//   - a combination of the two (Figure 11c), and
+//   - thresholding on the number of times the vector was accessed during
+//     the SHP training run (Figure 12) — the policy Bandana adopts.
+package cache
+
+import (
+	"bandana/internal/lru"
+)
+
+// AdmissionPolicy decides the fate of prefetched vectors.
+type AdmissionPolicy interface {
+	// OnAccess is invoked for every application-requested lookup (hit or
+	// miss), allowing stateful policies to observe the true access stream.
+	OnAccess(id uint32)
+	// AdmitPrefetch is invoked for every prefetch candidate (a vector
+	// sharing the block of a missed vector). It returns whether to admit
+	// the vector and the queue position to insert it at (0 = MRU end,
+	// values near 1 = close to eviction).
+	AdmitPrefetch(id uint32) (admit bool, position float64)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// NoPrefetch never admits prefetched vectors: the baseline policy in which
+// each miss caches only the requested vector.
+type NoPrefetch struct{}
+
+// OnAccess implements AdmissionPolicy.
+func (NoPrefetch) OnAccess(uint32) {}
+
+// AdmitPrefetch implements AdmissionPolicy.
+func (NoPrefetch) AdmitPrefetch(uint32) (bool, float64) { return false, 0 }
+
+// Name implements AdmissionPolicy.
+func (NoPrefetch) Name() string { return "no-prefetch" }
+
+// AlwaysAdmit admits every prefetched vector at a fixed queue position.
+// Position 0 reproduces the naive "treat prefetched vectors like requested
+// ones" policy of Figure 10; other positions reproduce Figure 11a.
+type AlwaysAdmit struct {
+	Position float64
+}
+
+// OnAccess implements AdmissionPolicy.
+func (AlwaysAdmit) OnAccess(uint32) {}
+
+// AdmitPrefetch implements AdmissionPolicy.
+func (p AlwaysAdmit) AdmitPrefetch(uint32) (bool, float64) { return true, p.Position }
+
+// Name implements AdmissionPolicy.
+func (p AlwaysAdmit) Name() string { return "always-admit" }
+
+// ShadowAdmit admits a prefetched vector only if it currently appears in a
+// keys-only shadow cache fed by the true (prefetch-free) access stream
+// (Figure 11b). Admitted vectors are inserted at Position.
+type ShadowAdmit struct {
+	Shadow   *lru.Shadow[uint32]
+	Position float64
+}
+
+// NewShadowAdmit builds a ShadowAdmit policy with a shadow cache of
+// shadowVectors keys.
+func NewShadowAdmit(shadowVectors int, position float64) *ShadowAdmit {
+	return &ShadowAdmit{Shadow: lru.NewShadow[uint32](shadowVectors), Position: position}
+}
+
+// OnAccess implements AdmissionPolicy.
+func (p *ShadowAdmit) OnAccess(id uint32) { p.Shadow.Access(id) }
+
+// AdmitPrefetch implements AdmissionPolicy.
+func (p *ShadowAdmit) AdmitPrefetch(id uint32) (bool, float64) {
+	return p.Shadow.Contains(id), p.Position
+}
+
+// Name implements AdmissionPolicy.
+func (p *ShadowAdmit) Name() string { return "shadow-admit" }
+
+// ShadowPosition admits every prefetched vector but chooses its queue
+// position based on the shadow cache: shadow hits go to the MRU end, shadow
+// misses to AltPosition (Figure 11c).
+type ShadowPosition struct {
+	Shadow      *lru.Shadow[uint32]
+	AltPosition float64
+}
+
+// NewShadowPosition builds a ShadowPosition policy.
+func NewShadowPosition(shadowVectors int, altPosition float64) *ShadowPosition {
+	return &ShadowPosition{Shadow: lru.NewShadow[uint32](shadowVectors), AltPosition: altPosition}
+}
+
+// OnAccess implements AdmissionPolicy.
+func (p *ShadowPosition) OnAccess(id uint32) { p.Shadow.Access(id) }
+
+// AdmitPrefetch implements AdmissionPolicy.
+func (p *ShadowPosition) AdmitPrefetch(id uint32) (bool, float64) {
+	if p.Shadow.Contains(id) {
+		return true, 0
+	}
+	return true, p.AltPosition
+}
+
+// Name implements AdmissionPolicy.
+func (p *ShadowPosition) Name() string { return "shadow-position" }
+
+// ThresholdAdmit admits a prefetched vector only if it was accessed more
+// than Threshold times during the SHP training run (Figure 12). This is the
+// policy Bandana deploys; the threshold is tuned per table and cache size by
+// miniature-cache simulation (§4.3.3).
+type ThresholdAdmit struct {
+	// Counts[id] is the number of training queries that contained id.
+	Counts    []uint32
+	Threshold uint32
+	Position  float64
+}
+
+// OnAccess implements AdmissionPolicy.
+func (ThresholdAdmit) OnAccess(uint32) {}
+
+// AdmitPrefetch implements AdmissionPolicy.
+func (p ThresholdAdmit) AdmitPrefetch(id uint32) (bool, float64) {
+	if int(id) >= len(p.Counts) {
+		return false, 0
+	}
+	return p.Counts[id] > p.Threshold, p.Position
+}
+
+// Name implements AdmissionPolicy.
+func (p ThresholdAdmit) Name() string { return "threshold-admit" }
+
+// Cache is a fixed-capacity LRU cache of vector IDs used by the trace
+// simulator. A capacity of 0 means unlimited (every inserted vector stays).
+type Cache struct {
+	capacity  int
+	lru       *lru.Cache[uint32, struct{}]
+	unlimited map[uint32]struct{}
+}
+
+// NewCache creates a simulation cache. capacity 0 (or negative) means
+// unlimited.
+func NewCache(capacity int) *Cache {
+	c := &Cache{capacity: capacity}
+	if capacity > 0 {
+		c.lru = lru.New[uint32, struct{}](capacity)
+	} else {
+		c.unlimited = make(map[uint32]struct{})
+	}
+	return c
+}
+
+// Unlimited reports whether the cache has no capacity bound.
+func (c *Cache) Unlimited() bool { return c.lru == nil }
+
+// Len returns the number of cached vectors.
+func (c *Cache) Len() int {
+	if c.lru != nil {
+		return c.lru.Len()
+	}
+	return len(c.unlimited)
+}
+
+// Capacity returns the configured capacity (0 when unlimited).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Touch reports whether id is cached and, if so, promotes it to MRU.
+func (c *Cache) Touch(id uint32) bool {
+	if c.lru != nil {
+		return c.lru.Touch(id)
+	}
+	_, ok := c.unlimited[id]
+	return ok
+}
+
+// Contains reports whether id is cached without promoting it.
+func (c *Cache) Contains(id uint32) bool {
+	if c.lru != nil {
+		return c.lru.Contains(id)
+	}
+	_, ok := c.unlimited[id]
+	return ok
+}
+
+// Insert caches id at the given queue position (ignored when unlimited).
+func (c *Cache) Insert(id uint32, position float64) {
+	if c.lru != nil {
+		c.lru.AddAt(id, struct{}{}, position)
+		return
+	}
+	c.unlimited[id] = struct{}{}
+}

@@ -1,0 +1,118 @@
+// Package core implements the Bandana store: embedding tables resident on a
+// (simulated) block NVM device, fronted by small per-table DRAM caches, with
+// SHP-partitioned physical placement and miniature-cache-tuned prefetch
+// admission — the system described in the paper.
+//
+// Lifecycle:
+//
+//  1. Open lays the tables out on NVM in their original (ID) order and
+//     serves lookups with per-table LRU caches and no prefetching — the
+//     baseline policy.
+//  2. Train consumes a training workload: it partitions each table with
+//     SHP, rewrites the NVM blocks in the new order, computes per-vector
+//     access counts, splits the DRAM budget across tables using their
+//     hit-rate curves, and picks each table's prefetch-admission threshold
+//     with miniature-cache simulations.
+//  3. Lookup / LookupBatch serve embedding reads: cache hits are free,
+//     misses read one 4 KB NVM block and admit co-located vectors whose
+//     training-time access count exceeds the table's threshold.
+package core
+
+import (
+	"fmt"
+
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Tables are the embedding tables to store. Their contents are copied
+	// onto the NVM device by Open.
+	Tables []*table.Table
+	// DRAMBudgetVectors is the total number of vectors that may be cached
+	// in DRAM across all tables. Defaults to 5% of the total vector count.
+	DRAMBudgetVectors int
+	// Device optionally supplies the NVM device; Open creates a RAM-backed
+	// simulated device of the right size when nil.
+	Device *nvm.Device
+	// Seed drives the deterministic parts of training (SHP splits, device
+	// latency sampling when the device is created internally).
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("core: no tables configured")
+	}
+	seen := make(map[string]bool, len(c.Tables))
+	for i, t := range c.Tables {
+		if t == nil {
+			return fmt.Errorf("core: table %d is nil", i)
+		}
+		if t.NumVectors() == 0 {
+			return fmt.Errorf("core: table %q is empty", t.Name)
+		}
+		if t.VectorBytes() > nvm.BlockSize {
+			return fmt.Errorf("core: table %q vector size %d exceeds NVM block size %d",
+				t.Name, t.VectorBytes(), nvm.BlockSize)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("core: duplicate table name %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
+}
+
+func (c *Config) totalVectors() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += t.NumVectors()
+	}
+	return n
+}
+
+// TrainOptions configures Store.Train.
+type TrainOptions struct {
+	// SHPIterations is the number of refinement iterations per bisection
+	// level (the paper uses 16).
+	SHPIterations int
+	// BlockVectors overrides the number of vectors per block; by default it
+	// is derived from the vector size (nvm.BlockSize / vectorBytes).
+	BlockVectors int
+	// Thresholds are the candidate prefetch-admission thresholds evaluated
+	// by the miniature caches. Defaults to sim.DefaultThresholds.
+	Thresholds []uint32
+	// MiniCacheSampling is the miniature-cache sampling rate. The paper
+	// uses 0.001 at production scale; the default here is 0.01 which suits
+	// the scaled-down tables used in tests and examples.
+	MiniCacheSampling float64
+	// HRCSampling is the spatial sampling rate used when estimating each
+	// table's hit-rate curve for DRAM allocation. Defaults to 0.1.
+	HRCSampling float64
+	// SkipPartitioning keeps the existing (identity) layout and only tunes
+	// caching. Used by ablation experiments.
+	SkipPartitioning bool
+	// SkipThresholdTuning keeps the default threshold (admit nothing) and
+	// only re-partitions.
+	SkipThresholdTuning bool
+	// Parallelism bounds how many tables are trained concurrently.
+	// Defaults to the number of tables.
+	Parallelism int
+}
+
+func (o *TrainOptions) defaults() {
+	if o.SHPIterations <= 0 {
+		o.SHPIterations = 16
+	}
+	if o.MiniCacheSampling <= 0 {
+		o.MiniCacheSampling = 0.01
+	}
+	if o.HRCSampling <= 0 {
+		o.HRCSampling = 0.1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 8
+	}
+}

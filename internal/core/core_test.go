@@ -1,0 +1,429 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// buildTestTables creates small aligned tables + traces for store tests.
+func buildTestTables(t *testing.T, numTables, vectorsPerTable, queries int) ([]*table.Table, []*trace.Trace) {
+	t.Helper()
+	tables := make([]*table.Table, numTables)
+	traces := make([]*trace.Trace, numTables)
+	for i := 0; i < numTables; i++ {
+		p := trace.Profile{
+			Name:               "t" + string(rune('A'+i)),
+			NumVectors:         vectorsPerTable,
+			AvgLookups:         20,
+			CompulsoryMissFrac: 0.08,
+			Locality:           0.9,
+			CommunitySize:      64,
+			ReuseSkew:          3,
+			Seed:               int64(100 + i),
+		}
+		tr := trace.GenerateTable(p, queries)
+		traces[i] = tr
+		communities := trace.CommunityAssignment(p)
+		numComm := 0
+		for _, c := range communities {
+			if int(c) >= numComm {
+				numComm = int(c) + 1
+			}
+		}
+		g := table.Generate(p.Name, table.GenerateOptions{
+			NumVectors:  vectorsPerTable,
+			Dim:         64,
+			NumClusters: numComm,
+			Seed:        int64(i),
+			Assignments: communities,
+		})
+		tables[i] = g.Table
+	}
+	return tables, traces
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := Open(Config{Tables: []*table.Table{nil}}); err == nil {
+		t.Fatal("nil table should error")
+	}
+	empty := table.New("empty", 0, 8)
+	if _, err := Open(Config{Tables: []*table.Table{empty}}); err == nil {
+		t.Fatal("empty table should error")
+	}
+	big := table.New("big", 4, 4096)
+	if _, err := Open(Config{Tables: []*table.Table{big}}); err == nil {
+		t.Fatal("vector larger than a block should error")
+	}
+	a := table.New("dup", 4, 8)
+	b := table.New("dup", 4, 8)
+	if _, err := Open(Config{Tables: []*table.Table{a, b}}); err == nil {
+		t.Fatal("duplicate names should error")
+	}
+}
+
+func TestOpenLookupRoundTrip(t *testing.T) {
+	tables, _ := buildTestTables(t, 2, 2048, 10)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.NumTables() != 2 {
+		t.Fatalf("NumTables = %d", s.NumTables())
+	}
+	if len(s.TableNames()) != 2 {
+		t.Fatalf("TableNames = %v", s.TableNames())
+	}
+	for _, id := range []uint32{0, 1, 31, 32, 2047} {
+		got, err := s.Lookup(0, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := tables[0].Vector(id)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("vector %d element %d: got %g want %g", id, d, got[d], want[d])
+			}
+		}
+	}
+	// Second lookup of the same vector must be a cache hit (no extra block
+	// read).
+	before := s.Stats()[0].BlockReads
+	if _, err := s.Lookup(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()[0].BlockReads
+	if after != before {
+		t.Fatalf("repeated lookup should hit the cache: block reads %d -> %d", before, after)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 5)
+	s, err := Open(Config{Tables: tables, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Lookup(5, 0); err == nil {
+		t.Fatal("bad table index should error")
+	}
+	if _, err := s.Lookup(0, 99999); err == nil {
+		t.Fatal("bad vector id should error")
+	}
+	if _, err := s.LookupByName("nosuch", 0); err == nil {
+		t.Fatal("bad table name should error")
+	}
+	if _, err := s.TableIndex("nosuch"); err == nil {
+		t.Fatal("bad table name should error")
+	}
+	if _, err := s.LookupByName(tables[0].Name, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupBatchAndServeRequest(t *testing.T) {
+	tables, _ := buildTestTables(t, 2, 1024, 5)
+	s, err := Open(Config{Tables: tables, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vecs, err := s.LookupBatch(1, []uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 3 || len(vecs[0]) != 64 {
+		t.Fatalf("batch result shape wrong")
+	}
+	out, err := s.ServeRequest(Request{{1, 2}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 2 || len(out[1]) != 1 {
+		t.Fatalf("request result shape wrong")
+	}
+	if _, err := s.ServeRequest(Request{{1}, {1}, {1}}); err == nil {
+		t.Fatal("request with too many tables should error")
+	}
+	if _, err := s.LookupBatch(0, []uint32{99999}); err == nil {
+		t.Fatal("bad id in batch should error")
+	}
+}
+
+func TestTrainEnablesPrefetchingAndImprovesEffectiveBandwidth(t *testing.T) {
+	tables, traces := buildTestTables(t, 2, 4096, 1200)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Serve the evaluation half untrained (baseline behaviour).
+	trains := make([]*trace.Trace, len(traces))
+	evals := make([]*trace.Trace, len(traces))
+	for i, tr := range traces {
+		trains[i], evals[i] = tr.Split(0.5)
+	}
+	serve := func() []TableStats {
+		s.ResetStats()
+		for ti, tr := range evals {
+			for _, q := range tr.Queries {
+				for _, id := range q {
+					if _, err := s.Lookup(ti, id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return s.Stats()
+	}
+	baselineStats := serve()
+
+	report, err := s.Train(trains, TrainOptions{SHPIterations: 8, MiniCacheSampling: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Tables) != 2 {
+		t.Fatalf("report covers %d tables", len(report.Tables))
+	}
+	for i, tr := range report.Tables {
+		if tr.Name == "" || tr.TrainingQueries == 0 {
+			t.Fatalf("table %d report incomplete: %+v", i, tr)
+		}
+		if tr.FinalFanout > tr.InitialFanout {
+			t.Fatalf("table %d: SHP made fanout worse (%.2f -> %.2f)", i, tr.InitialFanout, tr.FinalFanout)
+		}
+		if tr.CacheVectors <= 0 {
+			t.Fatalf("table %d: no DRAM allocated", i)
+		}
+	}
+	trainedStats := serve()
+
+	for i := range trainedStats {
+		if !trainedStats[i].Prefetching {
+			t.Fatalf("table %d: prefetching not enabled after training", i)
+		}
+		// Training must not corrupt data and should reduce block reads for
+		// the same workload (strictly fewer NVM reads = higher effective
+		// bandwidth).
+		if trainedStats[i].BlockReads >= baselineStats[i].BlockReads {
+			t.Errorf("table %d: block reads did not drop after training: %d -> %d",
+				i, baselineStats[i].BlockReads, trainedStats[i].BlockReads)
+		}
+		if trainedStats[i].EffectiveBandwidth <= baselineStats[i].EffectiveBandwidth {
+			t.Errorf("table %d: effective bandwidth did not improve: %.4f -> %.4f",
+				i, baselineStats[i].EffectiveBandwidth, trainedStats[i].EffectiveBandwidth)
+		}
+	}
+
+	// Data integrity after the layout rewrite.
+	for _, id := range []uint32{0, 100, 4095} {
+		got, err := s.Lookup(0, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := tables[0].Vector(id)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("vector %d corrupted after training", id)
+			}
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	tables, traces := buildTestTables(t, 1, 1024, 50)
+	s, err := Open(Config{Tables: tables, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Train(nil, TrainOptions{}); err == nil {
+		t.Fatal("trace count mismatch should error")
+	}
+	bad := &trace.Trace{TableName: "x", NumVectors: 10, Queries: []trace.Query{{1}}}
+	if _, err := s.Train([]*trace.Trace{bad}, TrainOptions{}); err == nil {
+		t.Fatal("trace with wrong vector count should error")
+	}
+	// Nil trace entries are allowed and leave the table untrained.
+	rep, err := s.Train([]*trace.Trace{nil}, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tables[0].TrainingQueries != 0 {
+		t.Fatal("nil trace should leave the table untrained")
+	}
+	_ = traces
+}
+
+func TestTrainSkipOptions(t *testing.T) {
+	tables, traces := buildTestTables(t, 1, 2048, 400)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Train(traces, TrainOptions{SkipPartitioning: true, SkipThresholdTuning: true, MiniCacheSampling: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tables[0].FinalFanout != 0 {
+		t.Fatalf("partitioning should have been skipped")
+	}
+	st := s.Stats()[0]
+	if st.Prefetching {
+		t.Fatalf("threshold tuning skipped, prefetching should stay off")
+	}
+}
+
+func TestUpdateVectorWriteThrough(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 10)
+	s, err := Open(Config{Tables: tables, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Prime the cache with the old value.
+	if _, err := s.Lookup(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	newVec := make([]float32, 64)
+	for i := range newVec {
+		newVec[i] = float32(i) * 0.5
+	}
+	if err := s.UpdateVector(0, 7, newVec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Lookup(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range newVec {
+		if math.Abs(float64(got[d]-newVec[d])) > 0.01 {
+			t.Fatalf("updated vector not visible: element %d = %g want %g", d, got[d], newVec[d])
+		}
+	}
+	if err := s.UpdateVector(0, 7, []float32{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if err := s.UpdateVector(9, 7, newVec); err == nil {
+		t.Fatal("bad table index should error")
+	}
+	if err := s.UpdateVector(0, 99999, newVec); err == nil {
+		t.Fatal("bad vector id should error")
+	}
+	// Endurance accounting moved.
+	if s.DeviceStats().BlocksWritten == 0 {
+		t.Fatal("update should write to the device")
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	tables, _ := buildTestTables(t, 2, 2048, 10)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint32((i*13 + w*997) % 2048)
+				if _, err := s.Lookup(w%2, id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := s.Stats()
+	if stats[0].Lookups+stats[1].Lookups != 4000 {
+		t.Fatalf("lookups = %d", stats[0].Lookups+stats[1].Lookups)
+	}
+}
+
+func TestOpenWithProvidedDevice(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 5)
+	// Too small a device must be rejected.
+	small := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: 2, Seed: 1})
+	if _, err := Open(Config{Tables: tables, Device: small}); err == nil {
+		t.Fatal("undersized device should be rejected")
+	}
+	big := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: 64, Seed: 1})
+	s, err := Open(Config{Tables: tables, Device: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Device() != big {
+		t.Fatal("store should adopt the provided device")
+	}
+	s.Close() // must not close the provided device
+	buf := make([]byte, nvm.BlockSize)
+	if _, err := big.ReadBlock(0, buf); err != nil {
+		t.Fatal("provided device should remain usable after store.Close")
+	}
+	big.Close()
+}
+
+func TestStatsAndReset(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 5)
+	s, err := Open(Config{Tables: tables, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Lookup(0, 1)
+	s.Lookup(0, 1)
+	st := s.Stats()[0]
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %g", st.HitRate)
+	}
+	if st.Latency.Count != 1 {
+		t.Fatalf("latency observations = %d", st.Latency.Count)
+	}
+	if st.EffectiveBandwidth <= 0 {
+		t.Fatalf("effective bandwidth should be positive")
+	}
+	s.ResetStats()
+	if s.Stats()[0].Lookups != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func BenchmarkStoreLookup(b *testing.B) {
+	p := trace.Profile{Name: "bench", NumVectors: 8192, AvgLookups: 20, CompulsoryMissFrac: 0.08,
+		Locality: 0.9, CommunitySize: 64, ReuseSkew: 3, Seed: 1}
+	tbl := table.Generate("bench", table.GenerateOptions{NumVectors: 8192, Dim: 64, NumClusters: 128, Seed: 1})
+	s, err := Open(Config{Tables: []*table.Table{tbl.Table}, DRAMBudgetVectors: 1024, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	tr := trace.GenerateTable(p, 200)
+	flat := make([]uint32, 0)
+	for _, q := range tr.Queries {
+		flat = append(flat, q...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(0, flat[i%len(flat)])
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bandana/internal/layout"
+)
+
+// Training a store (SHP partitioning + threshold tuning) is expensive and in
+// production happens offline, on a schedule decoupled from serving. SaveState
+// and LoadState persist the trained state — per-table placement order, access
+// counts, admission threshold and cache allocation — so that a freshly opened
+// store can adopt a previous training run without repeating it.
+
+const stateMagic = "BNDSTATE"
+const stateVersion = 1
+
+// SaveState serialises the store's trained state (placements, access counts,
+// thresholds, cache allocations). Embedding values are not included: they
+// belong to the model checkpoint, not to Bandana.
+func (s *Store) SaveState(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]byte, binary.MaxVarintLen64)
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(str string) error {
+		if err := writeUvarint(uint64(len(str))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+	if _, err := bw.WriteString(stateMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(stateVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(s.tables))); err != nil {
+		return err
+	}
+	for _, st := range s.tables {
+		st.mu.Lock()
+		name := st.name
+		order := st.layout.Order()
+		counts := st.counts
+		threshold := st.threshold
+		prefetch := st.prefetch
+		cacheCap := st.cacheCap
+		st.mu.Unlock()
+
+		if err := writeString(name); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(order))); err != nil {
+			return err
+		}
+		for _, id := range order {
+			if err := writeUvarint(uint64(id)); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(uint64(len(counts))); err != nil {
+			return err
+		}
+		for _, c := range counts {
+			if err := writeUvarint(uint64(c)); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(uint64(threshold)); err != nil {
+			return err
+		}
+		var pf uint64
+		if prefetch {
+			pf = 1
+		}
+		if err := writeUvarint(pf); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(cacheCap)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores state produced by SaveState into a store opened over
+// the same tables (matched by name and size). It installs the saved
+// placement (rewriting the NVM blocks), access counts, thresholds and cache
+// allocations, and enables prefetching where the saved state had it enabled.
+func (s *Store) LoadState(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: read state header: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return fmt.Errorf("core: bad state magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if version != stateVersion {
+		return fmt.Errorf("core: unsupported state version %d", version)
+	}
+	numTables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if int(numTables) != len(s.tables) {
+		return fmt.Errorf("core: state has %d tables, store has %d", numTables, len(s.tables))
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<16 {
+			return "", fmt.Errorf("core: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	for ti := 0; ti < int(numTables); ti++ {
+		name, err := readString()
+		if err != nil {
+			return err
+		}
+		idx, ok := s.byName[name]
+		if !ok {
+			return fmt.Errorf("core: state references unknown table %q", name)
+		}
+		st := s.tables[idx]
+
+		orderLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if int(orderLen) != st.src.NumVectors() {
+			return fmt.Errorf("core: table %q: state has %d vectors, table has %d",
+				name, orderLen, st.src.NumVectors())
+		}
+		order := make([]uint32, orderLen)
+		for i := range order {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			order[i] = uint32(v)
+		}
+		countsLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if countsLen > orderLen {
+			return fmt.Errorf("core: table %q: implausible counts length %d", name, countsLen)
+		}
+		counts := make([]uint32, countsLen)
+		for i := range counts {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			counts[i] = uint32(v)
+		}
+		threshold, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		prefetch, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		cacheCap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+
+		l, err := layout.FromOrder(order, st.blockVectors)
+		if err != nil {
+			return fmt.Errorf("core: table %q: %w", name, err)
+		}
+		st.mu.Lock()
+		st.layout = l
+		st.counts = counts
+		st.threshold = uint32(threshold)
+		st.prefetch = prefetch == 1
+		st.mu.Unlock()
+		if err := s.writeTable(st); err != nil {
+			return err
+		}
+		if int(cacheCap) > 0 {
+			st.resizeCache(int(cacheCap))
+		}
+	}
+	return nil
+}

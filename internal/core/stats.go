@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bandana/internal/metrics"
+	"bandana/internal/nvm"
+)
+
+// TableStats is a snapshot of one table's serving counters.
+type TableStats struct {
+	Name         string
+	Lookups      int64
+	Hits         int64
+	Misses       int64
+	HitRate      float64
+	BlockReads   int64
+	PrefetchAdds int64
+	PrefetchHits int64
+	CacheVectors int
+	CacheUsed    int
+	Threshold    uint32
+	Prefetching  bool
+	// EffectiveBandwidth is the fraction of NVM-read bytes delivered to the
+	// application: lookups served from NVM reads (misses + prefetch hits)
+	// times the vector size over block reads times the block size.
+	EffectiveBandwidth float64
+	// Latency summarises the NVM block read latency observed by this
+	// table's misses (microseconds).
+	Latency metrics.Snapshot
+}
+
+// Stats returns per-table serving statistics.
+func (s *Store) Stats() []TableStats {
+	out := make([]TableStats, len(s.tables))
+	for i, st := range s.tables {
+		st.mu.Lock()
+		ts := TableStats{
+			Name:         st.name,
+			Lookups:      st.lookups.Value(),
+			Hits:         st.hits.Value(),
+			Misses:       st.misses.Value(),
+			BlockReads:   st.blockReads.Value(),
+			PrefetchAdds: st.prefetchAdds.Value(),
+			PrefetchHits: st.prefetchHits.Value(),
+			CacheVectors: st.cacheCap,
+			CacheUsed:    st.cache.Len(),
+			Threshold:    st.threshold,
+			Prefetching:  st.prefetch,
+			Latency:      st.lookupLatency.Snapshot(),
+		}
+		if ts.Lookups > 0 {
+			ts.HitRate = float64(ts.Hits) / float64(ts.Lookups)
+		}
+		if ts.BlockReads > 0 {
+			useful := float64(ts.Misses+ts.PrefetchHits) * float64(st.vecBytes)
+			ts.EffectiveBandwidth = useful / (float64(ts.BlockReads) * float64(nvm.BlockSize))
+		}
+		st.mu.Unlock()
+		out[i] = ts
+	}
+	return out
+}
+
+// ResetStats clears all per-table counters (layouts, thresholds and cache
+// contents are preserved).
+func (s *Store) ResetStats() {
+	for _, st := range s.tables {
+		st.mu.Lock()
+		st.lookups.Reset()
+		st.hits.Reset()
+		st.misses.Reset()
+		st.blockReads.Reset()
+		st.prefetchAdds.Reset()
+		st.prefetchHits.Reset()
+		st.lookupLatency.Reset()
+		st.mu.Unlock()
+	}
+}
+
+// DeviceStats returns the underlying NVM device counters.
+func (s *Store) DeviceStats() nvm.Stats { return s.device.Stats() }

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bandana/internal/fp16"
+	"bandana/internal/layout"
+	"bandana/internal/lru"
+	"bandana/internal/metrics"
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+)
+
+// Store is a Bandana embedding store: NVM-resident tables with DRAM caches.
+type Store struct {
+	device     *nvm.Device
+	ownsDevice bool
+	tables     []*storeTable
+	byName     map[string]int
+	seed       int64
+}
+
+// storeTable is the per-table state.
+type storeTable struct {
+	index        int
+	name         string
+	src          *table.Table // authoritative copy used for rewrites/updates
+	dim          int
+	vecBytes     int
+	blockVectors int
+	blockBase    int // first device block of this table
+	numBlocks    int
+
+	mu        sync.Mutex
+	layout    *layout.Layout
+	counts    []uint32 // per-vector access counts from the training trace
+	threshold uint32   // prefetch admission threshold (counts must exceed it)
+	prefetch  bool     // whether prefetching is enabled (set by Train)
+	cache     *lru.Cache[uint32, []float32]
+	cacheCap  int
+	// prefetched marks cached vectors that entered via prefetch and have
+	// not been requested yet.
+	prefetched map[uint32]struct{}
+
+	// counters
+	lookups       metrics.Counter
+	hits          metrics.Counter
+	misses        metrics.Counter
+	blockReads    metrics.Counter
+	prefetchAdds  metrics.Counter
+	prefetchHits  metrics.Counter
+	lookupLatency *metrics.Histogram
+}
+
+// Open creates a Store, sizes (or adopts) the NVM device, writes every table
+// to NVM in its original order and sets up per-table caches with an even
+// split of the DRAM budget. Prefetching is disabled until Train is called.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	budget := cfg.DRAMBudgetVectors
+	if budget <= 0 {
+		budget = cfg.totalVectors() / 20
+		if budget < len(cfg.Tables) {
+			budget = len(cfg.Tables)
+		}
+	}
+
+	// Compute the device size: per-table contiguous block ranges.
+	type span struct{ base, blocks, blockVectors int }
+	spans := make([]span, len(cfg.Tables))
+	next := 0
+	for i, t := range cfg.Tables {
+		bv := nvm.BlockSize / t.VectorBytes()
+		if bv < 1 {
+			bv = 1
+		}
+		blocks := (t.NumVectors() + bv - 1) / bv
+		spans[i] = span{base: next, blocks: blocks, blockVectors: bv}
+		next += blocks
+	}
+
+	device := cfg.Device
+	owns := false
+	if device == nil {
+		device = nvm.NewDevice(nvm.DeviceConfig{NumBlocks: next, Seed: cfg.Seed})
+		owns = true
+	} else if device.NumBlocks() < next {
+		return nil, fmt.Errorf("core: device has %d blocks, need %d", device.NumBlocks(), next)
+	}
+
+	s := &Store{
+		device:     device,
+		ownsDevice: owns,
+		byName:     make(map[string]int, len(cfg.Tables)),
+		seed:       cfg.Seed,
+	}
+	perTable := budget / len(cfg.Tables)
+	if perTable < 1 {
+		perTable = 1
+	}
+	for i, t := range cfg.Tables {
+		st := &storeTable{
+			index:         i,
+			name:          t.Name,
+			src:           t,
+			dim:           t.Dim,
+			vecBytes:      t.VectorBytes(),
+			blockVectors:  spans[i].blockVectors,
+			blockBase:     spans[i].base,
+			numBlocks:     spans[i].blocks,
+			layout:        layout.Identity(t.NumVectors(), spans[i].blockVectors),
+			cacheCap:      perTable,
+			cache:         lru.New[uint32, []float32](perTable),
+			prefetched:    make(map[uint32]struct{}),
+			lookupLatency: metrics.NewLatencyHistogram(),
+		}
+		if err := s.writeTable(st); err != nil {
+			if owns {
+				device.Close()
+			}
+			return nil, err
+		}
+		s.tables = append(s.tables, st)
+		s.byName[t.Name] = i
+	}
+	return s, nil
+}
+
+// Close releases the store's resources (and the device if the store created
+// it).
+func (s *Store) Close() error {
+	if s.ownsDevice {
+		return s.device.Close()
+	}
+	return nil
+}
+
+// Device exposes the underlying NVM device (for stats and experiments).
+func (s *Store) Device() *nvm.Device { return s.device }
+
+// NumTables returns the number of tables in the store.
+func (s *Store) NumTables() int { return len(s.tables) }
+
+// TableNames returns the table names in index order.
+func (s *Store) TableNames() []string {
+	names := make([]string, len(s.tables))
+	for i, t := range s.tables {
+		names[i] = t.name
+	}
+	return names
+}
+
+// TableIndex resolves a table name to its index.
+func (s *Store) TableIndex(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", name)
+	}
+	return i, nil
+}
+
+// writeTable writes the table's vectors to its NVM block range following the
+// current layout.
+func (s *Store) writeTable(st *storeTable) error {
+	buf := make([]byte, nvm.BlockSize)
+	var members []uint32
+	for b := 0; b < st.numBlocks; b++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		members = st.layout.BlockMembers(b, members[:0])
+		for slot, id := range members {
+			raw, err := st.src.Raw(id)
+			if err != nil {
+				return fmt.Errorf("core: table %q: %w", st.name, err)
+			}
+			copy(buf[slot*st.vecBytes:], raw)
+		}
+		if err := s.device.WriteBlock(st.blockBase+b, buf); err != nil {
+			return fmt.Errorf("core: table %q block %d: %w", st.name, b, err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the embedding vector id of table tableIdx. The returned
+// slice is owned by the caller.
+func (s *Store) Lookup(tableIdx int, id uint32) ([]float32, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, err
+	}
+	return st.lookup(s.device, id)
+}
+
+// LookupByName is Lookup with a table name.
+func (s *Store) LookupByName(name string, id uint32) ([]float32, error) {
+	i, err := s.TableIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Lookup(i, id)
+}
+
+// LookupBatch returns the embeddings of every id in ids from table tableIdx.
+// Lookups that miss the cache are grouped by NVM block, so a batch that hits
+// k distinct blocks issues exactly k block reads regardless of how many of
+// its vectors live in each block — the batched analogue of the paper's
+// prefetching.
+func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, err
+	}
+	return st.lookupBatch(s.device, ids)
+}
+
+// Request is one recommendation request: for each table (by index), the
+// vector IDs to look up.
+type Request [][]uint32
+
+// ServeRequest resolves every lookup of a request, returning the embeddings
+// grouped by table.
+func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
+	if len(req) > len(s.tables) {
+		return nil, fmt.Errorf("core: request has %d tables, store has %d", len(req), len(s.tables))
+	}
+	out := make([][][]float32, len(req))
+	for ti, ids := range req {
+		if len(ids) == 0 {
+			continue
+		}
+		vecs, err := s.LookupBatch(ti, ids)
+		if err != nil {
+			return nil, err
+		}
+		out[ti] = vecs
+	}
+	return out, nil
+}
+
+// UpdateVector overwrites the embedding of vector id in table tableIdx
+// (e.g. after periodic re-training of the model). The write goes through to
+// NVM (read-modify-write of the containing block) and invalidates the cached
+// copy.
+func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return err
+	}
+	return st.update(s.device, id, vec)
+}
+
+func (s *Store) tableAt(i int) (*storeTable, error) {
+	if i < 0 || i >= len(s.tables) {
+		return nil, fmt.Errorf("core: table index %d out of range [0,%d)", i, len(s.tables))
+	}
+	return s.tables[i], nil
+}
+
+// lookup serves one vector read for this table.
+func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
+	if int(id) >= st.src.NumVectors() {
+		return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	st.lookups.Inc()
+	if v, ok := st.cache.Get(id); ok {
+		st.hits.Inc()
+		if _, wasPrefetch := st.prefetched[id]; wasPrefetch {
+			st.prefetchHits.Inc()
+			delete(st.prefetched, id)
+		}
+		return append([]float32(nil), v...), nil
+	}
+	st.misses.Inc()
+
+	// Read the containing 4 KB block from NVM.
+	block := st.layout.BlockOf(id)
+	buf := make([]byte, nvm.BlockSize)
+	lat, err := device.ReadBlock(st.blockBase+block, buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.blockReads.Inc()
+	st.lookupLatency.Observe(lat)
+
+	// Decode the requested vector and cache it at the MRU position.
+	slot := st.layout.SlotOf(id)
+	want := make([]float32, st.dim)
+	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+	st.insert(id, want, false)
+
+	// Prefetch co-located vectors whose training-time access count exceeds
+	// the tuned threshold.
+	if st.prefetch {
+		members := st.layout.BlockMembers(block, nil)
+		for mslot, other := range members {
+			if other == id || st.cache.Contains(other) {
+				continue
+			}
+			if int(other) < len(st.counts) && st.counts[other] > st.threshold {
+				v := make([]float32, st.dim)
+				fp16.DecodeSlice(v, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
+				st.insert(other, v, true)
+				st.prefetchAdds.Inc()
+			}
+		}
+	}
+	return append([]float32(nil), want...), nil
+}
+
+// lookupBatch serves a set of vector reads, grouping cache misses by NVM
+// block so that each distinct block is read only once per batch.
+func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32, error) {
+	for _, id := range ids {
+		if int(id) >= st.src.NumVectors() {
+			return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
+		}
+	}
+	out := make([][]float32, len(ids))
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// Pass 1: serve cache hits and group misses by block.
+	type missRef struct {
+		pos int
+		id  uint32
+	}
+	missesByBlock := make(map[int][]missRef)
+	for i, id := range ids {
+		st.lookups.Inc()
+		if v, ok := st.cache.Get(id); ok {
+			st.hits.Inc()
+			if _, wasPrefetch := st.prefetched[id]; wasPrefetch {
+				st.prefetchHits.Inc()
+				delete(st.prefetched, id)
+			}
+			out[i] = append([]float32(nil), v...)
+			continue
+		}
+		st.misses.Inc()
+		block := st.layout.BlockOf(id)
+		missesByBlock[block] = append(missesByBlock[block], missRef{pos: i, id: id})
+	}
+
+	// Pass 2: one NVM read per distinct block; decode all requested vectors
+	// from it and apply the usual prefetch admission to the rest. Blocks are
+	// processed in ascending order so a batch's cache effects are
+	// deterministic.
+	blocks := make([]int, 0, len(missesByBlock))
+	for block := range missesByBlock {
+		blocks = append(blocks, block)
+	}
+	sort.Ints(blocks)
+	buf := make([]byte, nvm.BlockSize)
+	var members []uint32
+	for _, block := range blocks {
+		refs := missesByBlock[block]
+		lat, err := device.ReadBlock(st.blockBase+block, buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		st.blockReads.Inc()
+		st.lookupLatency.Observe(lat)
+
+		requested := make(map[uint32]struct{}, len(refs))
+		for _, ref := range refs {
+			slot := st.layout.SlotOf(ref.id)
+			v := make([]float32, st.dim)
+			fp16.DecodeSlice(v, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+			st.insert(ref.id, v, false)
+			out[ref.pos] = append([]float32(nil), v...)
+			requested[ref.id] = struct{}{}
+		}
+		if st.prefetch {
+			members = st.layout.BlockMembers(block, members[:0])
+			for mslot, other := range members {
+				if _, isReq := requested[other]; isReq {
+					continue
+				}
+				if st.cache.Contains(other) {
+					continue
+				}
+				if int(other) < len(st.counts) && st.counts[other] > st.threshold {
+					v := make([]float32, st.dim)
+					fp16.DecodeSlice(v, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
+					st.insert(other, v, true)
+					st.prefetchAdds.Inc()
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// insert places a vector into the cache, tracking prefetch provenance and
+// cleaning up eviction bookkeeping.
+func (st *storeTable) insert(id uint32, v []float32, isPrefetch bool) {
+	evicted, was := st.cache.Add(id, v)
+	if was {
+		delete(st.prefetched, evicted)
+	}
+	if isPrefetch {
+		st.prefetched[id] = struct{}{}
+	} else {
+		delete(st.prefetched, id)
+	}
+}
+
+// update rewrites one vector on NVM and in the source table, and drops any
+// cached copy.
+func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error {
+	if len(vec) != st.dim {
+		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.src.SetVector(id, vec); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	// Read-modify-write the containing block.
+	block := st.layout.BlockOf(id)
+	buf := make([]byte, nvm.BlockSize)
+	if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	slot := st.layout.SlotOf(id)
+	raw, err := st.src.Raw(id)
+	if err != nil {
+		return err
+	}
+	copy(buf[slot*st.vecBytes:], raw)
+	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.cache.Remove(id)
+	delete(st.prefetched, id)
+	return nil
+}
+
+// resizeCache replaces the table's cache with a fresh one of the given
+// capacity (losing its contents).
+func (st *storeTable) resizeCache(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cacheCap = capacity
+	st.cache = lru.New[uint32, []float32](capacity)
+	st.prefetched = make(map[uint32]struct{})
+}

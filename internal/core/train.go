@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bandana/internal/alloc"
+	"bandana/internal/layout"
+	"bandana/internal/mrc"
+	"bandana/internal/shp"
+	"bandana/internal/sim"
+	"bandana/internal/trace"
+)
+
+// TrainReport summarises what Train decided for each table.
+type TrainReport struct {
+	Tables []TableTrainReport
+}
+
+// TableTrainReport is the per-table outcome of training.
+type TableTrainReport struct {
+	Name string
+	// TrainingQueries and TrainingLookups describe the training trace.
+	TrainingQueries int
+	TrainingLookups int64
+	// InitialFanout / FinalFanout are SHP's average query fanout before and
+	// after partitioning.
+	InitialFanout float64
+	FinalFanout   float64
+	// CacheVectors is the DRAM allocation chosen for this table.
+	CacheVectors int
+	// Threshold is the prefetch-admission threshold chosen by the
+	// miniature caches.
+	Threshold uint32
+	// MiniatureGain is the effective bandwidth increase predicted by the
+	// miniature cache at the chosen threshold.
+	MiniatureGain float64
+}
+
+// Train partitions, allocates and tunes the store using per-table training
+// traces. traces[i] corresponds to table i; a nil entry leaves that table
+// untouched (identity layout, even-split cache, no prefetching).
+func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, error) {
+	if len(traces) != len(s.tables) {
+		return nil, fmt.Errorf("core: got %d traces for %d tables", len(traces), len(s.tables))
+	}
+	opts.defaults()
+	report := &TrainReport{Tables: make([]TableTrainReport, len(s.tables))}
+
+	// Phase 1 (parallel across tables): partition with SHP, rewrite NVM,
+	// compute access counts and hit-rate curves.
+	type phase1 struct {
+		hrc *mrc.HRC
+		err error
+	}
+	results := make([]phase1, len(s.tables))
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for i := range s.tables {
+		if traces[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = s.trainTable(i, traces[i], opts, report)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+
+	// Phase 2: allocate the DRAM budget across tables using the hit-rate
+	// curves (tables without a trace keep their current allocation and are
+	// excluded from the optimisation).
+	budget := 0
+	var demands []alloc.TableDemand
+	var demandIdx []int
+	for i, st := range s.tables {
+		budget += st.cacheCap
+		if traces[i] == nil || results[i].hrc == nil {
+			budget -= st.cacheCap // keep their share reserved as-is
+			continue
+		}
+		demands = append(demands, alloc.TableDemand{
+			Name:       st.name,
+			HRC:        results[i].hrc,
+			MaxVectors: st.src.NumVectors(),
+			MinVectors: st.blockVectors,
+		})
+		demandIdx = append(demandIdx, i)
+	}
+	if len(demands) > 0 && budget > 0 {
+		allocRes, err := alloc.Allocate(demands, alloc.Options{TotalVectors: budget})
+		if err != nil {
+			return nil, fmt.Errorf("core: DRAM allocation: %w", err)
+		}
+		for di, ti := range demandIdx {
+			s.tables[ti].resizeCache(allocRes.Vectors[di])
+			report.Tables[ti].CacheVectors = allocRes.Vectors[di]
+		}
+	}
+
+	// Phase 3 (parallel): tune the prefetch-admission threshold per table
+	// with miniature caches at the allocated cache size.
+	if !opts.SkipThresholdTuning {
+		var wg2 sync.WaitGroup
+		errs := make([]error, len(s.tables))
+		for i := range s.tables {
+			if traces[i] == nil {
+				continue
+			}
+			wg2.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg2.Done()
+				defer func() { <-sem }()
+				errs[i] = s.tuneTable(i, traces[i], opts, report)
+			}(i)
+		}
+		wg2.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return report, nil
+}
+
+// trainTable runs SHP for one table, rewrites its NVM blocks and computes
+// its access statistics. It fills the per-table report entry and returns the
+// hit-rate curve for the allocation phase.
+func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *TrainReport) (out struct {
+	hrc *mrc.HRC
+	err error
+}) {
+	st := s.tables[i]
+	if tr.NumVectors != st.src.NumVectors() {
+		out.err = fmt.Errorf("core: table %q: trace covers %d vectors, table has %d",
+			st.name, tr.NumVectors, st.src.NumVectors())
+		return out
+	}
+	rep := &report.Tables[i]
+	rep.Name = st.name
+	rep.TrainingQueries = len(tr.Queries)
+	rep.TrainingLookups = tr.Lookups()
+
+	blockVectors := st.blockVectors
+	if opts.BlockVectors > 0 {
+		blockVectors = opts.BlockVectors
+	}
+
+	counts := tr.AccessCounts()
+
+	newLayout := st.layout
+	if !opts.SkipPartitioning {
+		queries := make([][]uint32, len(tr.Queries))
+		for qi, q := range tr.Queries {
+			queries[qi] = q
+		}
+		res, err := shp.Partition(st.src.NumVectors(), queries, shp.Options{
+			BlockVectors: blockVectors,
+			Iterations:   opts.SHPIterations,
+			Seed:         s.seed + int64(i),
+		})
+		if err != nil {
+			out.err = fmt.Errorf("core: table %q: %w", st.name, err)
+			return out
+		}
+		rep.InitialFanout = res.InitialFanout
+		rep.FinalFanout = res.FinalFanout
+		l, err := layout.FromOrder(res.Order, st.blockVectors)
+		if err != nil {
+			out.err = fmt.Errorf("core: table %q: %w", st.name, err)
+			return out
+		}
+		newLayout = l
+	}
+
+	// Install the new layout and rewrite the table's NVM blocks.
+	st.mu.Lock()
+	st.layout = newLayout
+	st.counts = counts
+	st.mu.Unlock()
+	if err := s.writeTable(st); err != nil {
+		out.err = err
+		return out
+	}
+
+	// Hit-rate curve for the DRAM allocator, from (sampled) stack
+	// distances over the flattened lookup stream.
+	flat := make([]uint32, 0, tr.Lookups())
+	for _, q := range tr.Queries {
+		flat = append(flat, q...)
+	}
+	out.hrc = mrc.SampledStackDistances(flat, opts.HRCSampling).HitRateCurve()
+	return out
+}
+
+// tuneTable chooses the prefetch-admission threshold for one table with
+// miniature caches and enables prefetching.
+func (s *Store) tuneTable(i int, tr *trace.Trace, opts TrainOptions, report *TrainReport) error {
+	st := s.tables[i]
+	st.mu.Lock()
+	l := st.layout
+	counts := st.counts
+	cacheCap := st.cacheCap
+	st.mu.Unlock()
+
+	choice, err := sim.TuneThreshold(tr, sim.TunerConfig{
+		Layout:       l,
+		Counts:       counts,
+		CacheVectors: cacheCap,
+		SamplingRate: opts.MiniCacheSampling,
+		Thresholds:   opts.Thresholds,
+	})
+	if err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.mu.Lock()
+	st.threshold = choice.Threshold
+	st.prefetch = true
+	st.mu.Unlock()
+
+	rep := &report.Tables[i]
+	rep.Threshold = choice.Threshold
+	rep.MiniatureGain = choice.MiniatureGain
+	if rep.CacheVectors == 0 {
+		rep.CacheVectors = cacheCap
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bandana/internal/nvm"
+)
+
+// runFig2 reproduces Figure 2: mean latency, P99 latency and bandwidth of
+// 4 KB random reads at queue depths 1-8 (4 concurrent jobs), measured
+// against the simulated device.
+func (r *Runner) runFig2() (*Table, error) {
+	device := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: 4096, Seed: r.opts.Seed})
+	defer device.Close()
+	ops := 400
+	if r.opts.Quick {
+		ops = 100
+	}
+	rows := nvm.QueueDepthSweep(device, 4, []int{1, 2, 4, 8}, ops, r.opts.Seed)
+	t := &Table{
+		Columns: []string{"queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)"},
+		Notes:   "simulated 375 GB-class NVM block device; calibration points follow the paper's Fio measurements",
+	}
+	for _, row := range rows {
+		t.AddRow(itoa(row.QueueDepth), f1(row.MeanLatencyUS), f1(row.P99LatencyUS), f2(row.BandwidthGBs))
+	}
+	return t, nil
+}
+
+// runFig5 reproduces Figure 5: mean and P99 device latency as a function of
+// the application's useful-data throughput, for the baseline policy (128 B
+// of every 4 KB block used, ~3% effective bandwidth) and for 100% effective
+// 4 KB reads.
+func (r *Runner) runFig5() (*Table, error) {
+	model := nvm.NewPerformanceModel(nil)
+	baselineFraction := 128.0 / float64(nvm.BlockSize)
+	sweep := []float64{10, 25, 50, 70, 100, 250, 500, 1000, 1500, 2000, 2300}
+	if r.opts.Quick {
+		sweep = []float64{10, 50, 100, 1000, 2300}
+	}
+	base := nvm.ThroughputLatencyCurve(model, baselineFraction, sweep)
+	full := nvm.ThroughputLatencyCurve(model, 1.0, sweep)
+
+	t := &Table{
+		Columns: []string{"app throughput (MB/s)", "baseline mean (us)", "baseline p99 (us)", "4KB-read mean (us)", "4KB-read p99 (us)"},
+		Notes: fmt.Sprintf("baseline effective bandwidth = %.1f%% of device bandwidth; 'sat' marks load beyond the device's %.1f GB/s",
+			baselineFraction*100, model.MaxBandwidthGBs()),
+	}
+	fmtLat := func(v float64, saturated bool) string {
+		if saturated || math.IsInf(v, 1) {
+			return "sat"
+		}
+		return f1(v)
+	}
+	for i := range sweep {
+		t.AddRow(
+			f1(sweep[i]),
+			fmtLat(base[i].MeanLatencyUS, base[i].Saturated),
+			fmtLat(base[i].P99LatencyUS, base[i].Saturated),
+			fmtLat(full[i].MeanLatencyUS, full[i].Saturated),
+			fmtLat(full[i].P99LatencyUS, full[i].Saturated),
+		)
+	}
+	return t, nil
+}

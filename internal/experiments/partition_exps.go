@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bandana/internal/kmeans"
+	"bandana/internal/layout"
+	"bandana/internal/sim"
+)
+
+// kmeansClusterSweep returns the flat K-means cluster counts swept by
+// Figures 6 and 7(a).
+func (r *Runner) kmeansClusterSweep() []int {
+	if r.opts.Quick {
+		return []int{16, 64}
+	}
+	return []int{16, 64, 256}
+}
+
+// runKMeansLayout clusters table ti's embeddings into k flat clusters and
+// returns the cluster-ordered layout plus the clustering runtime.
+func (r *Runner) runKMeansLayout(ti, k int) (*layout.Layout, time.Duration, error) {
+	tbl := r.env.EmbTable(ti)
+	start := time.Now()
+	res, err := kmeans.Cluster(kmeans.TableDataset{Table: tbl}, kmeans.Options{
+		K:        k,
+		MaxIters: 5,
+		Seed:     r.opts.Seed + int64(ti)*17 + int64(k),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	dur := time.Since(start)
+	order := kmeans.OrderByCluster(res.Assignments)
+	l, err := layout.FromOrder(order, blockVectors)
+	if err != nil {
+		return nil, 0, err
+	}
+	return l, dur, nil
+}
+
+// runTwoStageLayout runs recursive (two-stage) K-means with the given total
+// number of sub-clusters.
+func (r *Runner) runTwoStageLayout(ti, totalSub int) (*layout.Layout, time.Duration, error) {
+	tbl := r.env.EmbTable(ti)
+	coarse := 64
+	if r.opts.Quick {
+		coarse = 16
+	}
+	start := time.Now()
+	res, err := kmeans.TwoStage(kmeans.TableDataset{Table: tbl}, kmeans.TwoStageOptions{
+		CoarseClusters:   coarse,
+		TotalSubClusters: totalSub,
+		MaxIters:         5,
+		Seed:             r.opts.Seed + int64(ti)*23,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	dur := time.Since(start)
+	order := kmeans.OrderByCluster(res.Assignments)
+	l, err := layout.FromOrder(order, blockVectors)
+	if err != nil {
+		return nil, 0, err
+	}
+	return l, dur, nil
+}
+
+// runFig6 reproduces Figure 6: effective bandwidth increase (spatial-locality
+// model, §4.2) when vectors are ordered by flat K-means cluster, as a
+// function of the number of clusters, for a representative set of tables.
+func (r *Runner) runFig6() (*Table, error) {
+	tables := r.env.kmeansTables()
+	sweep := r.kmeansClusterSweep()
+	cols := []string{"clusters"}
+	for _, ti := range tables {
+		cols = append(cols, fmt.Sprintf("table %d", ti+1))
+	}
+	t := &Table{
+		Columns: cols,
+		Notes:   "effective bandwidth increase under the unlimited-cache (per-query fanout) model of §4.2; embeddings are synthetic Gaussian mixtures aligned with co-access communities",
+	}
+	for _, k := range sweep {
+		row := []string{itoa(k)}
+		for _, ti := range tables {
+			l, _, err := r.runKMeansLayout(ti, k)
+			if err != nil {
+				return nil, err
+			}
+			gain := sim.FanoutGain(r.env.Eval(ti), l)
+			row = append(row, pct(gain))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// runFig7 reproduces Figure 7: the runtime of (a) flat K-means as a function
+// of the cluster count, (b) two-stage K-means as a function of the total
+// sub-cluster count, and (c) SHP per embedding table.
+func (r *Runner) runFig7() (*Table, error) {
+	ti := r.env.kmeansTables()[len(r.env.kmeansTables())-1] // largest listed table
+	if !r.opts.Quick {
+		ti = 3 // table 4, as in the paper's Figure 7(a)/(b)
+	}
+	t := &Table{
+		Columns: []string{"partitioner", "parameter", "runtime"},
+		Notes:   "runtimes at experiment scale; the paper's absolute numbers are minutes at 10-20M vectors, the relative growth is what carries over",
+	}
+	for _, k := range r.kmeansClusterSweep() {
+		_, dur, err := r.runKMeansLayout(ti, k)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("flat K-means (a)", fmt.Sprintf("%d clusters", k), dur.Round(time.Millisecond).String())
+	}
+	subSweep := []int{256, 1024, 4096}
+	if r.opts.Quick {
+		subSweep = []int{128}
+	}
+	for _, sub := range subSweep {
+		_, dur, err := r.runTwoStageLayout(ti, sub)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("two-stage K-means (b)", fmt.Sprintf("%d sub-clusters", sub), dur.Round(time.Millisecond).String())
+	}
+	shpTables := r.env.NumTables()
+	if r.opts.Quick {
+		shpTables = 2
+	}
+	for i := 0; i < shpTables; i++ {
+		dur, err := r.env.SHPDuration(i)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("SHP (c)", fmt.Sprintf("table %d", i+1), dur.Round(time.Millisecond).String())
+	}
+	return t, nil
+}
+
+// runFig8 reproduces Figure 8: effective bandwidth increase when ordering
+// with recursive (two-stage) K-means, as a function of the total number of
+// sub-clusters.
+func (r *Runner) runFig8() (*Table, error) {
+	tables := r.env.kmeansTables()
+	sweep := []int{256, 1024, 4096}
+	if r.opts.Quick {
+		sweep = []int{128, 512}
+	}
+	cols := []string{"sub-clusters"}
+	for _, ti := range tables {
+		cols = append(cols, fmt.Sprintf("table %d", ti+1))
+	}
+	t := &Table{
+		Columns: cols,
+		Notes:   "recursive K-means matches flat K-means' bandwidth at a fraction of the runtime (compare fig7)",
+	}
+	for _, sub := range sweep {
+		row := []string{itoa(sub)}
+		for _, ti := range tables {
+			l, _, err := r.runTwoStageLayout(ti, sub)
+			if err != nil {
+				return nil, err
+			}
+			gain := sim.FanoutGain(r.env.Eval(ti), l)
+			row = append(row, pct(gain))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// runFig9 reproduces Figure 9: per-table effective bandwidth increase with
+// SHP ordering under the unlimited-cache model, as a function of the number
+// of requests used to train SHP (the paper's 200 M / 1 B / 5 B become
+// fractions of this run's training trace).
+func (r *Runner) runFig9() (*Table, error) {
+	fracs := []struct {
+		label string
+		frac  float64
+	}{
+		{"4% of training trace (~200M-equivalent)", 0.04},
+		{"20% of training trace (~1B-equivalent)", 0.20},
+		{"100% of training trace (~5B-equivalent)", 1.00},
+	}
+	if r.opts.Quick {
+		fracs = fracs[1:]
+	}
+	cols := []string{"table", "identity layout"}
+	for _, f := range fracs {
+		cols = append(cols, f.label)
+	}
+	t := &Table{
+		Columns: cols,
+		Notes:   "effective bandwidth increase under the §4.2 unlimited-cache (per-query fanout) model; more training data -> better placement",
+	}
+	numTables := r.env.NumTables()
+	if r.opts.Quick {
+		numTables = 3
+	}
+	for ti := 0; ti < numTables; ti++ {
+		eval := r.env.Eval(ti)
+		idGain := sim.FanoutGain(eval, r.env.Identity(ti, blockVectors))
+		row := []string{itoa(ti + 1), pct(idGain)}
+		for _, f := range fracs {
+			prefix := int(f.frac * float64(len(r.env.Train(ti).Queries)))
+			order, _, _, err := r.env.shpOrder(ti, prefix)
+			if err != nil {
+				return nil, err
+			}
+			l, err := layout.FromOrder(order, blockVectors)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(sim.FanoutGain(eval, l)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

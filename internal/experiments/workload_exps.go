@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bandana/internal/mrc"
+	"bandana/internal/trace"
+)
+
+// runTable1 reproduces Table 1: per-table vector counts, average lookups per
+// request, share of total lookups, and compulsory miss ratio, measured on
+// the synthetic workload.
+func (r *Runner) runTable1() (*Table, error) {
+	w := r.env.Workload()
+	shares := w.LookupShares()
+	t := &Table{
+		Columns: []string{"table", "vectors", "avg request lookups", "% of total lookups", "compulsory misses"},
+		Notes:   fmt.Sprintf("synthetic workload at scale %.4g of the paper's 10-20M-vector tables", r.opts.Scale),
+	}
+	for i, tr := range w.Traces {
+		s := tr.Stats()
+		t.AddRow(
+			itoa(i+1),
+			itoa(s.NumVectors),
+			f2(s.AvgLookups),
+			fmt.Sprintf("%.2f%%", shares[i]*100),
+			fmt.Sprintf("%.2f%%", s.CompulsoryMissFrac*100),
+		)
+	}
+	return t, nil
+}
+
+// runFig3 reproduces Figure 3: hit-rate curves of the four tables with the
+// most lookups, computed from exact stack distances.
+func (r *Runner) runFig3() (*Table, error) {
+	w := r.env.Workload()
+	top := w.TopTablesByLookups(4)
+	// Sample the curve at cache sizes expressed as a fraction of the table.
+	fracs := []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+	cols := []string{"cache size (% of table)"}
+	for _, ti := range top {
+		cols = append(cols, fmt.Sprintf("table %d hit rate", ti+1))
+	}
+	t := &Table{Columns: cols, Notes: "hit rates from exact Mattson stack distances over the full trace"}
+
+	curves := make([]*mrc.HRC, len(top))
+	for k, ti := range top {
+		flat := flatten(w.Traces[ti].Queries)
+		curves[k] = mrc.StackDistances(flat).HitRateCurve()
+	}
+	for _, f := range fracs {
+		row := []string{fmt.Sprintf("%.1f%%", f*100)}
+		for k, ti := range top {
+			size := int(f * float64(w.Traces[ti].NumVectors))
+			row = append(row, fmt.Sprintf("%.3f", curves[k].HitRate(size)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// runFig4 reproduces Figure 4: access histograms (how many vectors were read
+// a given number of times) for the four busiest tables.
+func (r *Runner) runFig4() (*Table, error) {
+	w := r.env.Workload()
+	top := w.TopTablesByLookups(4)
+	const bins = 8
+	cols := []string{"table", "max accesses"}
+	for b := 0; b < bins; b++ {
+		cols = append(cols, fmt.Sprintf("bin%d vectors", b+1))
+	}
+	t := &Table{
+		Columns: cols,
+		Notes:   "bins split [1, max accesses] into 8 equal-width ranges; counts are numbers of vectors (log-scale in the paper's plot)",
+	}
+	for _, ti := range top {
+		hist := w.Traces[ti].AccessHistogram(bins)
+		row := []string{itoa(ti + 1)}
+		if len(hist) == 0 {
+			continue
+		}
+		row = append(row, itoa(int(hist[len(hist)-1].Hi-1)))
+		for _, b := range hist {
+			row = append(row, itoa(b.NumVectors))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func flatten(queries []trace.Query) []uint32 {
+	var out []uint32
+	for _, q := range queries {
+		out = append(out, q...)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTripExactValues(t *testing.T) {
+	cases := []float32{0, 1, -1, 0.5, -0.5, 2, 65504, -65504, 0.000061035156, 1.5, 3.140625}
+	for _, f := range cases {
+		h := FromFloat32(f)
+		got := h.ToFloat32()
+		if got != f {
+			t.Errorf("round trip of %g: got %g", f, got)
+		}
+	}
+}
+
+func TestSignedZero(t *testing.T) {
+	pz := FromFloat32(0)
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if pz.Bits() != 0x0000 {
+		t.Errorf("+0 bits = %#x, want 0x0000", pz.Bits())
+	}
+	if nz.Bits() != 0x8000 {
+		t.Errorf("-0 bits = %#x, want 0x8000", nz.Bits())
+	}
+	if math.Signbit(float64(nz.ToFloat32())) != true {
+		t.Errorf("-0 lost its sign")
+	}
+}
+
+func TestOverflowToInfinity(t *testing.T) {
+	if h := FromFloat32(70000); !h.IsInf(1) {
+		t.Errorf("70000 should overflow to +Inf, got bits %#x", h.Bits())
+	}
+	if h := FromFloat32(-70000); !h.IsInf(-1) {
+		t.Errorf("-70000 should overflow to -Inf, got bits %#x", h.Bits())
+	}
+	if h := FromFloat32(float32(math.Inf(1))); !h.IsInf(1) || h.IsNaN() {
+		t.Errorf("+Inf not preserved")
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("NaN should encode as NaN, got bits %#x", h.Bits())
+	}
+	if f := h.ToFloat32(); !math.IsNaN(float64(f)) {
+		t.Errorf("decoded NaN is %g, want NaN", f)
+	}
+}
+
+func TestKnownBitPatterns(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{1.0, 0x3C00},
+		{-2.0, 0xC000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},         // largest normal
+		{6.1035156e-05, 0x0400}, // smallest normal
+		{5.9604645e-08, 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f).Bits(); got != c.bits {
+			t.Errorf("FromFloat32(%g) = %#x, want %#x", c.f, got, c.bits)
+		}
+		if got := FromBits(c.bits).ToFloat32(); got != c.f {
+			t.Errorf("FromBits(%#x) = %g, want %g", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1.0 + 2^-11 is exactly between 1.0 and the next representable half
+	// (1.0 + 2^-10); ties round to even, i.e. to 1.0.
+	f := float32(1.0 + math.Pow(2, -11))
+	if got := FromFloat32(f).ToFloat32(); got != 1.0 {
+		t.Errorf("tie should round to even (1.0), got %g", got)
+	}
+	// Slightly above the tie rounds up.
+	f = float32(1.0 + math.Pow(2, -11) + math.Pow(2, -20))
+	want := float32(1.0 + math.Pow(2, -10))
+	if got := FromFloat32(f).ToFloat32(); got != want {
+		t.Errorf("above-tie should round up to %g, got %g", want, got)
+	}
+}
+
+func TestPropertyRoundTripWithinHalfULP(t *testing.T) {
+	// For any float32 in the normal binary16 range, the round trip error is
+	// bounded by half a binary16 ULP of the value.
+	prop := func(u uint16, frac uint32) bool {
+		// Construct a value within the half-precision normal range.
+		mag := float64(u%60000) + float64(frac%1000)/1000.0
+		f := float32(mag)
+		h := FromFloat32(f)
+		if h.IsInf(0) {
+			return mag > 65504
+		}
+		back := float64(h.ToFloat32())
+		ulp := math.Max(math.Abs(float64(f))/1024.0, 5.96e-08)
+		return math.Abs(back-float64(f)) <= ulp/2+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecodeEncodeIdentity(t *testing.T) {
+	// Every 16-bit pattern except NaNs survives decode->encode unchanged.
+	prop := func(b uint16) bool {
+		h := FromBits(b)
+		if h.IsNaN() {
+			return FromFloat32(h.ToFloat32()).IsNaN()
+		}
+		return FromFloat32(h.ToFloat32()) == h
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	src := []float32{0, 1, -1, 0.25, 1000, -65504, 0.333984375}
+	buf := EncodeSlice(nil, src)
+	if len(buf) != len(src)*ByteSize {
+		t.Fatalf("encoded length = %d, want %d", len(buf), len(src)*ByteSize)
+	}
+	dst := make([]float32, len(src))
+	n := DecodeSlice(dst, buf)
+	if n != len(src) {
+		t.Fatalf("decoded %d elements, want %d", n, len(src))
+	}
+	for i := range src {
+		want := FromFloat32(src[i]).ToFloat32()
+		if dst[i] != want {
+			t.Errorf("element %d: got %g, want %g", i, dst[i], want)
+		}
+	}
+}
+
+func TestDecodeSliceShortDst(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	buf := EncodeSlice(nil, src)
+	dst := make([]float32, 2)
+	if n := DecodeSlice(dst, buf); n != 2 {
+		t.Fatalf("DecodeSlice with short dst decoded %d, want 2", n)
+	}
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Errorf("short decode got %v", dst)
+	}
+}
+
+func TestDecodeAppend(t *testing.T) {
+	buf := EncodeSlice(nil, []float32{7, 8})
+	out := DecodeAppend([]float32{1}, buf)
+	if len(out) != 3 || out[0] != 1 || out[1] != 7 || out[2] != 8 {
+		t.Errorf("DecodeAppend got %v", out)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	v := []float32{0.1, 0.2, 0.3, 123.456}
+	q1 := Quantize(append([]float32(nil), v...))
+	q2 := Quantize(append([]float32(nil), q1...))
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Errorf("quantize not idempotent at %d: %g vs %g", i, q1[i], q2[i])
+		}
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	var sink Float16
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat32(float32(i) * 0.001)
+	}
+	_ = sink
+}
+
+func BenchmarkEncodeSlice64(b *testing.B) {
+	src := make([]float32, 64)
+	for i := range src {
+		src[i] = float32(i) * 0.01
+	}
+	buf := make([]byte, 0, 128)
+	b.SetBytes(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeSlice(buf[:0], src)
+	}
+}

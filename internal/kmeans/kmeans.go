@@ -1,0 +1,387 @@
+// Package kmeans implements the semantic (unsupervised) partitioning
+// baseline of the paper: K-means clustering of embedding vectors by
+// Euclidean distance, used to order vectors so that members of the same
+// cluster land in the same NVM blocks (§4.2.1).
+//
+// Two variants are provided, matching the paper:
+//
+//   - Cluster: flat K-means with K-means++ seeding and Lloyd iterations,
+//     whose runtime grows roughly linearly with the number of clusters
+//     (Figure 7a shows it becoming impractical for large cluster counts);
+//   - TwoStage: the recursive approximation that first builds a small
+//     number of coarse clusters and then re-clusters each of them
+//     independently (Figures 7b and 8).
+//
+// The assignment step is parallelised across goroutines.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Dataset exposes vectors to the clustering algorithm without forcing a
+// particular storage format (embedding tables store fp16, the tests use
+// plain slices).
+type Dataset interface {
+	// Len returns the number of vectors.
+	Len() int
+	// Dim returns the dimensionality.
+	Dim() int
+	// At copies vector i into dst (len >= Dim).
+	At(i int, dst []float32)
+}
+
+// SliceDataset adapts a [][]float32 to the Dataset interface.
+type SliceDataset [][]float32
+
+// Len implements Dataset.
+func (s SliceDataset) Len() int { return len(s) }
+
+// Dim implements Dataset.
+func (s SliceDataset) Dim() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s[0])
+}
+
+// At implements Dataset.
+func (s SliceDataset) At(i int, dst []float32) { copy(dst, s[i]) }
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centroids holds K centroid vectors.
+	Centroids [][]float32
+	// Assignments maps each input vector to its cluster in [0, K).
+	Assignments []int32
+	// Iterations is the number of Lloyd iterations actually executed.
+	Iterations int
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+}
+
+// Options configures a clustering run.
+type Options struct {
+	K        int
+	MaxIters int
+	Seed     int64
+	// Tolerance stops iterating when the relative improvement of inertia
+	// drops below it. Default 1e-4.
+	Tolerance float64
+	// Workers bounds the parallelism of the assignment step. Default:
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o *Options) defaults(n int) {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.K > n {
+		o.K = n
+	}
+	if o.K < 1 {
+		o.K = 1
+	}
+}
+
+// Cluster runs K-means over the dataset.
+func Cluster(data Dataset, opts Options) (*Result, error) {
+	n := data.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty dataset")
+	}
+	dim := data.Dim()
+	if dim <= 0 {
+		return nil, fmt.Errorf("kmeans: zero dimensionality")
+	}
+	opts.defaults(n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Materialise the data once; clustering re-reads every vector each
+	// iteration, and fp16 decoding in the inner loop would dominate.
+	flat := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		data.At(i, flat[i*dim:(i+1)*dim])
+	}
+
+	centroids := seedPlusPlus(flat, n, dim, opts.K, rng)
+	assign := make([]int32, n)
+	prevInertia := math.Inf(1)
+	iters := 0
+	var inertia float64
+	for iters = 1; iters <= opts.MaxIters; iters++ {
+		inertia = assignAll(flat, n, dim, centroids, assign, opts.Workers)
+		recomputeCentroids(flat, n, dim, centroids, assign, rng)
+		if prevInertia-inertia <= opts.Tolerance*prevInertia {
+			break
+		}
+		prevInertia = inertia
+	}
+	cents := make([][]float32, opts.K)
+	for c := 0; c < opts.K; c++ {
+		cents[c] = append([]float32(nil), centroids[c*dim:(c+1)*dim]...)
+	}
+	return &Result{Centroids: cents, Assignments: assign, Iterations: iters, Inertia: inertia}, nil
+}
+
+// seedPlusPlus picks K initial centroids with the K-means++ strategy
+// (Arthur & Vassilvitskii, 2007), sampling candidates from a bounded subset
+// for large datasets to keep seeding cost proportional to K.
+func seedPlusPlus(flat []float32, n, dim, k int, rng *rand.Rand) []float32 {
+	sampleSize := n
+	maxSample := 20 * k
+	if maxSample < 1024 {
+		maxSample = 1024
+	}
+	var sample []int
+	if n > maxSample {
+		sample = rng.Perm(n)[:maxSample]
+		sampleSize = maxSample
+	} else {
+		sample = make([]int, n)
+		for i := range sample {
+			sample[i] = i
+		}
+	}
+
+	centroids := make([]float32, k*dim)
+	first := sample[rng.Intn(sampleSize)]
+	copy(centroids[:dim], flat[first*dim:(first+1)*dim])
+
+	minDist := make([]float64, sampleSize)
+	for i := range minDist {
+		minDist[i] = dist2(flat[sample[i]*dim:(sample[i]+1)*dim], centroids[:dim])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var chosen int
+		if total <= 0 {
+			chosen = sample[rng.Intn(sampleSize)]
+		} else {
+			r := rng.Float64() * total
+			idx := 0
+			for i, d := range minDist {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+			chosen = sample[idx]
+		}
+		copy(centroids[c*dim:(c+1)*dim], flat[chosen*dim:(chosen+1)*dim])
+		// Update min distances against the new centroid.
+		for i := range minDist {
+			d := dist2(flat[sample[i]*dim:(sample[i]+1)*dim], centroids[c*dim:(c+1)*dim])
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// assignAll assigns every vector to its nearest centroid, in parallel, and
+// returns the total inertia.
+func assignAll(flat []float32, n, dim int, centroids []float32, assign []int32, workers int) float64 {
+	k := len(centroids) / dim
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	inertias := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local float64
+			for i := lo; i < hi; i++ {
+				v := flat[i*dim : (i+1)*dim]
+				best := 0
+				bestD := math.Inf(1)
+				for c := 0; c < k; c++ {
+					d := dist2(v, centroids[c*dim:(c+1)*dim])
+					if d < bestD {
+						bestD = d
+						best = c
+					}
+				}
+				assign[i] = int32(best)
+				local += bestD
+			}
+			inertias[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, x := range inertias {
+		total += x
+	}
+	return total
+}
+
+// recomputeCentroids replaces each centroid with the mean of its members.
+// Empty clusters are re-seeded with a random vector.
+func recomputeCentroids(flat []float32, n, dim int, centroids []float32, assign []int32, rng *rand.Rand) {
+	k := len(centroids) / dim
+	sums := make([]float64, k*dim)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		c := int(assign[i])
+		counts[c]++
+		base := c * dim
+		v := flat[i*dim : (i+1)*dim]
+		for d := 0; d < dim; d++ {
+			sums[base+d] += float64(v[d])
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			// Re-seed an empty cluster.
+			j := rng.Intn(n)
+			copy(centroids[c*dim:(c+1)*dim], flat[j*dim:(j+1)*dim])
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			centroids[c*dim+d] = float32(sums[c*dim+d] / float64(counts[c]))
+		}
+	}
+}
+
+func dist2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// TwoStageOptions configures the recursive K-means approximation.
+type TwoStageOptions struct {
+	// CoarseClusters is the number of first-stage clusters (the paper uses
+	// 256).
+	CoarseClusters int
+	// TotalSubClusters is the total number of leaf clusters across all
+	// coarse clusters (the x-axis of Figure 8).
+	TotalSubClusters int
+	MaxIters         int
+	Seed             int64
+	Workers          int
+}
+
+// TwoStage runs the recursive two-stage K-means: a coarse clustering
+// followed by an independent clustering of each coarse cluster, with the
+// number of sub-clusters proportional to the coarse cluster's size.
+func TwoStage(data Dataset, opts TwoStageOptions) (*Result, error) {
+	n := data.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty dataset")
+	}
+	if opts.CoarseClusters <= 0 {
+		opts.CoarseClusters = 256
+	}
+	if opts.TotalSubClusters < opts.CoarseClusters {
+		opts.TotalSubClusters = opts.CoarseClusters
+	}
+	coarse, err := Cluster(data, Options{
+		K:        opts.CoarseClusters,
+		MaxIters: opts.MaxIters,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dim := data.Dim()
+	members := make([][]int, opts.CoarseClusters)
+	for i, c := range coarse.Assignments {
+		members[c] = append(members[c], i)
+	}
+
+	out := &Result{Assignments: make([]int32, n), Iterations: coarse.Iterations}
+	next := int32(0)
+	for c, ids := range members {
+		if len(ids) == 0 {
+			continue
+		}
+		// Sub-cluster count proportional to the coarse cluster size.
+		subK := int(math.Round(float64(opts.TotalSubClusters) * float64(len(ids)) / float64(n)))
+		if subK < 1 {
+			subK = 1
+		}
+		if subK > len(ids) {
+			subK = len(ids)
+		}
+		sub := make(SliceDataset, len(ids))
+		for i, id := range ids {
+			v := make([]float32, dim)
+			data.At(id, v)
+			sub[i] = v
+		}
+		res, err := Cluster(sub, Options{
+			K:        subK,
+			MaxIters: opts.MaxIters,
+			Seed:     opts.Seed + int64(c) + 1,
+			Workers:  opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range ids {
+			out.Assignments[id] = next + res.Assignments[i]
+		}
+		for _, cent := range res.Centroids {
+			out.Centroids = append(out.Centroids, cent)
+		}
+		out.Inertia += res.Inertia
+		next += int32(subK)
+	}
+	return out, nil
+}
+
+// OrderByCluster produces a physical placement order: vectors sorted by
+// cluster, with ties broken by vector ID. Consecutive vectors of the same
+// cluster therefore share NVM blocks.
+func OrderByCluster(assignments []int32) []uint32 {
+	order := make([]uint32, len(assignments))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := assignments[order[a]], assignments[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

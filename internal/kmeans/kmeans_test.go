@@ -1,0 +1,245 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bandana/internal/table"
+)
+
+// makeBlobs builds an easily separable dataset of k Gaussian blobs.
+func makeBlobs(n, dim, k int, seed int64) (SliceDataset, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	centres := make([][]float64, k)
+	for c := range centres {
+		centres[c] = make([]float64, dim)
+		for d := range centres[c] {
+			centres[c][d] = rng.NormFloat64() * 10
+		}
+	}
+	data := make(SliceDataset, n)
+	truth := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		truth[i] = int32(c)
+		v := make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			v[d] = float32(centres[c][d] + rng.NormFloat64()*0.3)
+		}
+		data[i] = v
+	}
+	return data, truth
+}
+
+func TestClusterRecoversBlobs(t *testing.T) {
+	data, truth := makeBlobs(600, 8, 4, 1)
+	res, err := Cluster(data, Options{K: 4, MaxIters: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 4 || len(res.Assignments) != 600 {
+		t.Fatalf("result shape wrong")
+	}
+	// Clustering should be consistent with ground truth: vectors of the
+	// same true blob share a predicted cluster, and different blobs are in
+	// different clusters (check via purity).
+	purity := clusterPurity(res.Assignments, truth, 4)
+	if purity < 0.95 {
+		t.Fatalf("purity = %.3f, want >= 0.95", purity)
+	}
+	if res.Iterations < 1 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia should be positive, got %g", res.Inertia)
+	}
+}
+
+func clusterPurity(pred, truth []int32, k int) float64 {
+	// For each predicted cluster, count its dominant true label.
+	counts := map[int32]map[int32]int{}
+	for i := range pred {
+		if counts[pred[i]] == nil {
+			counts[pred[i]] = map[int32]int{}
+		}
+		counts[pred[i]][truth[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(SliceDataset{}, Options{K: 2}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	if _, err := Cluster(SliceDataset{{}}, Options{K: 1}); err == nil {
+		t.Fatal("zero-dim dataset should error")
+	}
+}
+
+func TestClusterKClamping(t *testing.T) {
+	data, _ := makeBlobs(10, 4, 2, 3)
+	res, err := Cluster(data, Options{K: 100, MaxIters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 10 {
+		t.Fatalf("K should clamp to n, got %d centroids", len(res.Centroids))
+	}
+	res, err = Cluster(data, Options{K: 0, MaxIters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 1 {
+		t.Fatalf("K=0 should clamp to 1")
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatalf("all assignments should be 0 with one cluster")
+		}
+	}
+}
+
+func TestClusterDeterministicInSeed(t *testing.T) {
+	data, _ := makeBlobs(300, 8, 3, 5)
+	a, _ := Cluster(data, Options{K: 3, MaxIters: 15, Seed: 9})
+	b, _ := Cluster(data, Options{K: 3, MaxIters: 15, Seed: 9})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignments differ at %d", i)
+		}
+	}
+}
+
+func TestClusterInertiaDecreasesWithMoreClusters(t *testing.T) {
+	data, _ := makeBlobs(500, 8, 8, 7)
+	r2, _ := Cluster(data, Options{K: 2, MaxIters: 15, Seed: 1})
+	r16, _ := Cluster(data, Options{K: 16, MaxIters: 15, Seed: 1})
+	if r16.Inertia >= r2.Inertia {
+		t.Fatalf("inertia with 16 clusters (%.1f) should be below 2 clusters (%.1f)",
+			r16.Inertia, r2.Inertia)
+	}
+}
+
+func TestTwoStageCoversAllVectors(t *testing.T) {
+	data, truth := makeBlobs(800, 8, 4, 11)
+	res, err := TwoStage(data, TwoStageOptions{CoarseClusters: 4, TotalSubClusters: 32, MaxIters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 800 {
+		t.Fatalf("assignments length %d", len(res.Assignments))
+	}
+	maxCluster := int32(-1)
+	for _, a := range res.Assignments {
+		if a < 0 {
+			t.Fatalf("negative assignment")
+		}
+		if a > maxCluster {
+			maxCluster = a
+		}
+	}
+	if int(maxCluster)+1 < 4 {
+		t.Fatalf("expected at least 4 leaf clusters, got %d", maxCluster+1)
+	}
+	if int(maxCluster)+1 > 64 {
+		t.Fatalf("far more leaf clusters than requested: %d", maxCluster+1)
+	}
+	// Sub-clustering must still respect the coarse structure: purity
+	// against ground truth stays high.
+	if p := clusterPurity(res.Assignments, truth, 4); p < 0.9 {
+		t.Fatalf("two-stage purity %.3f too low", p)
+	}
+}
+
+func TestTwoStageDefaultsAndErrors(t *testing.T) {
+	if _, err := TwoStage(SliceDataset{}, TwoStageOptions{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	data, _ := makeBlobs(100, 4, 2, 1)
+	res, err := TwoStage(data, TwoStageOptions{CoarseClusters: 8, TotalSubClusters: 4, MaxIters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 100 {
+		t.Fatalf("assignment length")
+	}
+}
+
+func TestOrderByCluster(t *testing.T) {
+	assignments := []int32{2, 0, 1, 0, 2, 1}
+	order := OrderByCluster(assignments)
+	if len(order) != 6 {
+		t.Fatalf("order length %d", len(order))
+	}
+	// Expected: cluster 0 -> vectors 1,3; cluster 1 -> 2,5; cluster 2 -> 0,4.
+	want := []uint32{1, 3, 2, 5, 0, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOrderByClusterIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	assignments := make([]int32, 500)
+	for i := range assignments {
+		assignments[i] = int32(rng.Intn(17))
+	}
+	order := OrderByCluster(assignments)
+	seen := make([]bool, 500)
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in order", id)
+		}
+		seen[id] = true
+	}
+	// Cluster IDs must be non-decreasing along the order.
+	for i := 1; i < len(order); i++ {
+		if assignments[order[i]] < assignments[order[i-1]] {
+			t.Fatalf("order not grouped by cluster at %d", i)
+		}
+	}
+}
+
+func TestTableDatasetAdapter(t *testing.T) {
+	g := table.Generate("t", table.GenerateOptions{NumVectors: 400, Dim: 16, NumClusters: 4, ClusterSpread: 0.1, Seed: 13})
+	ds := TableDataset{Table: g.Table}
+	if ds.Len() != 400 || ds.Dim() != 16 {
+		t.Fatalf("adapter shape wrong")
+	}
+	res, err := Cluster(ds, Options{K: 4, MaxIters: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered clusters should align well with the generator's ground
+	// truth communities.
+	if p := clusterPurity(res.Assignments, g.Assignments, 4); p < 0.9 {
+		t.Fatalf("purity against generated clusters = %.3f", p)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if d := dist2([]float32{0, 0}, []float32{3, 4}); math.Abs(d-25) > 1e-9 {
+		t.Fatalf("dist2 = %g, want 25", d)
+	}
+}
+
+func BenchmarkClusterK64(b *testing.B) {
+	data, _ := makeBlobs(2000, 32, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(data, Options{K: 64, MaxIters: 5, Seed: 1})
+	}
+}

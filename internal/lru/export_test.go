@@ -1,0 +1,4 @@
+package lru
+
+// CheckInvariants exposes the internal consistency check to tests.
+func (c *Cache[K, V]) CheckInvariants() error { return c.checkInvariants() }

@@ -1,0 +1,283 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for capacity 0")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestAddGetBasic(t *testing.T) {
+	c := New[int, string](3)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("get(1) = %q,%v", v, ok)
+	}
+	if _, ok := c.Get(99); ok {
+		t.Fatalf("get(99) should miss")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionOrderIsLRU(t *testing.T) {
+	c := NewSegmented[int, int](3, 1, nil)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	c.Get(1) // promote 1; LRU order now 2,3,1 from oldest
+	evicted, was := c.Add(4, 4)
+	if !was || evicted != 2 {
+		t.Fatalf("evicted %v (%v), want 2", evicted, was)
+	}
+	if c.Contains(2) {
+		t.Fatalf("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatalf("unexpected contents %v", c.Keys())
+	}
+}
+
+func TestAddExistingUpdatesValueWithoutEviction(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	if _, was := c.Add(1, 11); was {
+		t.Fatalf("re-adding existing key must not evict")
+	}
+	if v, _ := c.Peek(1); v != 11 {
+		t.Fatalf("value not updated: %d", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPeekAndContainsDoNotPromote(t *testing.T) {
+	c := NewSegmented[int, int](2, 1, nil)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Peek(1)
+	c.Contains(1)
+	// 1 is still the LRU item, so it gets evicted.
+	evicted, was := c.Add(3, 3)
+	if !was || evicted != 1 {
+		t.Fatalf("evicted %v, want 1", evicted)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 1)
+	if !c.Remove(1) {
+		t.Fatalf("remove(1) should succeed")
+	}
+	if c.Remove(1) {
+		t.Fatalf("second remove should fail")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictCallback(t *testing.T) {
+	var evictedKeys []int
+	c := NewSegmented[int, int](2, 1, func(k int, v int) { evictedKeys = append(evictedKeys, k) })
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	if len(evictedKeys) != 1 || evictedKeys[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evictedKeys)
+	}
+	// Explicit Remove must not fire the callback.
+	c.Remove(2)
+	if len(evictedKeys) != 1 {
+		t.Fatalf("Remove should not invoke the eviction callback")
+	}
+}
+
+func TestAddAtPositionalLifetime(t *testing.T) {
+	// An item inserted near the LRU end should be evicted before items
+	// inserted at the MRU end.
+	c := New[int, int](100)
+	for i := 0; i < 100; i++ {
+		c.Add(i, i)
+	}
+	c.AddAt(1000, 1000, 0.95) // near the bottom of the queue
+	// Insert a handful of new MRU items; 1000 should fall out quickly.
+	for i := 100; i < 112; i++ {
+		c.Add(i, i)
+	}
+	if c.Contains(1000) {
+		t.Fatalf("item inserted at position 0.95 should already be evicted")
+	}
+
+	c2 := New[int, int](100)
+	for i := 0; i < 100; i++ {
+		c2.Add(i, i)
+	}
+	c2.AddAt(1000, 1000, 0.0)
+	for i := 100; i < 112; i++ {
+		c2.Add(i, i)
+	}
+	if !c2.Contains(1000) {
+		t.Fatalf("item inserted at position 0 should still be cached")
+	}
+}
+
+func TestAddAtClampsPosition(t *testing.T) {
+	c := New[int, int](10)
+	c.AddAt(1, 1, -5)
+	c.AddAt(2, 2, 7)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatalf("clamped positions should still insert")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New[int, int](50)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.Add(rng.Intn(200), i)
+		case 1:
+			c.AddAt(rng.Intn(200), i, rng.Float64())
+		case 2:
+			c.Get(rng.Intn(200))
+		case 3:
+			c.Remove(rng.Intn(200))
+		}
+		if c.Len() > c.Cap() {
+			t.Fatalf("capacity exceeded: %d > %d", c.Len(), c.Cap())
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysOrderedMRUFirstWithinSingleSegment(t *testing.T) {
+	c := NewSegmented[int, int](4, 1, nil)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	c.Get(1)
+	keys := c.Keys()
+	if keys[0] != 1 {
+		t.Fatalf("MRU key should be 1, got %v", keys)
+	}
+	if keys[len(keys)-1] != 2 {
+		t.Fatalf("LRU key should be 2, got %v", keys)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int, int](4)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Clear()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Fatalf("clear failed")
+	}
+	c.Add(3, 3)
+	if !c.Contains(3) {
+		t.Fatalf("cache unusable after clear")
+	}
+}
+
+func TestPropertyInvariantsUnderRandomOps(t *testing.T) {
+	prop := func(ops []uint16, capSeed uint8) bool {
+		capacity := int(capSeed%64) + 1
+		c := NewSegmented[int, int](capacity, 8, nil)
+		for i, op := range ops {
+			key := int(op % 128)
+			switch op % 5 {
+			case 0, 1:
+				c.Add(key, i)
+			case 2:
+				c.AddAt(key, i, float64(op%100)/100)
+			case 3:
+				c.Get(key)
+			case 4:
+				c.Remove(key)
+			}
+		}
+		return c.CheckInvariants() == nil && c.Len() <= capacity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowBasics(t *testing.T) {
+	s := NewShadow[uint64](3)
+	if s.Access(1) {
+		t.Fatalf("first access should be a miss")
+	}
+	if !s.Access(1) {
+		t.Fatalf("second access should be a hit")
+	}
+	s.Access(2)
+	s.Access(3)
+	s.Access(4) // evicts 1 (2 was LRU? no: order after accesses: 1 MRU? ...)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if s.Cap() != 3 {
+		t.Fatalf("cap = %d", s.Cap())
+	}
+}
+
+func TestShadowEvictsLRUKey(t *testing.T) {
+	s := NewShadow[int](2)
+	s.Access(1)
+	s.Access(2)
+	s.Access(1) // 2 is now LRU
+	s.Access(3) // evicts 2
+	if s.Contains(2) {
+		t.Fatalf("2 should have been evicted")
+	}
+	if !s.Contains(1) || !s.Contains(3) {
+		t.Fatalf("unexpected shadow contents")
+	}
+}
+
+func BenchmarkCacheAdd(b *testing.B) {
+	c := New[uint64, struct{}](1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i)&0x3FFFF, struct{}{})
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New[uint64, int](1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		c.Add(uint64(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(uint64(i) & 0xFFFF)
+	}
+}

@@ -1,0 +1,37 @@
+package lru
+
+// Shadow is a keys-only LRU queue. Bandana uses it to simulate a cache that
+// receives only explicitly requested vectors (no prefetches) and consults it
+// when deciding whether a prefetched vector is worth admitting (§4.3.1).
+//
+// The shadow queue stores only vector indices, so its memory overhead is a
+// small fraction of the real cache even when it is sized 1.5-2x larger.
+type Shadow[K comparable] struct {
+	c *Cache[K, struct{}]
+}
+
+// NewShadow creates a shadow queue with the given capacity.
+func NewShadow[K comparable](capacity int) *Shadow[K] {
+	return &Shadow[K]{c: NewSegmented[K, struct{}](capacity, 1, nil)}
+}
+
+// Access records an access to key: if present it is promoted, otherwise it
+// is inserted at the MRU position (possibly evicting the LRU key). It
+// reports whether the key was already present (i.e. a shadow hit).
+func (s *Shadow[K]) Access(key K) bool {
+	if s.c.Touch(key) {
+		return true
+	}
+	s.c.Add(key, struct{}{})
+	return false
+}
+
+// Contains reports whether key is currently in the shadow queue without
+// affecting recency.
+func (s *Shadow[K]) Contains(key K) bool { return s.c.Contains(key) }
+
+// Len returns the number of keys tracked.
+func (s *Shadow[K]) Len() int { return s.c.Len() }
+
+// Cap returns the capacity.
+func (s *Shadow[K]) Cap() int { return s.c.Cap() }

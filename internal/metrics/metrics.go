@@ -1,0 +1,296 @@
+// Package metrics provides lightweight measurement primitives used across
+// Bandana: streaming counters, latency histograms with percentile queries,
+// and simple rate/ratio trackers.
+//
+// All types are safe for concurrent use unless stated otherwise; the
+// experiment harness and the store's hot path both record into them.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (which must be >= 0).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a settable 64-bit value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Ratio tracks a numerator/denominator pair (e.g. hits/accesses).
+type Ratio struct {
+	num Counter
+	den Counter
+}
+
+// Observe records one event; hit indicates whether it counts toward the
+// numerator.
+func (r *Ratio) Observe(hit bool) {
+	if hit {
+		r.num.Inc()
+	}
+	r.den.Inc()
+}
+
+// Add records bulk events.
+func (r *Ratio) Add(num, den int64) {
+	r.num.Add(num)
+	r.den.Add(den)
+}
+
+// Value returns the current ratio, or 0 if nothing was recorded.
+func (r *Ratio) Value() float64 {
+	d := r.den.Value()
+	if d == 0 {
+		return 0
+	}
+	return float64(r.num.Value()) / float64(d)
+}
+
+// Num returns the numerator.
+func (r *Ratio) Num() int64 { return r.num.Value() }
+
+// Den returns the denominator.
+func (r *Ratio) Den() int64 { return r.den.Value() }
+
+// Reset clears both counters.
+func (r *Ratio) Reset() {
+	r.num.Reset()
+	r.den.Reset()
+}
+
+// Histogram is a log-linear histogram of non-negative values (latencies in
+// microseconds, sizes in bytes, ...). It supports approximate percentile
+// queries with bounded relative error determined by the bucket layout:
+// buckets grow geometrically by `growth` starting at `first`.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with geometric bucket bounds
+// [first, first*growth, ...] until maxBound is covered. growth must be > 1.
+func NewHistogram(first, growth, maxBound float64) *Histogram {
+	if first <= 0 || growth <= 1 || maxBound <= first {
+		panic("metrics: invalid histogram parameters")
+	}
+	var bounds []float64
+	for b := first; b < maxBound*growth; b *= growth {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram suitable for microsecond latencies
+// between ~1us and ~10s with ~5% relative bucket error.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(1, 1.05, 1e7)
+}
+
+// Observe records a single value.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations (0 if empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an approximation of the q-th quantile (0 <= q <= 1).
+// The answer is the upper bound of the bucket containing the quantile, which
+// overestimates by at most one bucket's relative width.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// P50 is shorthand for Quantile(0.50).
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}
+
+// Snapshot is an immutable summary of a histogram.
+type Snapshot struct {
+	Count int64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P99   float64
+}
+
+// Snapshot captures the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Welford computes a streaming mean/variance (not concurrency-safe; used by
+// single-threaded experiment code).
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a new observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance (0 if fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }

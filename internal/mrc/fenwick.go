@@ -1,0 +1,38 @@
+package mrc
+
+// fenwick is a binary indexed tree over int64 counts, used to count the
+// number of distinct keys accessed inside a time window in O(log n).
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int64, n+1)}
+}
+
+// add adds delta at position i (1-based).
+func (f *fenwick) add(i int, delta int64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions 1..i.
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	if i >= len(f.tree) {
+		i = len(f.tree) - 1
+	}
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum of positions lo..hi inclusive (1-based).
+func (f *fenwick) rangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,21 @@
+package mrc
+
+import "math"
+
+// SampleFilter returns a deterministic spatial-sampling predicate that
+// selects approximately `rate` of all vector IDs (SHARDS-style hashing).
+// A rate >= 1 selects everything; a rate <= 0 selects nothing.
+//
+// The same filter is used by the miniature-cache simulations: filtering the
+// lookup stream and scaling the cache size by the same rate yields a small
+// simulation whose hit-rate behaviour tracks the full-size cache.
+func SampleFilter(rate float64) func(id uint32) bool {
+	if rate >= 1 {
+		return func(uint32) bool { return true }
+	}
+	if rate <= 0 {
+		return func(uint32) bool { return false }
+	}
+	threshold := uint64(rate * float64(math.MaxUint64))
+	return func(id uint32) bool { return hash64(uint64(id)) <= threshold }
+}

@@ -1,0 +1,164 @@
+package nvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"bandana/internal/metrics"
+)
+
+// DeviceConfig configures a simulated NVM device.
+type DeviceConfig struct {
+	// NumBlocks is the device capacity in 4 KB blocks.
+	NumBlocks int
+	// Store optionally supplies the backing storage; a MemStore of NumBlocks
+	// is created when nil.
+	Store BlockStore
+	// Model optionally supplies the performance model; the default
+	// calibration is used when nil.
+	Model *PerformanceModel
+	// Seed seeds the latency sampler.
+	Seed int64
+	// EnduranceDWPD is the number of full drive writes per day the device
+	// tolerates (the paper quotes ~30). Used only for reporting.
+	EnduranceDWPD float64
+}
+
+// Device is a simulated block NVM device: a block store plus a performance
+// model plus accounting. All methods are safe for concurrent use.
+type Device struct {
+	store BlockStore
+	model *PerformanceModel
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	inflight atomic.Int64
+
+	blocksRead    metrics.Counter
+	blocksWritten metrics.Counter
+	readLatency   *metrics.Histogram
+
+	enduranceDWPD float64
+}
+
+// NewDevice creates a simulated device.
+func NewDevice(cfg DeviceConfig) *Device {
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore(cfg.NumBlocks)
+	}
+	model := cfg.Model
+	if model == nil {
+		model = NewPerformanceModel(nil)
+	}
+	dwpd := cfg.EnduranceDWPD
+	if dwpd <= 0 {
+		dwpd = 30
+	}
+	return &Device{
+		store:         store,
+		model:         model,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		readLatency:   metrics.NewLatencyHistogram(),
+		enduranceDWPD: dwpd,
+	}
+}
+
+// NumBlocks returns the device capacity in blocks.
+func (d *Device) NumBlocks() int { return d.store.NumBlocks() }
+
+// CapacityBytes returns the device capacity in bytes.
+func (d *Device) CapacityBytes() int64 { return int64(d.store.NumBlocks()) * BlockSize }
+
+// Model returns the device's performance model.
+func (d *Device) Model() *PerformanceModel { return d.model }
+
+// ReadBlock reads block idx into dst (>= BlockSize bytes) and returns the
+// simulated latency in microseconds. The latency depends on how many reads
+// are concurrently outstanding, mirroring the queue-depth behaviour of the
+// real device.
+func (d *Device) ReadBlock(idx int, dst []byte) (latencyUS float64, err error) {
+	return d.ReadBlockQD(idx, dst, 1)
+}
+
+// ReadBlockQD is like ReadBlock but lets the caller declare the queue depth
+// it is driving the device at (e.g. a Fio-style benchmark with a configured
+// iodepth). The effective queue depth used for latency sampling is the
+// larger of the declared depth and the number of reads actually in flight.
+func (d *Device) ReadBlockQD(idx int, dst []byte, queueDepth int) (latencyUS float64, err error) {
+	inflight := int(d.inflight.Add(1))
+	defer d.inflight.Add(-1)
+	if queueDepth > inflight {
+		inflight = queueDepth
+	}
+
+	if err := d.store.ReadBlock(idx, dst); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	latencyUS = d.model.SampleLatencyUS(d.rng, inflight)
+	d.mu.Unlock()
+
+	d.blocksRead.Inc()
+	d.readLatency.Observe(latencyUS)
+	return latencyUS, nil
+}
+
+// WriteBlock writes src as block idx.
+func (d *Device) WriteBlock(idx int, src []byte) error {
+	if err := d.store.WriteBlock(idx, src); err != nil {
+		return err
+	}
+	d.blocksWritten.Inc()
+	return nil
+}
+
+// Close releases the backing store.
+func (d *Device) Close() error { return d.store.Close() }
+
+// Stats is a snapshot of device counters.
+type Stats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	BytesRead     int64
+	BytesWritten  int64
+	ReadLatency   metrics.Snapshot
+	// DriveWrites is the number of full-device overwrites performed so far.
+	DriveWrites float64
+	// EnduranceDWPD is the configured endurance budget (writes/day).
+	EnduranceDWPD float64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	br := d.blocksRead.Value()
+	bw := d.blocksWritten.Value()
+	s := Stats{
+		BlocksRead:    br,
+		BlocksWritten: bw,
+		BytesRead:     br * BlockSize,
+		BytesWritten:  bw * BlockSize,
+		ReadLatency:   d.readLatency.Snapshot(),
+		EnduranceDWPD: d.enduranceDWPD,
+	}
+	if cap := d.CapacityBytes(); cap > 0 {
+		s.DriveWrites = float64(s.BytesWritten) / float64(cap)
+	}
+	return s
+}
+
+// ResetStats clears the device counters (capacity and contents are kept).
+func (d *Device) ResetStats() {
+	d.blocksRead.Reset()
+	d.blocksWritten.Reset()
+	d.readLatency.Reset()
+}
+
+// String describes the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("nvm device: %d blocks (%.1f GB), %s",
+		d.NumBlocks(), float64(d.CapacityBytes())/1e9, d.model)
+}

@@ -1,0 +1,136 @@
+package nvm
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// BlockStore is the backing storage of a simulated NVM device: a flat array
+// of fixed-size blocks. Implementations must be safe for concurrent use.
+type BlockStore interface {
+	// NumBlocks returns the number of addressable blocks.
+	NumBlocks() int
+	// ReadBlock copies block idx into dst (which must be BlockSize bytes).
+	ReadBlock(idx int, dst []byte) error
+	// WriteBlock stores src (at most BlockSize bytes) as block idx.
+	WriteBlock(idx int, src []byte) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is a RAM-backed block store. It is the default backing for the
+// simulated device: the latency/bandwidth behaviour comes from the
+// PerformanceModel, not from the backing medium.
+type MemStore struct {
+	mu   sync.RWMutex
+	data []byte
+	n    int
+}
+
+// NewMemStore creates a RAM-backed store with numBlocks blocks.
+func NewMemStore(numBlocks int) *MemStore {
+	if numBlocks <= 0 {
+		panic(fmt.Sprintf("nvm: invalid block count %d", numBlocks))
+	}
+	return &MemStore{data: make([]byte, numBlocks*BlockSize), n: numBlocks}
+}
+
+// NumBlocks implements BlockStore.
+func (s *MemStore) NumBlocks() int { return s.n }
+
+// ReadBlock implements BlockStore.
+func (s *MemStore) ReadBlock(idx int, dst []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("nvm: destination buffer too small: %d", len(dst))
+	}
+	s.mu.RLock()
+	copy(dst[:BlockSize], s.data[idx*BlockSize:])
+	s.mu.RUnlock()
+	return nil
+}
+
+// WriteBlock implements BlockStore.
+func (s *MemStore) WriteBlock(idx int, src []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(src) > BlockSize {
+		return fmt.Errorf("nvm: block write of %d bytes exceeds block size", len(src))
+	}
+	s.mu.Lock()
+	off := idx * BlockSize
+	copy(s.data[off:off+BlockSize], src)
+	// Zero the remainder so partial writes behave like full-block writes.
+	for i := off + len(src); i < off+BlockSize; i++ {
+		s.data[i] = 0
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements BlockStore.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed block store, useful when a table does not fit
+// in RAM or when persistence across runs is wanted.
+type FileStore struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+// NewFileStore creates (or truncates) a file-backed store at path.
+func NewFileStore(path string, numBlocks int) (*FileStore, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("nvm: invalid block count %d", numBlocks)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open file store: %w", err)
+	}
+	if err := f.Truncate(int64(numBlocks) * BlockSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: size file store: %w", err)
+	}
+	return &FileStore{f: f, n: numBlocks}, nil
+}
+
+// NumBlocks implements BlockStore.
+func (s *FileStore) NumBlocks() int { return s.n }
+
+// ReadBlock implements BlockStore.
+func (s *FileStore) ReadBlock(idx int, dst []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("nvm: destination buffer too small: %d", len(dst))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.ReadAt(dst[:BlockSize], int64(idx)*BlockSize)
+	return err
+}
+
+// WriteBlock implements BlockStore.
+func (s *FileStore) WriteBlock(idx int, src []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(src) > BlockSize {
+		return fmt.Errorf("nvm: block write of %d bytes exceeds block size", len(src))
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, src)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.WriteAt(buf, int64(idx)*BlockSize)
+	return err
+}
+
+// Close implements BlockStore.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,201 @@
+// Package server exposes a Bandana store over HTTP.
+//
+// In production, embedding stores sit behind an RPC layer that the ranking
+// tier calls once per request. This package provides a minimal JSON/HTTP
+// equivalent so the store can be exercised end to end (and load-tested) as a
+// network service:
+//
+//	GET  /healthz                        liveness probe
+//	GET  /v1/tables                      table inventory
+//	GET  /v1/lookup?table=T&id=N         single embedding vector
+//	POST /v1/batch                       {"table": "...", "ids": [...]}
+//	POST /v1/request                     {"lookups": [[...], [...], ...]} (one ID list per table)
+//	GET  /v1/stats                       per-table serving stats + NVM device stats
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bandana/internal/core"
+)
+
+// Server wraps a core.Store with HTTP handlers.
+type Server struct {
+	store *core.Store
+	mux   *http.ServeMux
+}
+
+// New creates a Server around an opened (and usually trained) store.
+func New(store *core.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/request", s.handleRequest)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler (for use with http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// tableInfo describes one table in the inventory response.
+type tableInfo struct {
+	Index        int    `json:"index"`
+	Name         string `json:"name"`
+	CacheVectors int    `json:"cacheVectors"`
+	Prefetching  bool   `json:"prefetching"`
+	Threshold    uint32 `json:"threshold"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	stats := s.store.Stats()
+	out := make([]tableInfo, len(stats))
+	for i, st := range stats {
+		out[i] = tableInfo{
+			Index:        i,
+			Name:         st.Name,
+			CacheVectors: st.CacheVectors,
+			Prefetching:  st.Prefetching,
+			Threshold:    st.Threshold,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookupResponse carries one embedding vector.
+type lookupResponse struct {
+	Table  string    `json:"table"`
+	ID     uint32    `json:"id"`
+	Vector []float32 `json:"vector"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	tableName := r.URL.Query().Get("table")
+	idStr := r.URL.Query().Get("id")
+	if tableName == "" || idStr == "" {
+		writeError(w, http.StatusBadRequest, "query parameters 'table' and 'id' are required")
+		return
+	}
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid id %q", idStr)
+		return
+	}
+	vec, err := s.store.LookupByName(tableName, uint32(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lookupResponse{Table: tableName, ID: uint32(id), Vector: vec})
+}
+
+// batchRequest asks for several vectors from one table.
+type batchRequest struct {
+	Table string   `json:"table"`
+	IDs   []uint32 `json:"ids"`
+}
+
+// batchResponse carries the vectors of a batch lookup.
+type batchResponse struct {
+	Table   string      `json:"table"`
+	Vectors [][]float32 `json:"vectors"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Table == "" || len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "'table' and non-empty 'ids' are required")
+		return
+	}
+	idx, err := s.store.TableIndex(req.Table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	vecs, err := s.store.LookupBatch(idx, req.IDs)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Table: req.Table, Vectors: vecs})
+}
+
+// rankingRequest is one full recommendation request: the vector IDs to read
+// from each table, by table index.
+type rankingRequest struct {
+	Lookups [][]uint32 `json:"lookups"`
+}
+
+// rankingResponse groups the returned vectors by table.
+type rankingResponse struct {
+	Tables [][][]float32 `json:"tables"`
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	var req rankingRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	out, err := s.store.ServeRequest(core.Request(req.Lookups))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
+}
+
+// statsResponse bundles per-table and device statistics.
+type statsResponse struct {
+	Tables []core.TableStats `json:"tables"`
+	Device deviceStats       `json:"device"`
+}
+
+type deviceStats struct {
+	BlocksRead    int64   `json:"blocksRead"`
+	BlocksWritten int64   `json:"blocksWritten"`
+	BytesRead     int64   `json:"bytesRead"`
+	DriveWrites   float64 `json:"driveWrites"`
+	EnduranceDWPD float64 `json:"enduranceDWPD"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	dev := s.store.DeviceStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Tables: s.store.Stats(),
+		Device: deviceStats{
+			BlocksRead:    dev.BlocksRead,
+			BlocksWritten: dev.BlocksWritten,
+			BytesRead:     dev.BytesRead,
+			DriveWrites:   dev.DriveWrites,
+			EnduranceDWPD: dev.EnduranceDWPD,
+		},
+	})
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bandana/internal/core"
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// newTestServer builds a small store and wraps it in a test HTTP server.
+func newTestServer(t *testing.T) (*httptest.Server, []*table.Table) {
+	t.Helper()
+	tables := make([]*table.Table, 2)
+	for i := range tables {
+		p := trace.Profile{
+			Name: "t" + string(rune('A'+i)), NumVectors: 2048, AvgLookups: 16,
+			CompulsoryMissFrac: 0.1, Locality: 0.9, CommunitySize: 64, ReuseSkew: 3, Seed: int64(i + 1),
+		}
+		g := table.Generate(p.Name, table.GenerateOptions{
+			NumVectors: p.NumVectors, Dim: 16, NumClusters: 32, Seed: int64(i),
+		})
+		tables[i] = g.Table
+	}
+	store, err := core.Open(core.Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(New(store).Handler())
+	t.Cleanup(ts.Close)
+	return ts, tables
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("health payload %v", out)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out []tableInfo
+	if code := getJSON(t, ts.URL+"/v1/tables", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out) != 2 || out[0].Name != "tA" || out[1].Index != 1 {
+		t.Fatalf("tables payload %+v", out)
+	}
+}
+
+func TestLookupEndpoint(t *testing.T) {
+	ts, tables := newTestServer(t)
+	var out lookupResponse
+	if code := getJSON(t, ts.URL+"/v1/lookup?table=tA&id=5", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want, _ := tables[0].Vector(5)
+	if len(out.Vector) != len(want) {
+		t.Fatalf("vector length %d", len(out.Vector))
+	}
+	for d := range want {
+		if out.Vector[d] != want[d] {
+			t.Fatalf("element %d mismatch", d)
+		}
+	}
+	// Error cases.
+	if code := getJSON(t, ts.URL+"/v1/lookup?table=tA", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing id should be 400, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?table=tA&id=abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id should be 400, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?table=nosuch&id=1", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown table should be 404, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?table=tA&id=999999", nil); code != http.StatusNotFound {
+		t.Fatalf("out-of-range id should be 404, got %d", code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, tables := newTestServer(t)
+	var out batchResponse
+	code := postJSON(t, ts.URL+"/v1/batch", batchRequest{Table: "tB", IDs: []uint32{1, 2, 3}}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Vectors) != 3 {
+		t.Fatalf("got %d vectors", len(out.Vectors))
+	}
+	want, _ := tables[1].Vector(2)
+	for d := range want {
+		if out.Vectors[1][d] != want[d] {
+			t.Fatalf("batch vector mismatch at %d", d)
+		}
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", batchRequest{Table: "tB"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty ids should be 400, got %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", batchRequest{Table: "zzz", IDs: []uint32{1}}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown table should be 404, got %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", batchRequest{Table: "tB", IDs: []uint32{999999}}, nil); code != http.StatusNotFound {
+		t.Fatalf("bad id should be 404, got %d", code)
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON should be 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestRequestEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out rankingResponse
+	code := postJSON(t, ts.URL+"/v1/request", rankingRequest{Lookups: [][]uint32{{1, 2}, {7}}}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Tables) != 2 || len(out.Tables[0]) != 2 || len(out.Tables[1]) != 1 {
+		t.Fatalf("request payload shape wrong: %d tables", len(out.Tables))
+	}
+	if code := postJSON(t, ts.URL+"/v1/request", rankingRequest{Lookups: [][]uint32{{1}, {1}, {1}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("too many tables should be 400, got %d", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Generate some traffic first.
+	getJSON(t, ts.URL+"/v1/lookup?table=tA&id=1", nil)
+	getJSON(t, ts.URL+"/v1/lookup?table=tA&id=1", nil)
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("stats cover %d tables", len(out.Tables))
+	}
+	if out.Tables[0].Lookups != 2 || out.Tables[0].Hits != 1 {
+		t.Fatalf("stats not tracking traffic: %+v", out.Tables[0])
+	}
+	if out.Device.BlocksRead == 0 {
+		t.Fatalf("device stats missing")
+	}
+	if out.Device.EnduranceDWPD <= 0 {
+		t.Fatalf("endurance budget missing")
+	}
+}

@@ -1,0 +1,378 @@
+// Package shp implements the supervised partitioner Bandana uses in
+// production: a Social Hash Partitioner (Kabiljo et al., VLDB 2017) over the
+// lookup hypergraph.
+//
+// Vertices are embedding vectors; hyperedges are queries (the set of vectors
+// a single request looked up). The goal is a balanced partition of the
+// vectors into NVM blocks that minimises the average *fanout* — the number
+// of distinct blocks a query has to read (Equation 3 of the Bandana paper).
+//
+// The algorithm is recursive balanced bisection: starting from one bucket
+// holding every vector, each bucket is repeatedly split into two equal
+// halves. A split is refined with a configurable number of swap iterations:
+// each iteration computes, for every vertex, the fanout gain of moving it to
+// the other side, and then swaps the highest-gain pairs so the two sides
+// stay balanced. Recursion stops when buckets reach the target block size
+// (32 vectors for 128 B vectors in 4 KB blocks). Sibling buckets are refined
+// in parallel.
+package shp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options configures a partitioning run.
+type Options struct {
+	// BlockVectors is the target number of vectors per block (bucket leaf
+	// size). Defaults to 32.
+	BlockVectors int
+	// Iterations is the number of swap-refinement iterations per bisection
+	// level (the paper uses 16).
+	Iterations int
+	// Seed drives the initial random split.
+	Seed int64
+	// Workers bounds the number of buckets refined concurrently. Defaults
+	// to GOMAXPROCS.
+	Workers int
+	// MaxSwapFraction caps the fraction of a side that may be swapped in a
+	// single iteration (guards against oscillation). Defaults to 0.2.
+	MaxSwapFraction float64
+}
+
+func (o *Options) defaults() {
+	if o.BlockVectors <= 0 {
+		o.BlockVectors = 32
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxSwapFraction <= 0 || o.MaxSwapFraction > 1 {
+		o.MaxSwapFraction = 0.2
+	}
+}
+
+// Result is the outcome of a partitioning run.
+type Result struct {
+	// Order is the physical placement: Order[pos] = vector ID.
+	Order []uint32
+	// Levels is the number of bisection levels performed.
+	Levels int
+	// InitialFanout and FinalFanout are the average query fanout before and
+	// after partitioning, measured on the training queries with the target
+	// block size.
+	InitialFanout float64
+	FinalFanout   float64
+}
+
+// Partition partitions numVectors vectors using the training queries.
+// Vectors that never appear in a query are appended at arbitrary positions
+// in blocks with free space, as in the paper (§4.3.2).
+func Partition(numVectors int, queries [][]uint32, opts Options) (*Result, error) {
+	if numVectors <= 0 {
+		return nil, fmt.Errorf("shp: no vectors to partition")
+	}
+	opts.defaults()
+	for qi, q := range queries {
+		for _, id := range q {
+			if int(id) >= numVectors {
+				return nil, fmt.Errorf("shp: query %d references vector %d outside table of %d", qi, id, numVectors)
+			}
+		}
+	}
+
+	p := &partitioner{
+		n:       numVectors,
+		queries: queries,
+		opts:    opts,
+	}
+	order := p.run()
+
+	res := &Result{Order: order, Levels: p.levels}
+	// Fanout measured against the training hypergraph.
+	res.InitialFanout = averageFanout(identityOrder(numVectors), queries, opts.BlockVectors)
+	res.FinalFanout = averageFanout(order, queries, opts.BlockVectors)
+	return res, nil
+}
+
+func identityOrder(n int) []uint32 {
+	o := make([]uint32, n)
+	for i := range o {
+		o[i] = uint32(i)
+	}
+	return o
+}
+
+// averageFanout computes the mean number of distinct blocks per query for a
+// given placement order.
+func averageFanout(order []uint32, queries [][]uint32, blockVectors int) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	pos := make([]uint32, len(order))
+	for p, id := range order {
+		pos[id] = uint32(p)
+	}
+	var total int64
+	seen := make(map[uint32]struct{}, 64)
+	for _, q := range queries {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, id := range q {
+			seen[pos[id]/uint32(blockVectors)] = struct{}{}
+		}
+		total += int64(len(seen))
+	}
+	return float64(total) / float64(len(queries))
+}
+
+// partitioner holds the shared state of one run.
+type partitioner struct {
+	n       int
+	queries [][]uint32
+	opts    Options
+	levels  int
+}
+
+// bucket is a contiguous range of the working order slice under refinement.
+type bucket struct {
+	vertices []uint32 // vector IDs in this bucket (mutated in place)
+	queries  [][]uint32
+	depth    int
+}
+
+func (p *partitioner) run() []uint32 {
+	// Start with all vectors in one bucket. Vectors that appear in queries
+	// come first (they carry signal); untouched vectors are appended at the
+	// end so they fill whatever blocks remain — the paper notes SHP places
+	// rarely-accessed vectors arbitrarily.
+	appears := make([]bool, p.n)
+	for _, q := range p.queries {
+		for _, id := range q {
+			appears[id] = true
+		}
+	}
+	touched := make([]uint32, 0, p.n)
+	untouched := make([]uint32, 0)
+	for id := 0; id < p.n; id++ {
+		if appears[id] {
+			touched = append(touched, uint32(id))
+		} else {
+			untouched = append(untouched, uint32(id))
+		}
+	}
+	all := append(touched, untouched...)
+
+	root := &bucket{vertices: all, queries: p.queries, depth: 0}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.opts.Workers)
+	var maxDepth int
+	var mu sync.Mutex
+
+	var recurse func(b *bucket)
+	recurse = func(b *bucket) {
+		mu.Lock()
+		if b.depth > maxDepth {
+			maxDepth = b.depth
+		}
+		mu.Unlock()
+		if len(b.vertices) <= p.opts.BlockVectors {
+			return
+		}
+		left, right := p.bisect(b)
+		// Refine children concurrently when workers are available.
+		wg.Add(1)
+		select {
+		case sem <- struct{}{}:
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				recurse(left)
+			}()
+		default:
+			recurse(left)
+			wg.Done()
+		}
+		recurse(right)
+	}
+	recurse(root)
+	wg.Wait()
+	p.levels = maxDepth + 1
+	return root.vertices
+}
+
+// bisect splits a bucket's vertices (in place) into two balanced halves with
+// minimised fanout, and returns child buckets that alias the two halves.
+func (p *partitioner) bisect(b *bucket) (*bucket, *bucket) {
+	n := len(b.vertices)
+	half := n / 2
+
+	// Local indexing: vertex -> local position. side[i] is 0 (left) or 1.
+	localOf := make(map[uint32]int32, n)
+	for i, v := range b.vertices {
+		localOf[v] = int32(i)
+	}
+
+	// Initial split: order vertices by the first query (hyperedge) they
+	// appear in, so that vertices co-accessed by the same queries start on
+	// the same side, then assign the first half to side 0. The swap
+	// refinement below polishes this seed; starting from co-access order
+	// rather than a random split converges to far lower fanout.
+	side := make([]uint8, n)
+	firstSeen := make([]int32, n)
+	for i := range firstSeen {
+		firstSeen[i] = int32(len(b.queries)) + int32(i%2) // unseen vertices alternate sides
+	}
+	for qi, q := range b.queries {
+		for _, id := range q {
+			if li, ok := localOf[id]; ok && firstSeen[li] >= int32(len(b.queries)) {
+				firstSeen[li] = int32(qi)
+			}
+		}
+	}
+	byFirst := make([]int32, n)
+	for i := range byFirst {
+		byFirst[i] = int32(i)
+	}
+	sort.SliceStable(byFirst, func(a, b int) bool { return firstSeen[byFirst[a]] < firstSeen[byFirst[b]] })
+	for rank, li := range byFirst {
+		if rank >= half {
+			side[li] = 1
+		}
+	}
+
+	// Restrict queries to this bucket's vertices (in local indices); drop
+	// queries with fewer than 2 local members, they cannot affect fanout.
+	local := make([][]int32, 0, len(b.queries))
+	for _, q := range b.queries {
+		var lq []int32
+		for _, id := range q {
+			if li, ok := localOf[id]; ok {
+				lq = append(lq, li)
+			}
+		}
+		if len(lq) >= 2 {
+			local = append(local, lq)
+		}
+	}
+
+	// Refinement uses the Social Hash Partitioner's smoothed move gain: for
+	// a query with cntSame co-located vertices (including v) and cntOther
+	// vertices on the far side, moving v is worth
+	//
+	//	p^(cntSame-1) - p^cntOther        (p = 0.5)
+	//
+	// which reduces to the exact fanout delta when the counts are 0/1 but,
+	// unlike the exact delta, still provides a gradient when queries span
+	// both sides — exactly the situation at the top bisection levels.
+	const moveP = 0.5
+	pow := make([]float64, 64)
+	pow[0] = 1
+	for i := 1; i < len(pow); i++ {
+		pow[i] = pow[i-1] * moveP
+	}
+	powAt := func(k int32) float64 {
+		if int(k) >= len(pow) {
+			return 0
+		}
+		return pow[k]
+	}
+
+	gain := make([]float64, n)
+	for iter := 0; iter < p.opts.Iterations; iter++ {
+		for i := range gain {
+			gain[i] = 0
+		}
+		// Accumulate per-vertex move gains from each query.
+		for _, q := range local {
+			var cnt0, cnt1 int32
+			for _, li := range q {
+				if side[li] == 0 {
+					cnt0++
+				} else {
+					cnt1++
+				}
+			}
+			for _, li := range q {
+				if side[li] == 0 {
+					gain[li] += powAt(cnt0-1) - powAt(cnt1)
+				} else {
+					gain[li] += powAt(cnt1-1) - powAt(cnt0)
+				}
+			}
+		}
+		// Candidate lists sorted by descending gain.
+		var cand0, cand1 []int32
+		for i := 0; i < n; i++ {
+			if side[i] == 0 {
+				cand0 = append(cand0, int32(i))
+			} else {
+				cand1 = append(cand1, int32(i))
+			}
+		}
+		sort.Slice(cand0, func(a, b int) bool { return gain[cand0[a]] > gain[cand0[b]] })
+		sort.Slice(cand1, func(a, b int) bool { return gain[cand1[a]] > gain[cand1[b]] })
+
+		maxSwaps := int(p.opts.MaxSwapFraction * float64(half))
+		if maxSwaps < 1 {
+			maxSwaps = 1
+		}
+		swaps := 0
+		for k := 0; k < len(cand0) && k < len(cand1) && swaps < maxSwaps; k++ {
+			a, bb := cand0[k], cand1[k]
+			if gain[a]+gain[bb] <= 1e-12 {
+				break
+			}
+			side[a], side[bb] = 1, 0
+			swaps++
+		}
+		if swaps == 0 {
+			break
+		}
+	}
+
+	// Rearrange the vertices slice in place: side-0 vertices first.
+	left := make([]uint32, 0, half)
+	right := make([]uint32, 0, n-half)
+	for i, v := range b.vertices {
+		if side[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	copy(b.vertices[:len(left)], left)
+	copy(b.vertices[len(left):], right)
+
+	lb := &bucket{vertices: b.vertices[:len(left)], queries: projectQueries(b.queries, side, localOf, 0), depth: b.depth + 1}
+	rb := &bucket{vertices: b.vertices[len(left):], queries: projectQueries(b.queries, side, localOf, 1), depth: b.depth + 1}
+	return lb, rb
+}
+
+// projectQueries restricts queries to the vertices assigned to the given
+// side, dropping queries that end up with fewer than two members.
+func projectQueries(queries [][]uint32, side []uint8, localOf map[uint32]int32, want uint8) [][]uint32 {
+	out := make([][]uint32, 0, len(queries)/2)
+	for _, q := range queries {
+		var pq []uint32
+		for _, id := range q {
+			li, ok := localOf[id]
+			if !ok {
+				continue
+			}
+			if side[li] == want {
+				pq = append(pq, id)
+			}
+		}
+		if len(pq) >= 2 {
+			out = append(out, pq)
+		}
+	}
+	return out
+}

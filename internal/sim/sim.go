@@ -1,0 +1,329 @@
+// Package sim replays embedding lookup traces against a physical layout, a
+// DRAM cache and an admission policy, and reports the metric the whole paper
+// is built around: the number of 4 KB NVM block reads needed to serve the
+// trace, expressed as an *effective bandwidth increase* over the baseline
+// policy (one block read per missed vector, no prefetching).
+//
+// The same replay engine, fed with a spatially sampled subset of the
+// vectors and a proportionally scaled-down cache, implements the
+// "miniature caches" of §4.3.3 that pick the per-table prefetch-admission
+// threshold.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"bandana/internal/cache"
+	"bandana/internal/layout"
+	"bandana/internal/mrc"
+	"bandana/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Layout maps vectors to NVM blocks.
+	Layout *layout.Layout
+	// CacheVectors is the DRAM cache capacity in vectors; 0 means
+	// unlimited.
+	CacheVectors int
+	// Policy decides admission of prefetched vectors. Nil means
+	// cache.NoPrefetch (the baseline policy).
+	Policy cache.AdmissionPolicy
+	// Filter, when non-nil, restricts the simulation to the sampled subset
+	// of vectors for which it returns true (miniature caches). Lookups to
+	// unsampled vectors are skipped entirely and prefetch candidates that
+	// are not sampled are ignored.
+	Filter func(id uint32) bool
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Policy             string
+	Lookups            int64
+	Hits               int64
+	Misses             int64
+	BlockReads         int64
+	PrefetchesAdmitted int64
+	PrefetchHits       int64
+	HitRate            float64
+	// UsefulBytesPerBlockRead is the average number of requested vector
+	// bytes served per 4 KB block read, assuming the layout's block size
+	// and 128 B vectors; it is a direct measure of effective bandwidth.
+	VectorsPerBlockRead float64
+}
+
+// Replay runs the simulation over the trace and returns its result.
+func Replay(tr *trace.Trace, cfg Config) Result {
+	policy := cfg.Policy
+	if policy == nil {
+		policy = cache.NoPrefetch{}
+	}
+	c := cache.NewCache(cfg.CacheVectors)
+	res := Result{Policy: policy.Name()}
+
+	// prefetched tracks vectors currently cached that were admitted as
+	// prefetches and have not yet been requested; used to attribute hits to
+	// prefetching.
+	prefetched := make(map[uint32]struct{})
+
+	var members []uint32
+	for _, q := range tr.Queries {
+		for _, id := range q {
+			if cfg.Filter != nil && !cfg.Filter(id) {
+				continue
+			}
+			res.Lookups++
+			policy.OnAccess(id)
+			if c.Touch(id) {
+				res.Hits++
+				if _, wasPrefetch := prefetched[id]; wasPrefetch {
+					res.PrefetchHits++
+					delete(prefetched, id)
+				}
+				continue
+			}
+			res.Misses++
+			res.BlockReads++
+			block := cfg.Layout.BlockOf(id)
+			c.Insert(id, 0)
+			delete(prefetched, id)
+
+			members = cfg.Layout.BlockMembers(block, members[:0])
+			for _, other := range members {
+				if other == id {
+					continue
+				}
+				if cfg.Filter != nil && !cfg.Filter(other) {
+					continue
+				}
+				if c.Contains(other) {
+					continue
+				}
+				admit, pos := policy.AdmitPrefetch(other)
+				if !admit {
+					continue
+				}
+				c.Insert(other, pos)
+				prefetched[other] = struct{}{}
+				res.PrefetchesAdmitted++
+			}
+		}
+	}
+	if res.Lookups > 0 {
+		res.HitRate = float64(res.Hits) / float64(res.Lookups)
+	}
+	if res.BlockReads > 0 {
+		res.VectorsPerBlockRead = float64(res.Lookups) / float64(res.BlockReads)
+	}
+	return res
+}
+
+// ReplayBaseline runs the baseline policy (no prefetching) with the same
+// layout, cache size and filter.
+func ReplayBaseline(tr *trace.Trace, l *layout.Layout, cacheVectors int, filter func(uint32) bool) Result {
+	return Replay(tr, Config{Layout: l, CacheVectors: cacheVectors, Policy: cache.NoPrefetch{}, Filter: filter})
+}
+
+// EffectiveBandwidthIncrease returns the relative reduction in block reads
+// of `policy` over `baseline`: baseline.BlockReads/policy.BlockReads - 1.
+// Positive values mean the policy reads fewer blocks for the same workload
+// (higher effective bandwidth); negative values mean it reads more.
+func EffectiveBandwidthIncrease(policy, baseline Result) float64 {
+	if policy.BlockReads == 0 || baseline.BlockReads == 0 {
+		return 0
+	}
+	return float64(baseline.BlockReads)/float64(policy.BlockReads) - 1
+}
+
+// Comparison bundles a policy run with its baseline and derived metrics.
+type Comparison struct {
+	Policy   Result
+	Baseline Result
+	// EffectiveBandwidthIncrease is the headline metric (e.g. +1.3 = +130%).
+	EffectiveBandwidthIncrease float64
+}
+
+// Compare runs both the configured policy and the baseline (same cache
+// size, no prefetching) and returns the comparison.
+func Compare(tr *trace.Trace, cfg Config) Comparison {
+	policyRes := Replay(tr, cfg)
+	baseRes := ReplayBaseline(tr, cfg.Layout, cfg.CacheVectors, cfg.Filter)
+	return Comparison{
+		Policy:                     policyRes,
+		Baseline:                   baseRes,
+		EffectiveBandwidthIncrease: EffectiveBandwidthIncrease(policyRes, baseRes),
+	}
+}
+
+// FanoutGain computes the effective bandwidth increase of a layout under the
+// paper's §4.2 spatial-locality model (Figures 6, 8 and 9): the baseline
+// policy issues one 4 KB block read per vector lookup, while the partitioned
+// system reads each distinct block only once per query — vectors co-located
+// with an already-read vector of the same query are served from the
+// prefetched block. The returned value is
+//
+//	totalLookups / totalFanout - 1,
+//
+// where fanout is the number of distinct blocks a query touches (Equation 3
+// in the paper). This isolates the benefit of physical placement from the
+// cross-query caching studied in §4.3.
+func FanoutGain(tr *trace.Trace, l *layout.Layout) float64 {
+	var lookups, fanout int64
+	for _, q := range tr.Queries {
+		lookups += int64(len(q))
+		fanout += int64(l.Fanout(q))
+	}
+	if fanout == 0 {
+		return 0
+	}
+	return float64(lookups)/float64(fanout) - 1
+}
+
+// TunerConfig configures the miniature-cache threshold search for one table.
+type TunerConfig struct {
+	Layout *layout.Layout
+	// Counts are the per-vector access counts from the SHP training run.
+	Counts []uint32
+	// CacheVectors is the full cache size being tuned for.
+	CacheVectors int
+	// SamplingRate is the miniature cache scale (the paper finds 0.001
+	// sufficient). A rate >= 1 simulates the full cache (the oracle of
+	// Figure 14).
+	SamplingRate float64
+	// Thresholds are the candidate admission thresholds; defaults to
+	// {0, 5, 10, 15, 20}.
+	Thresholds []uint32
+}
+
+// ThresholdChoice is the outcome of a miniature-cache tuning run.
+type ThresholdChoice struct {
+	Threshold uint32
+	// MiniatureGain is the effective bandwidth increase observed in the
+	// miniature simulation at the chosen threshold.
+	MiniatureGain float64
+	// PerThreshold records the miniature gain of every candidate.
+	PerThreshold map[uint32]float64
+	// SampledLookups is the number of lookups that survived sampling.
+	SampledLookups int64
+}
+
+// DefaultThresholds are the candidate admission thresholds explored by the
+// tuner, matching the range the paper sweeps in Figure 12 and Table 2.
+func DefaultThresholds() []uint32 { return []uint32{0, 5, 10, 15, 20} }
+
+// AdaptiveThresholds derives candidate admission thresholds from the
+// distribution of training-time access counts: 0 plus the 50th, 75th, 90th
+// and 95th percentiles of the non-zero counts. At the paper's production
+// scale these land close to the fixed {5,10,15,20} sweep of Figure 12; at
+// smaller scales they stay meaningful instead of filtering out everything.
+func AdaptiveThresholds(counts []uint32) []uint32 {
+	nonzero := make([]uint32, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			nonzero = append(nonzero, c)
+		}
+	}
+	if len(nonzero) == 0 {
+		return DefaultThresholds()
+	}
+	sort.Slice(nonzero, func(i, j int) bool { return nonzero[i] < nonzero[j] })
+	pick := func(q float64) uint32 {
+		idx := int(q * float64(len(nonzero)-1))
+		return nonzero[idx]
+	}
+	cand := []uint32{0, pick(0.50), pick(0.75), pick(0.90), pick(0.95)}
+	// Deduplicate while preserving order.
+	out := cand[:0]
+	seen := make(map[uint32]bool, len(cand))
+	for _, c := range cand {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DisablePrefetch is the threshold value the tuner returns when every
+// candidate threshold performs worse than not prefetching at all: no access
+// count can exceed it, so prefetching is effectively off.
+const DisablePrefetch = ^uint32(0)
+
+// minMiniCacheVectors is the smallest miniature cache the tuner will
+// simulate; below this the simulation is too small to rank thresholds, so
+// the sampling rate is raised (up to running the full cache).
+const minMiniCacheVectors = 64
+
+// TuneThreshold simulates one miniature cache per candidate threshold and
+// returns the threshold with the highest effective bandwidth increase. If
+// every candidate loses to the no-prefetch baseline, it returns
+// DisablePrefetch.
+func TuneThreshold(tr *trace.Trace, cfg TunerConfig) (ThresholdChoice, error) {
+	if cfg.Layout == nil {
+		return ThresholdChoice{}, fmt.Errorf("sim: tuner requires a layout")
+	}
+	if cfg.CacheVectors <= 0 {
+		return ThresholdChoice{}, fmt.Errorf("sim: tuner requires a finite cache size")
+	}
+	thresholds := cfg.Thresholds
+	if len(thresholds) == 0 {
+		thresholds = AdaptiveThresholds(cfg.Counts)
+	}
+	rate := cfg.SamplingRate
+	if rate <= 0 {
+		rate = 0.001
+	}
+	// Guard against degenerate miniature caches at small scale: raise the
+	// sampling rate until the miniature cache holds at least
+	// minMiniCacheVectors vectors (or becomes the full cache).
+	if rate < 1 && float64(cfg.CacheVectors)*rate < minMiniCacheVectors {
+		rate = float64(minMiniCacheVectors) / float64(cfg.CacheVectors)
+		if rate > 1 {
+			rate = 1
+		}
+	}
+	var filter func(uint32) bool
+	miniCache := cfg.CacheVectors
+	if rate < 1 {
+		// Sample whole *blocks* rather than individual vectors: a vector is
+		// simulated iff its NVM block (under the candidate layout) is
+		// selected. This keeps the intra-block composition — and therefore
+		// the prefetch dynamics the thresholds are being tuned for — intact,
+		// while still shrinking the lookup stream and cache by the sampling
+		// rate.
+		blockFilter := mrc.SampleFilter(rate)
+		l := cfg.Layout
+		filter = func(id uint32) bool { return blockFilter(uint32(l.BlockOf(id))) }
+		miniCache = int(float64(cfg.CacheVectors) * rate)
+		if miniCache < 1 {
+			miniCache = 1
+		}
+	}
+
+	baseline := ReplayBaseline(tr, cfg.Layout, miniCache, filter)
+	choice := ThresholdChoice{PerThreshold: make(map[uint32]float64, len(thresholds)), SampledLookups: baseline.Lookups}
+	best := -1.0
+	first := true
+	for _, t := range thresholds {
+		res := Replay(tr, Config{
+			Layout:       cfg.Layout,
+			CacheVectors: miniCache,
+			Policy:       cache.ThresholdAdmit{Counts: cfg.Counts, Threshold: t},
+			Filter:       filter,
+		})
+		gain := EffectiveBandwidthIncrease(res, baseline)
+		choice.PerThreshold[t] = gain
+		if first || gain > best {
+			best = gain
+			choice.Threshold = t
+			choice.MiniatureGain = gain
+			first = false
+		}
+	}
+	if best < 0 {
+		choice.Threshold = DisablePrefetch
+		choice.MiniatureGain = 0
+	}
+	return choice, nil
+}

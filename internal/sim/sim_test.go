@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"testing"
+
+	"bandana/internal/cache"
+	"bandana/internal/layout"
+	"bandana/internal/mrc"
+	"bandana/internal/shp"
+	"bandana/internal/trace"
+)
+
+// testTrace builds a high-locality synthetic trace plus a small table size
+// suitable for fast unit tests.
+func testTrace(t *testing.T, numVectors, queries int, locality float64, seed int64) *trace.Trace {
+	t.Helper()
+	p := trace.Profile{
+		Name:               "simtest",
+		NumVectors:         numVectors,
+		AvgLookups:         24,
+		CompulsoryMissFrac: 0.08,
+		Locality:           locality,
+		CommunitySize:      64,
+		ReuseSkew:          3,
+		Seed:               seed,
+	}
+	return trace.GenerateTable(p, queries)
+}
+
+// shpLayout trains SHP on the trace and returns the resulting layout.
+func shpLayout(t *testing.T, tr *trace.Trace) *layout.Layout {
+	t.Helper()
+	queries := make([][]uint32, len(tr.Queries))
+	for i, q := range tr.Queries {
+		queries[i] = q
+	}
+	res, err := shp.Partition(tr.NumVectors, queries, shp.Options{BlockVectors: 32, Iterations: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.FromOrder(res.Order, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestReplayBaselineCountsBlocksPerMiss(t *testing.T) {
+	tr := &trace.Trace{
+		TableName:  "t",
+		NumVectors: 128,
+		Queries:    []trace.Query{{0, 1, 2}, {0, 1, 2}, {64, 65}},
+	}
+	l := layout.Identity(128, 32)
+	res := ReplayBaseline(tr, l, 0, nil)
+	if res.Lookups != 8 {
+		t.Fatalf("lookups = %d", res.Lookups)
+	}
+	// Unlimited cache: misses = unique vectors = 5, block reads = 5
+	// (baseline reads one block per miss, no prefetch benefit).
+	if res.Misses != 5 || res.BlockReads != 5 {
+		t.Fatalf("misses=%d blockReads=%d, want 5/5", res.Misses, res.BlockReads)
+	}
+	if res.Hits != 3 {
+		t.Fatalf("hits = %d", res.Hits)
+	}
+	if res.HitRate <= 0 || res.VectorsPerBlockRead <= 0 {
+		t.Fatalf("derived stats missing: %+v", res)
+	}
+}
+
+func TestReplayWithPrefetchUnlimitedCacheReadsFewerBlocks(t *testing.T) {
+	// All lookups hit vectors 0..31 which share one block under identity
+	// layout: with prefetching the whole trace costs exactly 1 block read.
+	tr := &trace.Trace{
+		TableName:  "t",
+		NumVectors: 64,
+		Queries:    []trace.Query{{0, 5, 9}, {12, 14}, {3, 31}},
+	}
+	l := layout.Identity(64, 32)
+	with := Replay(tr, Config{Layout: l, CacheVectors: 0, Policy: cache.AlwaysAdmit{}})
+	if with.BlockReads != 1 {
+		t.Fatalf("block reads = %d, want 1", with.BlockReads)
+	}
+	base := ReplayBaseline(tr, l, 0, nil)
+	if base.BlockReads != 7 {
+		t.Fatalf("baseline block reads = %d, want 7 (unique vectors)", base.BlockReads)
+	}
+	if inc := EffectiveBandwidthIncrease(with, base); inc < 5.9 {
+		t.Fatalf("effective bandwidth increase = %.2f, want ~6", inc)
+	}
+	if with.PrefetchesAdmitted == 0 {
+		t.Fatalf("prefetches should have been admitted")
+	}
+	if with.PrefetchHits == 0 {
+		t.Fatalf("later lookups should hit prefetched vectors")
+	}
+}
+
+func TestEffectiveBandwidthIncreaseDegenerate(t *testing.T) {
+	if EffectiveBandwidthIncrease(Result{}, Result{}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+	if EffectiveBandwidthIncrease(Result{BlockReads: 10}, Result{}) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestSHPFanoutGainBeatsIdentityLayout(t *testing.T) {
+	tr := testTrace(t, 8192, 1500, 0.95, 3)
+	train, eval := tr.Split(0.5)
+	shpL := shpLayout(t, train)
+	idL := layout.Identity(tr.NumVectors, 32)
+
+	shpGain := FanoutGain(eval, shpL)
+	idGain := FanoutGain(eval, idL)
+	if shpGain <= idGain {
+		t.Fatalf("SHP layout fanout gain (%.2f) should beat identity layout (%.2f)", shpGain, idGain)
+	}
+	if shpGain < 0.3 {
+		t.Fatalf("SHP should provide a substantial fanout gain, got %.2f", shpGain)
+	}
+}
+
+func TestFanoutGainEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{TableName: "empty", NumVectors: 64}
+	if g := FanoutGain(tr, layout.Identity(64, 32)); g != 0 {
+		t.Fatalf("empty trace should have 0 gain, got %g", g)
+	}
+}
+
+func TestSHPBeatsIdentityWithLimitedCacheAndThreshold(t *testing.T) {
+	tr := testTrace(t, 8192, 2000, 0.95, 17)
+	train, eval := tr.Split(0.5)
+	shpL := shpLayout(t, train)
+	idL := layout.Identity(tr.NumVectors, 32)
+	counts := train.AccessCounts()
+	cacheSize := 400
+
+	shpCmp := Compare(eval, Config{Layout: shpL, CacheVectors: cacheSize,
+		Policy: cache.ThresholdAdmit{Counts: counts, Threshold: 1}})
+	idCmp := Compare(eval, Config{Layout: idL, CacheVectors: cacheSize,
+		Policy: cache.ThresholdAdmit{Counts: counts, Threshold: 1}})
+	if shpCmp.EffectiveBandwidthIncrease <= idCmp.EffectiveBandwidthIncrease {
+		t.Fatalf("SHP layout (%.2f) should beat identity layout (%.2f) with a limited cache",
+			shpCmp.EffectiveBandwidthIncrease, idCmp.EffectiveBandwidthIncrease)
+	}
+}
+
+func TestNaivePrefetchHurtsWithSmallCache(t *testing.T) {
+	// Figure 10's observation: with a small cache, admitting all 32
+	// prefetched vectors at the MRU end evicts useful vectors and performs
+	// worse than no prefetching at all — on an unpartitioned (identity)
+	// layout.
+	tr := testTrace(t, 8192, 1200, 0.6, 5)
+	idL := layout.Identity(tr.NumVectors, 32)
+	cacheSize := 256
+	cmp := Compare(tr, Config{Layout: idL, CacheVectors: cacheSize, Policy: cache.AlwaysAdmit{}})
+	if cmp.EffectiveBandwidthIncrease > 0.05 {
+		t.Fatalf("naive prefetching on an unpartitioned layout with a small cache should not help, got %.2f",
+			cmp.EffectiveBandwidthIncrease)
+	}
+}
+
+func TestThresholdAdmissionBeatsNaiveOnPartitionedLayout(t *testing.T) {
+	tr := testTrace(t, 8192, 2000, 0.9, 7)
+	train, eval := tr.Split(0.5)
+	l := shpLayout(t, train)
+	counts := train.AccessCounts()
+	cacheSize := 400
+
+	naive := Compare(eval, Config{Layout: l, CacheVectors: cacheSize, Policy: cache.AlwaysAdmit{}})
+	thresh := Compare(eval, Config{Layout: l, CacheVectors: cacheSize,
+		Policy: cache.ThresholdAdmit{Counts: counts, Threshold: 5}})
+
+	if thresh.EffectiveBandwidthIncrease <= naive.EffectiveBandwidthIncrease {
+		t.Fatalf("threshold admission (%.2f) should beat naive admission (%.2f) at small cache sizes",
+			thresh.EffectiveBandwidthIncrease, naive.EffectiveBandwidthIncrease)
+	}
+}
+
+func TestReplayWithFilterSkipsUnsampledLookups(t *testing.T) {
+	tr := testTrace(t, 4096, 300, 0.9, 9)
+	l := layout.Identity(tr.NumVectors, 32)
+	full := ReplayBaseline(tr, l, 100, nil)
+	filter := mrc.SampleFilter(0.25)
+	sampled := ReplayBaseline(tr, l, 25, filter)
+	if sampled.Lookups >= full.Lookups {
+		t.Fatalf("sampled lookups %d should be well below full %d", sampled.Lookups, full.Lookups)
+	}
+	frac := float64(sampled.Lookups) / float64(full.Lookups)
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("sampled fraction %.2f implausible for 25%% spatial sampling", frac)
+	}
+}
+
+func TestTuneThresholdErrors(t *testing.T) {
+	tr := testTrace(t, 2048, 50, 0.9, 1)
+	l := layout.Identity(tr.NumVectors, 32)
+	if _, err := TuneThreshold(tr, TunerConfig{Layout: nil, CacheVectors: 10}); err == nil {
+		t.Fatal("nil layout should error")
+	}
+	if _, err := TuneThreshold(tr, TunerConfig{Layout: l, CacheVectors: 0}); err == nil {
+		t.Fatal("unlimited cache should error")
+	}
+}
+
+func TestTuneThresholdPicksBestCandidate(t *testing.T) {
+	tr := testTrace(t, 8192, 2000, 0.9, 11)
+	train, eval := tr.Split(0.5)
+	l := shpLayout(t, train)
+	counts := train.AccessCounts()
+	cacheSize := 400
+
+	// Full-cache (oracle) tuning: sampling rate 1.
+	choice, err := TuneThreshold(eval, TunerConfig{
+		Layout: l, Counts: counts, CacheVectors: cacheSize, SamplingRate: 1,
+		Thresholds: []uint32{0, 5, 10, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice.PerThreshold) != 4 {
+		t.Fatalf("expected 4 candidate results, got %d", len(choice.PerThreshold))
+	}
+	// The chosen threshold must be the argmax of the recorded gains.
+	for th, gain := range choice.PerThreshold {
+		if gain > choice.MiniatureGain {
+			t.Fatalf("threshold %d has gain %.3f above the chosen %.3f", th, gain, choice.MiniatureGain)
+		}
+	}
+	// Evaluating the chosen threshold on the full cache should not be worse
+	// than the worst candidate.
+	worst := choice.MiniatureGain
+	for _, g := range choice.PerThreshold {
+		if g < worst {
+			worst = g
+		}
+	}
+	if choice.MiniatureGain < worst {
+		t.Fatalf("chosen gain below worst candidate")
+	}
+}
+
+func TestTuneThresholdSampledTracksOracle(t *testing.T) {
+	tr := testTrace(t, 16384, 2500, 0.9, 13)
+	train, eval := tr.Split(0.4)
+	l := shpLayout(t, train)
+	counts := train.AccessCounts()
+	cacheSize := 800
+
+	oracle, err := TuneThreshold(eval, TunerConfig{Layout: l, Counts: counts, CacheVectors: cacheSize, SamplingRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mini, err := TuneThreshold(eval, TunerConfig{Layout: l, Counts: counts, CacheVectors: cacheSize, SamplingRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mini.SampledLookups >= oracle.SampledLookups {
+		t.Fatalf("sampled tuner should see fewer lookups")
+	}
+	// The miniature tuner's chosen threshold, evaluated at full scale, must
+	// achieve a gain close to the oracle's best (the paper's Table 2 shows
+	// modest degradation at 0.1% sampling; we allow half at 10% sampling on
+	// this much smaller workload).
+	base := ReplayBaseline(eval, l, cacheSize, nil)
+	evalAt := func(th uint32) float64 {
+		res := Replay(eval, Config{Layout: l, CacheVectors: cacheSize,
+			Policy: cache.ThresholdAdmit{Counts: counts, Threshold: th}})
+		return EffectiveBandwidthIncrease(res, base)
+	}
+	oracleGain := evalAt(oracle.Threshold)
+	miniGain := evalAt(mini.Threshold)
+	if oracleGain > 0 && miniGain < oracleGain*0.5 {
+		t.Fatalf("miniature-cache threshold %d achieves %.3f, oracle threshold %d achieves %.3f",
+			mini.Threshold, miniGain, oracle.Threshold, oracleGain)
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if len(th) == 0 || th[0] != 0 {
+		t.Fatalf("unexpected default thresholds %v", th)
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	p := trace.Profile{Name: "b", NumVectors: 16384, AvgLookups: 24, CompulsoryMissFrac: 0.08,
+		Locality: 0.9, CommunitySize: 64, ReuseSkew: 3, Seed: 1}
+	tr := trace.GenerateTable(p, 2000)
+	l := layout.Identity(tr.NumVectors, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Replay(tr, Config{Layout: l, CacheVectors: 1000, Policy: cache.AlwaysAdmit{}})
+	}
+}

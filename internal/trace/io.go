@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const traceMagic = "BNDTRC01"
+
+// WriteTo serialises the trace in a compact binary format: a magic header,
+// the table name, the table size, then one varint-prefixed block of varint
+// vector IDs per query.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	buf := make([]byte, binary.MaxVarintLen64)
+	writeUvarint := func(v uint64) error {
+		m := binary.PutUvarint(buf, v)
+		written, err := bw.Write(buf[:m])
+		n += int64(written)
+		return err
+	}
+	if m, err := bw.WriteString(traceMagic); err != nil {
+		return n + int64(m), err
+	}
+	n += int64(len(traceMagic))
+	if err := writeUvarint(uint64(len(t.TableName))); err != nil {
+		return n, err
+	}
+	if m, err := bw.WriteString(t.TableName); err != nil {
+		return n + int64(m), err
+	}
+	n += int64(len(t.TableName))
+	if err := writeUvarint(uint64(t.NumVectors)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(t.Queries))); err != nil {
+		return n, err
+	}
+	for _, q := range t.Queries {
+		if err := writeUvarint(uint64(len(q))); err != nil {
+			return n, err
+		}
+		for _, id := range q {
+			if err := writeUvarint(uint64(id)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserialises a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	numVectors, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	numQueries, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		TableName:  string(name),
+		NumVectors: int(numVectors),
+		Queries:    make([]Query, 0, numQueries),
+	}
+	for i := uint64(0); i < numQueries; i++ {
+		qlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: query %d: %w", i, err)
+		}
+		q := make(Query, qlen)
+		for j := range q {
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: query %d lookup %d: %w", i, j, err)
+			}
+			q[j] = uint32(id)
+		}
+		t.Queries = append(t.Queries, q)
+	}
+	return t, nil
+}

@@ -1,0 +1,238 @@
+// Package trace models the embedding lookup workload that drives Bandana.
+//
+// A request ("query" in the paper) is issued per user and contains multiple
+// vector lookups in each of several user embedding tables. This package
+// provides:
+//
+//   - the Trace type: a per-table sequence of queries (each a set of vector
+//     IDs), which is both the hypergraph that SHP partitions and the access
+//     stream the cache simulator replays;
+//   - a synthetic workload generator calibrated to the paper's Table 1
+//     (table sizes, lookups per request, lookup share, compulsory-miss
+//     ratio) with a tunable co-access locality knob;
+//   - workload statistics: compulsory misses, access histograms, lookup
+//     shares — the raw material for Table 1 and Figure 4.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Query is the set of vector IDs read from one table by a single request.
+type Query []uint32
+
+// Trace is a sequence of queries against a single embedding table.
+type Trace struct {
+	TableName  string
+	NumVectors int
+	Queries    []Query
+}
+
+// Lookups returns the total number of vector lookups in the trace.
+func (t *Trace) Lookups() int64 {
+	var n int64
+	for _, q := range t.Queries {
+		n += int64(len(q))
+	}
+	return n
+}
+
+// Stats summarises a trace the way the paper's Table 1 does.
+type Stats struct {
+	TableName          string
+	NumVectors         int
+	Queries            int
+	Lookups            int64
+	AvgLookups         float64 // average lookups per query
+	UniqueVectors      int     // distinct vectors referenced
+	CompulsoryMissFrac float64 // UniqueVectors / Lookups
+	MaxAccessCount     uint32  // most-read vector's access count
+}
+
+// Stats scans the trace once and returns its summary statistics.
+func (t *Trace) Stats() Stats {
+	counts := t.AccessCounts()
+	var lookups int64
+	unique := 0
+	var maxCount uint32
+	for _, c := range counts {
+		if c > 0 {
+			unique++
+			lookups += int64(c)
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	s := Stats{
+		TableName:      t.TableName,
+		NumVectors:     t.NumVectors,
+		Queries:        len(t.Queries),
+		Lookups:        lookups,
+		UniqueVectors:  unique,
+		MaxAccessCount: maxCount,
+	}
+	if len(t.Queries) > 0 {
+		s.AvgLookups = float64(lookups) / float64(len(t.Queries))
+	}
+	if lookups > 0 {
+		s.CompulsoryMissFrac = float64(unique) / float64(lookups)
+	}
+	return s
+}
+
+// AccessCounts returns, for every vector in the table, the number of lookups
+// that referenced it across the whole trace. This is the statistic SHP-based
+// admission control thresholds on (§4.3.2).
+func (t *Trace) AccessCounts() []uint32 {
+	counts := make([]uint32, t.NumVectors)
+	for _, q := range t.Queries {
+		for _, id := range q {
+			if int(id) < len(counts) {
+				counts[id]++
+			}
+		}
+	}
+	return counts
+}
+
+// HistogramBin is one bar of an access histogram (Figure 4): NumVectors
+// vectors were each accessed between [Lo, Hi) times.
+type HistogramBin struct {
+	Lo, Hi     uint32
+	NumVectors int
+}
+
+// AccessHistogram buckets vectors by access count into numBins equal-width
+// bins spanning [1, maxCount]. Vectors never accessed are excluded (they do
+// not appear in the trace at all).
+func (t *Trace) AccessHistogram(numBins int) []HistogramBin {
+	if numBins <= 0 {
+		numBins = 10
+	}
+	counts := t.AccessCounts()
+	var maxCount uint32
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return nil
+	}
+	width := (maxCount + uint32(numBins) - 1) / uint32(numBins)
+	if width == 0 {
+		width = 1
+	}
+	bins := make([]HistogramBin, numBins)
+	for i := range bins {
+		bins[i].Lo = 1 + uint32(i)*width
+		bins[i].Hi = 1 + uint32(i+1)*width
+	}
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		idx := int((c - 1) / width)
+		if idx >= numBins {
+			idx = numBins - 1
+		}
+		bins[idx].NumVectors++
+	}
+	return bins
+}
+
+// Split divides the trace into a training prefix containing trainFrac of the
+// queries and an evaluation suffix with the remainder. The underlying query
+// slices are shared, not copied.
+func (t *Trace) Split(trainFrac float64) (train, eval *Trace) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	cut := int(float64(len(t.Queries)) * trainFrac)
+	train = &Trace{TableName: t.TableName, NumVectors: t.NumVectors, Queries: t.Queries[:cut]}
+	eval = &Trace{TableName: t.TableName, NumVectors: t.NumVectors, Queries: t.Queries[cut:]}
+	return train, eval
+}
+
+// Prefix returns a trace containing only the first n queries (or the whole
+// trace if n exceeds its length). Used to vary the SHP training-set size
+// (Figure 9 / Figure 15).
+func (t *Trace) Prefix(n int) *Trace {
+	if n > len(t.Queries) {
+		n = len(t.Queries)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Trace{TableName: t.TableName, NumVectors: t.NumVectors, Queries: t.Queries[:n]}
+}
+
+// Validate checks every lookup references a vector inside the table.
+func (t *Trace) Validate() error {
+	for qi, q := range t.Queries {
+		for _, id := range q {
+			if int(id) >= t.NumVectors {
+				return fmt.Errorf("trace %s: query %d references vector %d outside table of %d",
+					t.TableName, qi, id, t.NumVectors)
+			}
+		}
+	}
+	return nil
+}
+
+// Workload is a set of per-table traces generated from the same request
+// stream: query i of every trace belongs to the same request.
+type Workload struct {
+	Profiles []Profile
+	Traces   []*Trace
+	// Communities[t][v] is the co-access community of vector v in table t;
+	// it is shared with the embedding-table generator so that Euclidean
+	// proximity can be correlated with co-access.
+	Communities [][]int32
+}
+
+// LookupShares returns each table's fraction of total lookups (Table 1's
+// "% of total lookups" column).
+func (w *Workload) LookupShares() []float64 {
+	totals := make([]int64, len(w.Traces))
+	var sum int64
+	for i, tr := range w.Traces {
+		totals[i] = tr.Lookups()
+		sum += totals[i]
+	}
+	shares := make([]float64, len(w.Traces))
+	if sum == 0 {
+		return shares
+	}
+	for i, n := range totals {
+		shares[i] = float64(n) / float64(sum)
+	}
+	return shares
+}
+
+// TopTablesByLookups returns the indices of the n tables with the most
+// lookups, in descending order. The paper's Figures 3 and 4 show the top 4.
+func (w *Workload) TopTablesByLookups(n int) []int {
+	type kv struct {
+		idx int
+		n   int64
+	}
+	all := make([]kv, len(w.Traces))
+	for i, tr := range w.Traces {
+		all[i] = kv{i, tr.Lookups()}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
