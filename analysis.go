@@ -102,7 +102,10 @@ func EvenSplitDRAM(demands []TableDemand, totalVectors int) *AllocateResult {
 }
 
 // AdmissionPolicy decides whether (and where in the eviction queue) a
-// prefetched vector is cached.
+// prefetched vector is cached. The same implementations drive both the
+// trace simulator (SimulateCache) and the live serving path: install one on
+// a running store with Store.SetAdmissionPolicy. Implementations must be
+// safe for concurrent use.
 type AdmissionPolicy = cache.AdmissionPolicy
 
 // NewNoPrefetch returns the baseline policy that never admits prefetched
@@ -121,9 +124,16 @@ func NewShadowAdmission(shadowVectors int, position float64) AdmissionPolicy {
 
 // NewThresholdAdmission returns the policy Bandana deploys: admit a
 // prefetched vector only if its training-time access count exceeds the
-// threshold.
+// threshold. Store.Train tunes and installs it automatically.
 func NewThresholdAdmission(counts []uint32, threshold uint32) AdmissionPolicy {
 	return cache.ThresholdAdmit{Counts: counts, Threshold: threshold}
+}
+
+// NewShadowPositionAdmission returns a policy that admits every prefetched
+// vector, placing shadow-cache hits at the MRU end and shadow misses at
+// altPosition (Figure 11c of the paper).
+func NewShadowPositionAdmission(shadowVectors int, altPosition float64) AdmissionPolicy {
+	return cache.NewShadowPosition(shadowVectors, altPosition)
 }
 
 // SimulationConfig configures SimulateCache.

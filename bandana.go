@@ -25,6 +25,33 @@
 //
 //	vec, _ := store.Lookup(0, 12345)              // one embedding vector
 //
+// # Concurrency model
+//
+// The serving path is built to scale with GOMAXPROCS:
+//
+//   - Lookup, LookupBatch and ServeRequest are safe to call from any number
+//     of goroutines. Each table's DRAM cache is split into lock shards by
+//     vector-ID hash, so lookups of different vectors rarely contend.
+//   - The trained state (placement, admission policy, cache allocation) is
+//     published through an atomic pointer: readers take no lock, and Train,
+//     LoadState or SetAdmissionPolicy can run while the store serves.
+//   - Serving counters are striped across cache lines and aggregated on
+//     Stats; NVM block reads are issued outside all locks so misses overlap
+//     at the device.
+//   - Returned vectors are read-only views shared with the cache. They
+//     remain valid until the vector is overwritten by UpdateVector, but
+//     callers must copy a vector before modifying it.
+//   - UpdateVector is safe to call concurrently with lookups; updates to
+//     the same table serialize with each other (read-modify-write of the
+//     shared 4 KB block).
+//
+// # Prefetch admission policies
+//
+// The admission policies of §4.3 (AlwaysAdmit, ShadowAdmit, ShadowPosition,
+// ThresholdAdmit) are a single set of implementations shared by the trace
+// simulator and the live store. Train installs the tuned ThresholdAdmit
+// automatically; SetAdmissionPolicy swaps in any other policy at runtime.
+//
 // The subpackages under internal/ implement the substrates (NVM device
 // model, trace generation, partitioners, cache simulation); this package
 // re-exports the types a downstream application needs.
@@ -69,6 +96,10 @@ type Request = core.Request
 // table to it and starts serving lookups with per-table LRU caches (no
 // prefetching until Train is called).
 func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// DefaultCacheShards is the default number of lock shards per table cache,
+// derived from GOMAXPROCS. Override with Config.CacheShards.
+func DefaultCacheShards() int { return core.DefaultCacheShards() }
 
 // Table is an embedding table: a dense collection of fp16 vectors addressed
 // by 32-bit vector IDs.

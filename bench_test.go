@@ -54,6 +54,92 @@ func BenchmarkAblationSHPIterations(b *testing.B)  { benchmarkExperiment(b, "abl
 func BenchmarkAblationAdmission(b *testing.B)      { benchmarkExperiment(b, "ablation-admission") }
 func BenchmarkAblationStackDistance(b *testing.B)  { benchmarkExperiment(b, "ablation-mrc") }
 
+// hitPathStore builds a single-table store whose cache holds the entire
+// table, then warms it so every subsequent lookup is a cache hit. This
+// isolates the concurrency behaviour of the serving path (shard locking,
+// counters) from NVM read latency.
+func hitPathStore(b *testing.B) (*bandana.Store, int) {
+	b.Helper()
+	const numVectors = 8192
+	g := bandana.GenerateTable("hot", bandana.TableGenerateOptions{
+		NumVectors: numVectors,
+		Dim:        64,
+		Seed:       1,
+	})
+	store, err := bandana.Open(bandana.Config{
+		Tables:            []*bandana.Table{g.Table},
+		DRAMBudgetVectors: 2 * numVectors, // everything fits
+		Seed:              1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	for id := 0; id < numVectors; id++ {
+		if _, err := store.Lookup(0, uint32(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store, numVectors
+}
+
+// BenchmarkLookupSerial is the single-goroutine baseline for
+// BenchmarkLookupParallel: the same cache-hit lookup stream, no concurrency.
+func BenchmarkLookupSerial(b *testing.B) {
+	store, n := hitPathStore(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Lookup(0, uint32(i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupParallel drives the cache-hit path from GOMAXPROCS
+// goroutines. With the sharded per-table cache, throughput should scale
+// with the processor count (compare ns/op against BenchmarkLookupSerial;
+// run with -cpu 1,2,4,8 to see the scaling curve).
+func BenchmarkLookupParallel(b *testing.B) {
+	store, n := hitPathStore(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine walks the ID space from a different offset with a
+		// stride that is coprime to the table size, so concurrent lookups
+		// spread across cache shards.
+		i := 0
+		for pb.Next() {
+			i += 31
+			if _, err := store.Lookup(0, uint32(i%n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLookupBatchParallel measures the batched serving path under
+// concurrency (all hits).
+func BenchmarkLookupBatchParallel(b *testing.B) {
+	store, n := hitPathStore(b)
+	const batch = 64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ids := make([]uint32, batch)
+		off := 0
+		for pb.Next() {
+			off += 127
+			for j := range ids {
+				ids[j] = uint32((off + j*31) % n)
+			}
+			if _, err := store.LookupBatch(0, ids); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStoreServeRequest measures the end-to-end request path of the
 // public Store API (cache hit + miss mix with prefetching enabled).
 func BenchmarkStoreServeRequest(b *testing.B) {

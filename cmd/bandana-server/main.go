@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"bandana/internal/core"
@@ -37,6 +38,7 @@ func main() {
 		train    = flag.Bool("train", true, "train placement and caching before serving")
 		seed     = flag.Int64("seed", 1, "random seed")
 		stateOut = flag.String("save-state", "", "write the trained state to this file before serving")
+		shards   = flag.Int("shards", 0, "cache lock shards per table (0 = auto from GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *tables < 1 {
@@ -64,11 +66,18 @@ func main() {
 		embTables[i] = g.Table
 	}
 
-	store, err := core.Open(core.Config{Tables: embTables, DRAMBudgetVectors: *budget, Seed: *seed})
+	store, err := core.Open(core.Config{
+		Tables:            embTables,
+		DRAMBudgetVectors: *budget,
+		Seed:              *seed,
+		CacheShards:       *shards,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer store.Close()
+	log.Printf("serving with GOMAXPROCS=%d, %d cache shards per table",
+		runtime.GOMAXPROCS(0), store.Stats()[0].CacheShards)
 
 	if *train {
 		log.Printf("training placement and caching on %d requests...", *requests)

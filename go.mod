@@ -1,0 +1,3 @@
+module bandana
+
+go 1.24

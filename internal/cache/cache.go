@@ -17,10 +17,23 @@
 package cache
 
 import (
+	"sync"
+
 	"bandana/internal/lru"
 )
 
 // AdmissionPolicy decides the fate of prefetched vectors.
+//
+// The interface is the contract shared by the trace simulator
+// (internal/sim) and the real serving path (internal/core): both feed the
+// policy the application's access stream via OnAccess and consult
+// AdmitPrefetch for every co-located prefetch candidate, so a policy tuned
+// in simulation behaves identically when installed in the store.
+//
+// Because the store serves lookups from many goroutines concurrently,
+// implementations must be safe for concurrent use. The stateless policies
+// (NoPrefetch, AlwaysAdmit, ThresholdAdmit) are trivially safe; the
+// shadow-cache policies serialize access to their shadow queue internally.
 type AdmissionPolicy interface {
 	// OnAccess is invoked for every application-requested lookup (hit or
 	// miss), allowing stateful policies to observe the true access stream.
@@ -65,8 +78,10 @@ func (p AlwaysAdmit) Name() string { return "always-admit" }
 
 // ShadowAdmit admits a prefetched vector only if it currently appears in a
 // keys-only shadow cache fed by the true (prefetch-free) access stream
-// (Figure 11b). Admitted vectors are inserted at Position.
+// (Figure 11b). Admitted vectors are inserted at Position. Safe for
+// concurrent use: the shadow queue is guarded by an internal mutex.
 type ShadowAdmit struct {
+	mu       sync.Mutex
 	Shadow   *lru.Shadow[uint32]
 	Position float64
 }
@@ -78,11 +93,18 @@ func NewShadowAdmit(shadowVectors int, position float64) *ShadowAdmit {
 }
 
 // OnAccess implements AdmissionPolicy.
-func (p *ShadowAdmit) OnAccess(id uint32) { p.Shadow.Access(id) }
+func (p *ShadowAdmit) OnAccess(id uint32) {
+	p.mu.Lock()
+	p.Shadow.Access(id)
+	p.mu.Unlock()
+}
 
 // AdmitPrefetch implements AdmissionPolicy.
 func (p *ShadowAdmit) AdmitPrefetch(id uint32) (bool, float64) {
-	return p.Shadow.Contains(id), p.Position
+	p.mu.Lock()
+	ok := p.Shadow.Contains(id)
+	p.mu.Unlock()
+	return ok, p.Position
 }
 
 // Name implements AdmissionPolicy.
@@ -90,8 +112,9 @@ func (p *ShadowAdmit) Name() string { return "shadow-admit" }
 
 // ShadowPosition admits every prefetched vector but chooses its queue
 // position based on the shadow cache: shadow hits go to the MRU end, shadow
-// misses to AltPosition (Figure 11c).
+// misses to AltPosition (Figure 11c). Safe for concurrent use.
 type ShadowPosition struct {
+	mu          sync.Mutex
 	Shadow      *lru.Shadow[uint32]
 	AltPosition float64
 }
@@ -102,11 +125,18 @@ func NewShadowPosition(shadowVectors int, altPosition float64) *ShadowPosition {
 }
 
 // OnAccess implements AdmissionPolicy.
-func (p *ShadowPosition) OnAccess(id uint32) { p.Shadow.Access(id) }
+func (p *ShadowPosition) OnAccess(id uint32) {
+	p.mu.Lock()
+	p.Shadow.Access(id)
+	p.mu.Unlock()
+}
 
 // AdmitPrefetch implements AdmissionPolicy.
 func (p *ShadowPosition) AdmitPrefetch(id uint32) (bool, float64) {
-	if p.Shadow.Contains(id) {
+	p.mu.Lock()
+	ok := p.Shadow.Contains(id)
+	p.mu.Unlock()
+	if ok {
 		return true, 0
 	}
 	return true, p.AltPosition

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"bandana/internal/nvm"
 	"bandana/internal/table"
@@ -39,6 +40,27 @@ type Config struct {
 	// Seed drives the deterministic parts of training (SHP splits, device
 	// latency sampling when the device is created internally).
 	Seed int64
+	// CacheShards is the number of lock shards per table cache. Lookups of
+	// vectors in different shards proceed in parallel; more shards mean
+	// less lock contention at a small cost in LRU fidelity. Defaults to
+	// DefaultCacheShards (derived from GOMAXPROCS).
+	CacheShards int
+}
+
+// DefaultCacheShards returns the default shard count for table caches: the
+// smallest power of two >= 4*GOMAXPROCS, capped at 256. Oversharding
+// relative to the core count keeps the probability of two concurrent
+// lookups colliding on a shard lock low.
+func DefaultCacheShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n > 256 {
+		n = 256
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	return shards
 }
 
 func (c *Config) validate() error {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"bandana/internal/cache"
 	"bandana/internal/layout"
 )
 
@@ -20,7 +21,10 @@ const stateVersion = 1
 
 // SaveState serialises the store's trained state (placements, access counts,
 // thresholds, cache allocations). Embedding values are not included: they
-// belong to the model checkpoint, not to Bandana.
+// belong to the model checkpoint, not to Bandana. Custom admission policies
+// installed with SetAdmissionPolicy are not persisted either — only the
+// threshold policy's inputs (counts + threshold) survive a round trip;
+// LoadState disables prefetching when they are absent.
 func (s *Store) SaveState(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	buf := make([]byte, binary.MaxVarintLen64)
@@ -46,14 +50,13 @@ func (s *Store) SaveState(w io.Writer) error {
 		return err
 	}
 	for _, st := range s.tables {
-		st.mu.Lock()
+		state := st.loadState()
 		name := st.name
-		order := st.layout.Order()
-		counts := st.counts
-		threshold := st.threshold
-		prefetch := st.prefetch
-		cacheCap := st.cacheCap
-		st.mu.Unlock()
+		order := state.layout.Order()
+		counts := state.counts
+		threshold := state.threshold
+		prefetch := state.prefetch
+		cacheCap := state.cacheCap
 
 		if err := writeString(name); err != nil {
 			return err
@@ -192,13 +195,24 @@ func (s *Store) LoadState(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("core: table %q: %w", name, err)
 		}
-		st.mu.Lock()
-		st.layout = l
-		st.counts = counts
-		st.threshold = uint32(threshold)
-		st.prefetch = prefetch == 1
-		st.mu.Unlock()
-		if err := s.writeTable(st); err != nil {
+		if err := s.rewriteTable(st, func(ts *tableState) {
+			ts.layout = l
+			ts.counts = counts
+			ts.threshold = uint32(threshold)
+			// Only the threshold policy is persistable (the state format
+			// stores counts + threshold, not arbitrary policy objects). A
+			// saved state with prefetching on but no counts — e.g. a store
+			// that was running a custom policy installed via
+			// SetAdmissionPolicy — would reload as a policy that never
+			// admits anything, so disable prefetching instead of
+			// installing an inert one.
+			ts.prefetch = prefetch == 1 && len(counts) > 0
+			if ts.prefetch {
+				ts.policy = cache.ThresholdAdmit{Counts: counts, Threshold: uint32(threshold)}
+			} else {
+				ts.policy = nil
+			}
+		}); err != nil {
 			return err
 		}
 		if int(cacheCap) > 0 {

@@ -17,8 +17,12 @@ type TableStats struct {
 	PrefetchHits int64
 	CacheVectors int
 	CacheUsed    int
+	CacheShards  int
 	Threshold    uint32
 	Prefetching  bool
+	// Policy names the admission policy currently serving prefetches
+	// (empty when prefetching is off).
+	Policy string
 	// EffectiveBandwidth is the fraction of NVM-read bytes delivered to the
 	// application: lookups served from NVM reads (misses + prefetch hits)
 	// times the vector size over block reads times the block size.
@@ -32,7 +36,7 @@ type TableStats struct {
 func (s *Store) Stats() []TableStats {
 	out := make([]TableStats, len(s.tables))
 	for i, st := range s.tables {
-		st.mu.Lock()
+		state := st.loadState()
 		ts := TableStats{
 			Name:         st.name,
 			Lookups:      st.lookups.Value(),
@@ -41,11 +45,15 @@ func (s *Store) Stats() []TableStats {
 			BlockReads:   st.blockReads.Value(),
 			PrefetchAdds: st.prefetchAdds.Value(),
 			PrefetchHits: st.prefetchHits.Value(),
-			CacheVectors: st.cacheCap,
-			CacheUsed:    st.cache.Len(),
-			Threshold:    st.threshold,
-			Prefetching:  st.prefetch,
+			CacheVectors: state.cacheCap,
+			CacheUsed:    state.cache.Len(),
+			CacheShards:  state.cache.NumShards(),
+			Threshold:    state.threshold,
+			Prefetching:  state.prefetch,
 			Latency:      st.lookupLatency.Snapshot(),
+		}
+		if state.policy != nil {
+			ts.Policy = state.policy.Name()
 		}
 		if ts.Lookups > 0 {
 			ts.HitRate = float64(ts.Hits) / float64(ts.Lookups)
@@ -54,17 +62,17 @@ func (s *Store) Stats() []TableStats {
 			useful := float64(ts.Misses+ts.PrefetchHits) * float64(st.vecBytes)
 			ts.EffectiveBandwidth = useful / (float64(ts.BlockReads) * float64(nvm.BlockSize))
 		}
-		st.mu.Unlock()
 		out[i] = ts
 	}
 	return out
 }
 
 // ResetStats clears all per-table counters (layouts, thresholds and cache
-// contents are preserved).
+// contents are preserved). Counters are atomic, so no lock is needed; a
+// reset concurrent with serving simply starts counting from the reset
+// point.
 func (s *Store) ResetStats() {
 	for _, st := range s.tables {
-		st.mu.Lock()
 		st.lookups.Reset()
 		st.hits.Reset()
 		st.misses.Reset()
@@ -72,7 +80,6 @@ func (s *Store) ResetStats() {
 		st.prefetchAdds.Reset()
 		st.prefetchHits.Reset()
 		st.lookupLatency.Reset()
-		st.mu.Unlock()
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"bandana/internal/cache"
 	"bandana/internal/fp16"
 	"bandana/internal/layout"
 	"bandana/internal/lru"
@@ -14,6 +16,14 @@ import (
 )
 
 // Store is a Bandana embedding store: NVM-resident tables with DRAM caches.
+//
+// The serving path (Lookup, LookupBatch, ServeRequest) is safe for
+// concurrent use and scales with GOMAXPROCS: each table's cache is sharded
+// by vector-ID hash with per-shard locks, the trained state is published
+// through an atomic pointer (reads take no lock at all), serving counters
+// are striped across cache lines, and NVM block reads happen outside any
+// lock. Returned vectors are read-only views shared with the cache; callers
+// that need to modify one must copy it first.
 type Store struct {
 	device     *nvm.Device
 	ownsDevice bool
@@ -22,8 +32,66 @@ type Store struct {
 	seed       int64
 }
 
+// blockBufPool recycles 4 KB block buffers across lookups so the miss path
+// does not allocate one per NVM read.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, nvm.BlockSize)
+		return &b
+	},
+}
+
+func getBlockBuf() *[]byte  { return blockBufPool.Get().(*[]byte) }
+func putBlockBuf(b *[]byte) { blockBufPool.Put(b) }
+
+// cachedVec is one cache entry: the decoded vector plus whether it entered
+// the cache via prefetch and has not been requested yet (used to attribute
+// hits to prefetching). The flag is mutated in place under the owning
+// shard's lock; the vector itself is immutable once cached.
+type cachedVec struct {
+	vec        []float32
+	prefetched bool
+}
+
+// vecCache is the per-table DRAM cache: vector ID -> decoded vector,
+// sharded for concurrent access.
+type vecCache = lru.Sharded[uint32, *cachedVec]
+
+// hashID mixes a vector ID into a well-distributed 64-bit hash
+// (splitmix-style finalizer). The same hash routes a lookup to its cache
+// shard and to its counter stripe.
+func hashID(id uint32) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func newVecCache(capacity, shards int) *vecCache {
+	return lru.NewSharded[uint32, *cachedVec](capacity, shards, hashID)
+}
+
+// counterStripes is the stripe count for the per-table serving counters.
+const counterStripes = 64
+
+// tableState is the trained state of one table. It is immutable once
+// published: mutators build a modified copy and atomically swap the pointer,
+// so the serving path reads a consistent snapshot with a single atomic load.
+type tableState struct {
+	layout    *layout.Layout
+	counts    []uint32 // per-vector access counts from the training trace
+	threshold uint32   // prefetch admission threshold (counts must exceed it)
+	prefetch  bool     // whether prefetching is enabled (set by Train)
+	policy    cache.AdmissionPolicy
+	cache     *vecCache
+	cacheCap  int
+}
+
 // storeTable is the per-table state.
 type storeTable struct {
+	// Immutable after Open.
 	index        int
 	name         string
 	src          *table.Table // authoritative copy used for rewrites/updates
@@ -32,26 +100,53 @@ type storeTable struct {
 	blockVectors int
 	blockBase    int // first device block of this table
 	numBlocks    int
+	shards       int
 
-	mu        sync.Mutex
-	layout    *layout.Layout
-	counts    []uint32 // per-vector access counts from the training trace
-	threshold uint32   // prefetch admission threshold (counts must exceed it)
-	prefetch  bool     // whether prefetching is enabled (set by Train)
-	cache     *lru.Cache[uint32, []float32]
-	cacheCap  int
-	// prefetched marks cached vectors that entered via prefetch and have
-	// not been requested yet.
-	prefetched map[uint32]struct{}
+	// state is the published trained state; the serving path loads it once
+	// per operation. stateMu serializes mutators (Train, LoadState,
+	// resizeCache, SetAdmissionPolicy), never readers.
+	state   atomic.Pointer[tableState]
+	stateMu sync.Mutex
 
-	// counters
-	lookups       metrics.Counter
-	hits          metrics.Counter
-	misses        metrics.Counter
-	blockReads    metrics.Counter
-	prefetchAdds  metrics.Counter
-	prefetchHits  metrics.Counter
+	// updateMu serializes read-modify-write vector updates (which would
+	// otherwise lose writes to the shared block) and excludes them from
+	// whole-table rewrites (rewriteTable takes it too).
+	updateMu sync.Mutex
+	// rewriteMu guards the invariant that the published layout matches the
+	// bytes on NVM: rewriteTable holds it exclusively while installing a
+	// new layout and rewriting the blocks; the miss path holds it shared
+	// while reading a block and decoding slots from it. Cache hits and
+	// state snapshots never touch it.
+	rewriteMu sync.RWMutex
+	// epoch is bumped by every NVM mutation (UpdateVector, rewriteTable)
+	// so that an in-flight miss does not cache a vector decoded from a
+	// block read before the mutation.
+	epoch atomic.Uint64
+
+	// Serving counters, striped across cache lines so concurrent lookups
+	// on different vectors do not contend; the stripe is chosen by the
+	// same hash that picks the cache shard.
+	lookups       *metrics.StripedCounter
+	hits          *metrics.StripedCounter
+	misses        *metrics.StripedCounter
+	blockReads    *metrics.StripedCounter
+	prefetchAdds  *metrics.StripedCounter
+	prefetchHits  *metrics.StripedCounter
 	lookupLatency *metrics.Histogram
+}
+
+// loadState returns the current trained-state snapshot.
+func (st *storeTable) loadState() *tableState { return st.state.Load() }
+
+// mutateState applies fn to a copy of the current state and atomically
+// publishes the result. In-flight serving operations keep using the
+// snapshot they loaded; subsequent operations see the new state.
+func (st *storeTable) mutateState(fn func(*tableState)) {
+	st.stateMu.Lock()
+	next := *st.state.Load()
+	fn(&next)
+	st.state.Store(&next)
+	st.stateMu.Unlock()
 }
 
 // Open creates a Store, sizes (or adopts) the NVM device, writes every table
@@ -61,12 +156,22 @@ func Open(cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// validate rejects an empty table list, but the budget split below
+	// divides by the table count — keep an explicit guard so a future
+	// validate change cannot turn this into a panic.
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("core: config has no tables")
+	}
 	budget := cfg.DRAMBudgetVectors
 	if budget <= 0 {
 		budget = cfg.totalVectors() / 20
 		if budget < len(cfg.Tables) {
 			budget = len(cfg.Tables)
 		}
+	}
+	shards := cfg.CacheShards
+	if shards <= 0 {
+		shards = DefaultCacheShards()
 	}
 
 	// Compute the device size: per-table contiguous block ranges.
@@ -112,13 +217,21 @@ func Open(cfg Config) (*Store, error) {
 			blockVectors:  spans[i].blockVectors,
 			blockBase:     spans[i].base,
 			numBlocks:     spans[i].blocks,
-			layout:        layout.Identity(t.NumVectors(), spans[i].blockVectors),
-			cacheCap:      perTable,
-			cache:         lru.New[uint32, []float32](perTable),
-			prefetched:    make(map[uint32]struct{}),
+			shards:        shards,
+			lookups:       metrics.NewStripedCounter(counterStripes),
+			hits:          metrics.NewStripedCounter(counterStripes),
+			misses:        metrics.NewStripedCounter(counterStripes),
+			blockReads:    metrics.NewStripedCounter(counterStripes),
+			prefetchAdds:  metrics.NewStripedCounter(counterStripes),
+			prefetchHits:  metrics.NewStripedCounter(counterStripes),
 			lookupLatency: metrics.NewLatencyHistogram(),
 		}
-		if err := s.writeTable(st); err != nil {
+		st.state.Store(&tableState{
+			layout:   layout.Identity(t.NumVectors(), spans[i].blockVectors),
+			cacheCap: perTable,
+			cache:    newVecCache(perTable, shards),
+		})
+		if err := s.rewriteTable(st, nil); err != nil {
 			if owns {
 				device.Close()
 			}
@@ -163,16 +276,48 @@ func (s *Store) TableIndex(name string) (int, error) {
 	return i, nil
 }
 
-// writeTable writes the table's vectors to its NVM block range following the
-// current layout.
-func (s *Store) writeTable(st *storeTable) error {
-	buf := make([]byte, nvm.BlockSize)
+// SetAdmissionPolicy installs a prefetch-admission policy for one table and
+// enables prefetching; a nil policy disables prefetching. The same policy
+// implementations drive the trace simulator (internal/sim), so a policy
+// evaluated there behaves identically here.
+func (s *Store) SetAdmissionPolicy(tableIdx int, p cache.AdmissionPolicy) error {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return err
+	}
+	st.mutateState(func(ts *tableState) {
+		ts.policy = p
+		ts.prefetch = p != nil
+	})
+	return nil
+}
+
+// rewriteTable atomically installs a state mutation (usually a new layout)
+// and rewrites the table's NVM block range to match it. It excludes
+// concurrent vector updates (updateMu) and miss-path block reads
+// (rewriteMu), so the serving path never decodes a block with the wrong
+// layout: a miss holding rewriteMu shared sees either the old layout with
+// the old bytes or the new layout with the new bytes.
+func (s *Store) rewriteTable(st *storeTable, mutate func(*tableState)) error {
+	st.updateMu.Lock()
+	defer st.updateMu.Unlock()
+	st.rewriteMu.Lock()
+	defer st.rewriteMu.Unlock()
+	if mutate != nil {
+		st.mutateState(mutate)
+	}
+	st.epoch.Add(1)
+	defer st.epoch.Add(1)
+	l := st.loadState().layout
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
 	var members []uint32
 	for b := 0; b < st.numBlocks; b++ {
 		for i := range buf {
 			buf[i] = 0
 		}
-		members = st.layout.BlockMembers(b, members[:0])
+		members = l.BlockMembers(b, members[:0])
 		for slot, id := range members {
 			raw, err := st.src.Raw(id)
 			if err != nil {
@@ -188,7 +333,8 @@ func (s *Store) writeTable(st *storeTable) error {
 }
 
 // Lookup returns the embedding vector id of table tableIdx. The returned
-// slice is owned by the caller.
+// slice is a read-only view shared with the cache; it stays valid until the
+// vector is updated, but must not be modified by the caller.
 func (s *Store) Lookup(tableIdx int, id uint32) ([]float32, error) {
 	st, err := s.tableAt(tableIdx)
 	if err != nil {
@@ -210,7 +356,7 @@ func (s *Store) LookupByName(name string, id uint32) ([]float32, error) {
 // Lookups that miss the cache are grouped by NVM block, so a batch that hits
 // k distinct blocks issues exactly k block reads regardless of how many of
 // its vectors live in each block — the batched analogue of the paper's
-// prefetching.
+// prefetching. Returned slices follow the same read-only contract as Lookup.
 func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
 	st, err := s.tableAt(tableIdx)
 	if err != nil {
@@ -262,58 +408,118 @@ func (s *Store) tableAt(i int) (*storeTable, error) {
 	return s.tables[i], nil
 }
 
+// cacheGet serves a cache hit for id, clearing the prefetched flag and
+// updating counters. It returns the cached vector or nil on a miss. h is
+// hashID(id), shared between shard routing and counter striping.
+func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
+	var out []float32
+	var wasPrefetch bool
+	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+		if e, ok := c.Get(id); ok {
+			out = e.vec
+			wasPrefetch = e.prefetched
+			e.prefetched = false
+		}
+	})
+	if out == nil {
+		return nil
+	}
+	st.hits.Inc(h)
+	if wasPrefetch {
+		st.prefetchHits.Inc(h)
+	}
+	return out
+}
+
+// cacheInsert caches a decoded vector at queue position pos unless the table
+// was rewritten since epoch was read (in which case the decode may be
+// stale). Requested vectors pass pos 0 and prefetched=false; admitted
+// prefetches carry the policy's position.
+func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, pos float64, prefetched bool, epoch uint64) bool {
+	inserted := false
+	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+		if st.epoch.Load() != epoch {
+			return
+		}
+		if prefetched && c.Contains(id) {
+			// A concurrent lookup already cached this vector as a
+			// requested one; do not demote it to a prefetch.
+			return
+		}
+		c.AddAt(id, &cachedVec{vec: vec, prefetched: prefetched}, pos)
+		inserted = true
+	})
+	return inserted
+}
+
+// admitBlock offers every not-yet-cached vector of the freshly read block to
+// the admission policy, decoding and caching the ones it admits. requested
+// reports IDs that were explicitly asked for in this operation (they are
+// cached separately and must not be double-counted as prefetches).
+func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, members []uint32, requested func(uint32) bool) {
+	for mslot, other := range members {
+		if requested(other) || ts.cache.Contains(other) {
+			continue
+		}
+		admit, pos := ts.policy.AdmitPrefetch(other)
+		if !admit {
+			continue
+		}
+		dec := make([]float32, st.dim)
+		fp16.DecodeSlice(dec, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
+		if st.cacheInsert(ts, other, dec, pos, true, epoch) {
+			st.prefetchAdds.Inc(hashID(other))
+		}
+	}
+}
+
 // lookup serves one vector read for this table.
 func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	if int(id) >= st.src.NumVectors() {
 		return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-
-	st.lookups.Inc()
-	if v, ok := st.cache.Get(id); ok {
-		st.hits.Inc()
-		if _, wasPrefetch := st.prefetched[id]; wasPrefetch {
-			st.prefetchHits.Inc()
-			delete(st.prefetched, id)
-		}
-		return append([]float32(nil), v...), nil
+	ts := st.loadState()
+	h := hashID(id)
+	st.lookups.Inc(h)
+	if ts.policy != nil {
+		ts.policy.OnAccess(id)
 	}
-	st.misses.Inc()
+	if out := st.cacheGet(ts, id, h); out != nil {
+		return out, nil
+	}
+	st.misses.Inc(h)
 
-	// Read the containing 4 KB block from NVM.
-	block := st.layout.BlockOf(id)
-	buf := make([]byte, nvm.BlockSize)
+	// Hold the rewrite lock shared for the block read + decode: under it,
+	// the published layout is guaranteed to match the bytes on NVM.
+	// Independent misses still overlap at the device (shared mode).
+	st.rewriteMu.RLock()
+	defer st.rewriteMu.RUnlock()
+	ts = st.loadState()
+	epoch := st.epoch.Load()
+	block := ts.layout.BlockOf(id)
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
 	lat, err := device.ReadBlock(st.blockBase+block, buf)
 	if err != nil {
 		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	st.blockReads.Inc()
+	st.blockReads.Inc(h)
 	st.lookupLatency.Observe(lat)
 
-	// Decode the requested vector and cache it at the MRU position.
-	slot := st.layout.SlotOf(id)
+	// Decode the requested vector once; the cache and the caller share the
+	// same immutable slice.
+	slot := ts.layout.SlotOf(id)
 	want := make([]float32, st.dim)
 	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-	st.insert(id, want, false)
+	st.cacheInsert(ts, id, want, 0, false, epoch)
 
-	// Prefetch co-located vectors whose training-time access count exceeds
-	// the tuned threshold.
-	if st.prefetch {
-		members := st.layout.BlockMembers(block, nil)
-		for mslot, other := range members {
-			if other == id || st.cache.Contains(other) {
-				continue
-			}
-			if int(other) < len(st.counts) && st.counts[other] > st.threshold {
-				v := make([]float32, st.dim)
-				fp16.DecodeSlice(v, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
-				st.insert(other, v, true)
-				st.prefetchAdds.Inc()
-			}
-		}
+	// Prefetch co-located vectors that pass the admission policy.
+	if ts.prefetch && ts.policy != nil {
+		members := ts.layout.BlockMembers(block, nil)
+		st.admitBlock(ts, buf, epoch, members, func(other uint32) bool { return other == id })
 	}
-	return append([]float32(nil), want...), nil
+	return want, nil
 }
 
 // lookupBatch serves a set of vector reads, grouping cache misses by NVM
@@ -325,94 +531,81 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		}
 	}
 	out := make([][]float32, len(ids))
+	ts := st.loadState()
 
-	st.mu.Lock()
-	defer st.mu.Unlock()
-
-	// Pass 1: serve cache hits and group misses by block.
+	// Pass 1: serve cache hits and collect misses.
 	type missRef struct {
 		pos int
 		id  uint32
 	}
-	missesByBlock := make(map[int][]missRef)
+	var missed []missRef
 	for i, id := range ids {
-		st.lookups.Inc()
-		if v, ok := st.cache.Get(id); ok {
-			st.hits.Inc()
-			if _, wasPrefetch := st.prefetched[id]; wasPrefetch {
-				st.prefetchHits.Inc()
-				delete(st.prefetched, id)
-			}
-			out[i] = append([]float32(nil), v...)
+		h := hashID(id)
+		st.lookups.Inc(h)
+		if ts.policy != nil {
+			ts.policy.OnAccess(id)
+		}
+		if got := st.cacheGet(ts, id, h); got != nil {
+			out[i] = got
 			continue
 		}
-		st.misses.Inc()
-		block := st.layout.BlockOf(id)
-		missesByBlock[block] = append(missesByBlock[block], missRef{pos: i, id: id})
+		st.misses.Inc(h)
+		missed = append(missed, missRef{pos: i, id: id})
+	}
+	if len(missed) == 0 {
+		return out, nil
 	}
 
 	// Pass 2: one NVM read per distinct block; decode all requested vectors
 	// from it and apply the usual prefetch admission to the rest. Blocks are
 	// processed in ascending order so a batch's cache effects are
-	// deterministic.
+	// deterministic. The whole pass holds the rewrite lock shared so the
+	// layout used for grouping and decoding matches the bytes on NVM.
+	st.rewriteMu.RLock()
+	defer st.rewriteMu.RUnlock()
+	ts = st.loadState()
+	missesByBlock := make(map[int][]missRef)
+	for _, ref := range missed {
+		block := ts.layout.BlockOf(ref.id)
+		missesByBlock[block] = append(missesByBlock[block], ref)
+	}
 	blocks := make([]int, 0, len(missesByBlock))
 	for block := range missesByBlock {
 		blocks = append(blocks, block)
 	}
 	sort.Ints(blocks)
-	buf := make([]byte, nvm.BlockSize)
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
 	var members []uint32
 	for _, block := range blocks {
 		refs := missesByBlock[block]
+		epoch := st.epoch.Load()
 		lat, err := device.ReadBlock(st.blockBase+block, buf)
 		if err != nil {
 			return nil, fmt.Errorf("core: table %q: %w", st.name, err)
 		}
-		st.blockReads.Inc()
+		st.blockReads.Inc(uint64(block))
 		st.lookupLatency.Observe(lat)
 
 		requested := make(map[uint32]struct{}, len(refs))
 		for _, ref := range refs {
-			slot := st.layout.SlotOf(ref.id)
-			v := make([]float32, st.dim)
-			fp16.DecodeSlice(v, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-			st.insert(ref.id, v, false)
-			out[ref.pos] = append([]float32(nil), v...)
+			slot := ts.layout.SlotOf(ref.id)
+			dec := make([]float32, st.dim)
+			fp16.DecodeSlice(dec, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+			st.cacheInsert(ts, ref.id, dec, 0, false, epoch)
+			out[ref.pos] = dec
 			requested[ref.id] = struct{}{}
 		}
-		if st.prefetch {
-			members = st.layout.BlockMembers(block, members[:0])
-			for mslot, other := range members {
-				if _, isReq := requested[other]; isReq {
-					continue
-				}
-				if st.cache.Contains(other) {
-					continue
-				}
-				if int(other) < len(st.counts) && st.counts[other] > st.threshold {
-					v := make([]float32, st.dim)
-					fp16.DecodeSlice(v, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
-					st.insert(other, v, true)
-					st.prefetchAdds.Inc()
-				}
-			}
+		if ts.prefetch && ts.policy != nil {
+			members = ts.layout.BlockMembers(block, members[:0])
+			st.admitBlock(ts, buf, epoch, members, func(other uint32) bool {
+				_, ok := requested[other]
+				return ok
+			})
 		}
 	}
 	return out, nil
-}
-
-// insert places a vector into the cache, tracking prefetch provenance and
-// cleaning up eviction bookkeeping.
-func (st *storeTable) insert(id uint32, v []float32, isPrefetch bool) {
-	evicted, was := st.cache.Add(id, v)
-	if was {
-		delete(st.prefetched, evicted)
-	}
-	if isPrefetch {
-		st.prefetched[id] = struct{}{}
-	} else {
-		delete(st.prefetched, id)
-	}
 }
 
 // update rewrites one vector on NVM and in the source table, and drops any
@@ -421,18 +614,24 @@ func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error
 	if len(vec) != st.dim {
 		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	// Serialize concurrent updates: the read-modify-write below would lose
+	// one of two concurrent writes to the same block.
+	st.updateMu.Lock()
+	defer st.updateMu.Unlock()
 	if err := st.src.SetVector(id, vec); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
+	ts := st.loadState()
+
 	// Read-modify-write the containing block.
-	block := st.layout.BlockOf(id)
-	buf := make([]byte, nvm.BlockSize)
+	block := ts.layout.BlockOf(id)
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
 	if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	slot := st.layout.SlotOf(id)
+	slot := ts.layout.SlotOf(id)
 	raw, err := st.src.Raw(id)
 	if err != nil {
 		return err
@@ -441,8 +640,10 @@ func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error
 	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	st.cache.Remove(id)
-	delete(st.prefetched, id)
+	// Bump the epoch before invalidating so that a concurrent miss that
+	// read the block before the write cannot re-cache the stale vector.
+	st.epoch.Add(1)
+	ts.cache.Remove(id)
 	return nil
 }
 
@@ -452,9 +653,8 @@ func (st *storeTable) resizeCache(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.cacheCap = capacity
-	st.cache = lru.New[uint32, []float32](capacity)
-	st.prefetched = make(map[uint32]struct{})
+	st.mutateState(func(ts *tableState) {
+		ts.cacheCap = capacity
+		ts.cache = newVecCache(capacity, st.shards)
+	})
 }

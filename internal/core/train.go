@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bandana/internal/alloc"
+	"bandana/internal/cache"
 	"bandana/internal/layout"
 	"bandana/internal/mrc"
 	"bandana/internal/shp"
@@ -82,9 +83,10 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 	var demands []alloc.TableDemand
 	var demandIdx []int
 	for i, st := range s.tables {
-		budget += st.cacheCap
+		cacheCap := st.loadState().cacheCap
+		budget += cacheCap
 		if traces[i] == nil || results[i].hrc == nil {
-			budget -= st.cacheCap // keep their share reserved as-is
+			budget -= cacheCap // keep their share reserved as-is
 			continue
 		}
 		demands = append(demands, alloc.TableDemand{
@@ -158,7 +160,7 @@ func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *Tr
 
 	counts := tr.AccessCounts()
 
-	newLayout := st.layout
+	newLayout := st.loadState().layout
 	if !opts.SkipPartitioning {
 		queries := make([][]uint32, len(tr.Queries))
 		for qi, q := range tr.Queries {
@@ -183,12 +185,12 @@ func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *Tr
 		newLayout = l
 	}
 
-	// Install the new layout and rewrite the table's NVM blocks.
-	st.mu.Lock()
-	st.layout = newLayout
-	st.counts = counts
-	st.mu.Unlock()
-	if err := s.writeTable(st); err != nil {
+	// Install the new layout and rewrite the table's NVM blocks — one
+	// atomic step with respect to concurrent lookups and updates.
+	if err := s.rewriteTable(st, func(ts *tableState) {
+		ts.layout = newLayout
+		ts.counts = counts
+	}); err != nil {
 		out.err = err
 		return out
 	}
@@ -207,11 +209,10 @@ func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *Tr
 // miniature caches and enables prefetching.
 func (s *Store) tuneTable(i int, tr *trace.Trace, opts TrainOptions, report *TrainReport) error {
 	st := s.tables[i]
-	st.mu.Lock()
-	l := st.layout
-	counts := st.counts
-	cacheCap := st.cacheCap
-	st.mu.Unlock()
+	snap := st.loadState()
+	l := snap.layout
+	counts := snap.counts
+	cacheCap := snap.cacheCap
 
 	choice, err := sim.TuneThreshold(tr, sim.TunerConfig{
 		Layout:       l,
@@ -223,10 +224,14 @@ func (s *Store) tuneTable(i int, tr *trace.Trace, opts TrainOptions, report *Tra
 	if err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	st.mu.Lock()
-	st.threshold = choice.Threshold
-	st.prefetch = true
-	st.mu.Unlock()
+	// Install the tuned threshold as an admission policy — the same
+	// cache.ThresholdAdmit implementation the miniature-cache simulation
+	// just evaluated, so serving behaves exactly as simulated.
+	st.mutateState(func(ts *tableState) {
+		ts.threshold = choice.Threshold
+		ts.prefetch = true
+		ts.policy = cache.ThresholdAdmit{Counts: counts, Threshold: choice.Threshold}
+	})
 
 	rep := &report.Tables[i]
 	rep.Threshold = choice.Threshold

@@ -1,0 +1,162 @@
+package lru
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Sharded is a concurrency-safe LRU cache split into independently locked
+// shards. Keys are routed to shards by hash, so lookups of different keys
+// proceed in parallel on different shards and the cache scales with the
+// number of cores instead of serializing behind one lock.
+//
+// The total capacity is divided exactly across the shards (the remainder
+// goes to the first capacity%shards shards), so the sharded cache never
+// holds more items than requested. Each shard is a segmented Cache, which
+// approximates a global LRU: recency is exact within a shard and the hash
+// spreads keys uniformly, so the eviction behaviour converges to the
+// unsharded cache as the per-shard population grows. Positional insertion
+// (AddAt) applies the position within the key's shard, preserving the
+// paper's queue-position semantics per shard.
+type Sharded[K comparable, V any] struct {
+	hash     func(K) uint64
+	mask     uint64
+	capacity int
+	shards   []lockedShard[K, V]
+}
+
+// lockedShard pairs one shard's cache with its lock. The padding keeps
+// neighbouring shard locks on different cache lines so uncontended shards do
+// not false-share.
+type lockedShard[K comparable, V any] struct {
+	mu sync.Mutex
+	c  *Cache[K, V]
+	_  [40]byte
+}
+
+// NewSharded creates a sharded cache with the given total capacity. shards
+// is rounded up to a power of two, then halved until the shard count does
+// not exceed the capacity (so every shard holds at least one item); a value
+// <= 0 selects a single shard. hash routes keys to shards; nil selects a
+// seeded maphash, which works for any comparable key type.
+func NewSharded[K comparable, V any](capacity, shards int, hash func(K) uint64) *Sharded[K, V] {
+	if capacity <= 0 {
+		panic("lru: sharded capacity must be positive")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	if hash == nil {
+		seed := maphash.MakeSeed()
+		hash = func(k K) uint64 { return maphash.Comparable(seed, k) }
+	}
+	s := &Sharded[K, V]{
+		hash:     hash,
+		mask:     uint64(n - 1),
+		capacity: capacity,
+		shards:   make([]lockedShard[K, V], n),
+	}
+	base, rem := capacity/n, capacity%n
+	for i := range s.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		s.shards[i].c = New[K, V](c)
+	}
+	return s
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
+
+// Cap returns the total capacity (the sum of the shard capacities).
+func (s *Sharded[K, V]) Cap() int { return s.capacity }
+
+// Len returns the number of cached items across all shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (s *Sharded[K, V]) shardOf(key K) *lockedShard[K, V] {
+	return &s.shards[s.hash(key)&s.mask]
+}
+
+// Get returns the value for key and promotes it to the MRU position of its
+// shard.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	v, ok := sh.c.Get(key)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Contains reports whether key is cached, without affecting recency.
+func (s *Sharded[K, V]) Contains(key K) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	ok := sh.c.Contains(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Add inserts key at the MRU position of its shard (or promotes and updates
+// it if already present).
+func (s *Sharded[K, V]) Add(key K, value V) {
+	s.AddAt(key, value, 0)
+}
+
+// AddAt inserts key at queue position pos in [0, 1] within its shard.
+func (s *Sharded[K, V]) AddAt(key K, value V, pos float64) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.c.AddAt(key, value, pos)
+	sh.mu.Unlock()
+}
+
+// Remove deletes key and reports whether it was present.
+func (s *Sharded[K, V]) Remove(key K) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	ok := sh.c.Remove(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Do runs fn on the shard that owns key while holding that shard's lock,
+// allowing compound read-modify-write operations (e.g. get-and-flag, or
+// check-then-insert) to execute atomically with respect to other accesses of
+// the same shard. fn must not call back into the Sharded cache.
+func (s *Sharded[K, V]) Do(key K, fn func(c *Cache[K, V])) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	fn(sh.c)
+	sh.mu.Unlock()
+}
+
+// ForEachShard runs fn on every shard in turn, holding each shard's lock for
+// the duration of its call. Intended for whole-cache maintenance (stats,
+// clearing); fn must not call back into the Sharded cache.
+func (s *Sharded[K, V]) ForEachShard(fn func(c *Cache[K, V])) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		fn(sh.c)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,130 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[uint32, int](64, 4, nil)
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	if s.Cap() < 64 {
+		t.Fatalf("Cap = %d, want >= 64", s.Cap())
+	}
+	for i := uint32(0); i < 32; i++ {
+		s.Add(i, int(i)*10)
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+	for i := uint32(0); i < 32; i++ {
+		v, ok := s.Get(i)
+		if !ok || v != int(i)*10 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if !s.Contains(5) {
+		t.Fatal("Contains(5) = false")
+	}
+	if !s.Remove(5) || s.Contains(5) {
+		t.Fatal("Remove(5) did not delete the key")
+	}
+	if s.Remove(5) {
+		t.Fatal("second Remove(5) reported success")
+	}
+}
+
+func TestShardedRounding(t *testing.T) {
+	// Shard count rounds up to a power of two, then halves until it fits
+	// within the capacity.
+	s := NewSharded[int, int](100, 5, nil)
+	if s.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", s.NumShards())
+	}
+	s = NewSharded[int, int](3, 16, nil)
+	if s.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", s.NumShards())
+	}
+	if s.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", s.Cap())
+	}
+	s = NewSharded[int, int](10, 0, nil)
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", s.NumShards())
+	}
+}
+
+func TestShardedCapacityExact(t *testing.T) {
+	// The per-shard split must never let the total exceed the requested
+	// capacity, including when the capacity is not a multiple of the shard
+	// count.
+	for _, tc := range []struct{ capacity, shards int }{
+		{5, 6}, {300, 256}, {64, 4}, {7, 2}, {1, 8}, {250, 8},
+	} {
+		s := NewSharded[uint32, int](tc.capacity, tc.shards, nil)
+		if s.Cap() != tc.capacity {
+			t.Fatalf("cap(%d,%d): Cap = %d", tc.capacity, tc.shards, s.Cap())
+		}
+		for i := uint32(0); i < uint32(4*tc.capacity+16); i++ {
+			s.Add(i, int(i))
+		}
+		if s.Len() > tc.capacity {
+			t.Fatalf("cap(%d,%d): Len = %d exceeds capacity", tc.capacity, tc.shards, s.Len())
+		}
+	}
+}
+
+func TestShardedEvictsWithinCapacity(t *testing.T) {
+	s := NewSharded[uint32, int](64, 4, nil)
+	for i := uint32(0); i < 10_000; i++ {
+		s.Add(i, int(i))
+	}
+	if got, max := s.Len(), s.Cap(); got > max {
+		t.Fatalf("Len = %d exceeds capacity %d", got, max)
+	}
+}
+
+func TestShardedDoCompound(t *testing.T) {
+	s := NewSharded[uint32, *int](16, 2, nil)
+	v := 7
+	s.Add(1, &v)
+	// Mutate the stored value in place under the shard lock.
+	s.Do(1, func(c *Cache[uint32, *int]) {
+		if p, ok := c.Get(1); ok {
+			*p = 42
+		}
+	})
+	p, ok := s.Get(1)
+	if !ok || *p != 42 {
+		t.Fatalf("Get(1) after Do = %v, %v", p, ok)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[uint32, uint32](1024, 8, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := uint32((w*5000 + i) % 2048)
+				if v, ok := s.Get(k); ok && v != k*3 {
+					t.Errorf("Get(%d) = %d, want %d", k, v, k*3)
+					return
+				}
+				s.Add(k, k*3)
+				s.Contains(k)
+				if i%97 == 0 {
+					s.Remove(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > s.Cap() {
+		t.Fatalf("Len %d over capacity %d", s.Len(), s.Cap())
+	}
+}

@@ -32,6 +32,53 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// StripedCounter is a counter spread across cache-line-padded slots so that
+// many goroutines incrementing concurrently do not contend on one cache
+// line. Callers supply a stripe selector (any well-distributed hash, e.g.
+// the key hash they already computed); Value sums the slots.
+type StripedCounter struct {
+	slots []paddedInt64
+	mask  uint64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewStripedCounter creates a counter with the given number of stripes,
+// rounded up to a power of two (minimum 1).
+func NewStripedCounter(stripes int) *StripedCounter {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &StripedCounter{slots: make([]paddedInt64, n), mask: uint64(n - 1)}
+}
+
+// Inc increments the stripe selected by hash.
+func (c *StripedCounter) Inc(hash uint64) { c.slots[hash&c.mask].v.Add(1) }
+
+// Add increments the stripe selected by hash by delta.
+func (c *StripedCounter) Add(hash uint64, delta int64) { c.slots[hash&c.mask].v.Add(delta) }
+
+// Value returns the sum of all stripes. Concurrent increments may or may
+// not be included, as with any relaxed counter read.
+func (c *StripedCounter) Value() int64 {
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].v.Load()
+	}
+	return sum
+}
+
+// Reset zeroes every stripe.
+func (c *StripedCounter) Reset() {
+	for i := range c.slots {
+		c.slots[i].v.Store(0)
+	}
+}
+
 // Gauge is a settable 64-bit value.
 type Gauge struct {
 	v atomic.Int64
@@ -39,6 +86,10 @@ type Gauge struct {
 
 // Set stores v.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta and returns the new value (e.g. in-flight
+// request tracking).
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
 
 // Value returns the stored value.
 func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -232,3 +232,56 @@ func TestWelfordFewSamples(t *testing.T) {
 		t.Fatalf("variance of single sample should be 0")
 	}
 }
+
+func TestStripedCounter(t *testing.T) {
+	c := NewStripedCounter(8)
+	for i := 0; i < 1000; i++ {
+		c.Inc(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	c.Add(3, 500)
+	if got := c.Value(); got != 1500 {
+		t.Fatalf("Value = %d, want 1500", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value after Reset = %d", got)
+	}
+	// Stripe count rounds up to a power of two, minimum 1.
+	if n := len(NewStripedCounter(0).slots); n != 1 {
+		t.Fatalf("0 stripes -> %d slots, want 1", n)
+	}
+	if n := len(NewStripedCounter(5).slots); n != 8 {
+		t.Fatalf("5 stripes -> %d slots, want 8", n)
+	}
+}
+
+func TestStripedCounterConcurrent(t *testing.T) {
+	c := NewStripedCounter(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				c.Inc(uint64(w*10_000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 80_000 {
+		t.Fatalf("Value = %d, want 80000", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	if got := g.Add(5); got != 5 {
+		t.Fatalf("Add(5) = %d", got)
+	}
+	if got := g.Add(-2); got != 3 {
+		t.Fatalf("Add(-2) = %d", got)
+	}
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+}

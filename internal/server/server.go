@@ -10,7 +10,13 @@
 //	GET  /v1/lookup?table=T&id=N         single embedding vector
 //	POST /v1/batch                       {"table": "...", "ids": [...]}
 //	POST /v1/request                     {"lookups": [[...], [...], ...]} (one ID list per table)
-//	GET  /v1/stats                       per-table serving stats + NVM device stats
+//	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats
+//
+// net/http serves each request on its own goroutine; the store's sharded
+// caches let those goroutines proceed in parallel, so the service scales
+// with GOMAXPROCS instead of serializing lookups behind a per-table lock.
+// The server tracks request count, error count, in-flight requests and
+// request latency, reported under "server" in /v1/stats.
 package server
 
 import (
@@ -18,19 +24,30 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"bandana/internal/core"
+	"bandana/internal/metrics"
 )
 
 // Server wraps a core.Store with HTTP handlers.
 type Server struct {
 	store *core.Store
 	mux   *http.ServeMux
+
+	requests metrics.Counter
+	errors   metrics.Counter
+	inflight metrics.Gauge
+	latency  *metrics.Histogram
 }
 
 // New creates a Server around an opened (and usually trained) store.
 func New(store *core.Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{
+		store:   store,
+		mux:     http.NewServeMux(),
+		latency: metrics.NewLatencyHistogram(),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
@@ -41,7 +58,41 @@ func New(store *core.Store) *Server {
 }
 
 // Handler returns the HTTP handler (for use with http.Server or httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Every request is instrumented with the server's request metrics.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps next with request counting, in-flight tracking and
+// latency measurement.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests.Inc()
+		s.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (net/http recovers it per
+		// connection) cannot leak the in-flight count or drop the
+		// request from the latency/error metrics.
+		defer func() {
+			s.inflight.Add(-1)
+			if rec.status >= 400 {
+				s.errors.Inc()
+			}
+			s.latency.ObserveDuration(time.Since(start))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -172,10 +223,19 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
 }
 
-// statsResponse bundles per-table and device statistics.
+// statsResponse bundles per-table, device and server statistics.
 type statsResponse struct {
 	Tables []core.TableStats `json:"tables"`
 	Device deviceStats       `json:"device"`
+	Server serverStats       `json:"server"`
+}
+
+// serverStats reports the HTTP layer's own counters.
+type serverStats struct {
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"`
+	InFlight int64            `json:"inFlight"`
+	Latency  metrics.Snapshot `json:"latencyUS"`
 }
 
 type deviceStats struct {
@@ -196,6 +256,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			BytesRead:     dev.BytesRead,
 			DriveWrites:   dev.DriveWrites,
 			EnduranceDWPD: dev.EnduranceDWPD,
+		},
+		Server: serverStats{
+			Requests: s.requests.Value(),
+			Errors:   s.errors.Value(),
+			InFlight: s.inflight.Value(),
+			Latency:  s.latency.Snapshot(),
 		},
 	})
 }

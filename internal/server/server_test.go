@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"bandana/internal/core"
@@ -193,5 +195,75 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if out.Device.EnduranceDWPD <= 0 {
 		t.Fatalf("endurance budget missing")
+	}
+	// The instrumentation middleware must have counted the traffic above
+	// (2 lookups + this stats request).
+	if out.Server.Requests < 3 {
+		t.Fatalf("server requests = %d, want >= 3", out.Server.Requests)
+	}
+	if out.Server.Errors != 0 {
+		t.Fatalf("server errors = %d, want 0", out.Server.Errors)
+	}
+}
+
+func TestServerErrorCounting(t *testing.T) {
+	ts, _ := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/lookup?table=nosuch&id=1", nil)
+	getJSON(t, ts.URL+"/v1/lookup?table=tA", nil)
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Server.Errors != 2 {
+		t.Fatalf("server errors = %d, want 2", out.Server.Errors)
+	}
+}
+
+// TestConcurrentRequests exercises the full HTTP path from many goroutines —
+// net/http already runs handlers concurrently, and the sharded store must
+// keep its counters consistent under that load.
+func TestConcurrentRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := uint32((w*perWorker + i) % 2048)
+				var out lookupResponse
+				if code := getJSON(t, fmt.Sprintf("%s/v1/lookup?table=tA&id=%d", ts.URL, id), &out); code != http.StatusOK {
+					t.Errorf("lookup status %d", code)
+					return
+				}
+				if len(out.Vector) != 16 {
+					t.Errorf("vector length %d", len(out.Vector))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	tbl := out.Tables[0]
+	if tbl.Lookups != workers*perWorker {
+		t.Fatalf("table lookups = %d, want %d", tbl.Lookups, workers*perWorker)
+	}
+	if tbl.Hits+tbl.Misses != tbl.Lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", tbl.Hits, tbl.Misses, tbl.Lookups)
+	}
+	if out.Server.Requests < workers*perWorker {
+		t.Fatalf("server requests = %d, want >= %d", out.Server.Requests, workers*perWorker)
+	}
+	if out.Server.InFlight != 1 { // just this stats request
+		t.Fatalf("in-flight = %d, want 1", out.Server.InFlight)
 	}
 }
