@@ -94,8 +94,36 @@ type Request = core.Request
 
 // Open creates a Store from a Config: it sizes the NVM device, writes every
 // table to it and starts serving lookups with per-table LRU caches (no
-// prefetching until Train is called).
+// prefetching until Train is called). With Config.Backend == BackendFile the
+// blocks live in a durable journaled file under Config.DataDir and reopening
+// the directory restores tables and trained state without retraining.
 func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// Backend selection for Config.Backend.
+const (
+	// BackendMem keeps blocks in RAM (the default).
+	BackendMem = core.BackendMem
+	// BackendFile stores blocks in a durable journaled file under
+	// Config.DataDir.
+	BackendFile = core.BackendFile
+)
+
+// SyncMode selects the file backend's durability mode (Config.Sync).
+type SyncMode = nvm.SyncMode
+
+// File backend durability modes.
+const (
+	SyncNone     = nvm.SyncNone
+	SyncPeriodic = nvm.SyncPeriodic
+	SyncAlways   = nvm.SyncAlways
+)
+
+// ParseSyncMode parses "none", "periodic" or "always".
+func ParseSyncMode(s string) (SyncMode, error) { return nvm.ParseSyncMode(s) }
+
+// DirInitialized reports whether dir holds an initialized file-backed store
+// that Open can restore without tables or retraining.
+func DirInitialized(dir string) bool { return core.DirInitialized(dir) }
 
 // DefaultCacheShards is the default number of lock shards per table cache,
 // derived from GOMAXPROCS. Override with Config.CacheShards.

@@ -5,26 +5,38 @@
 // and serves lookups over JSON/HTTP. It is the network-facing counterpart of
 // examples/recommender and is meant for load testing and demos.
 //
+// With --backend=file the tables live in a durable journaled block file
+// under --data-dir: the first run writes and trains them, and later runs
+// reopen the directory — replaying the write journal if the previous process
+// died mid-write — and serve identical vectors without regenerating or
+// retraining anything. (`bandana init` pre-builds such a directory.)
+//
 // Usage:
 //
 //	bandana-server --addr :8080 --scale 0.001 --train
+//	bandana-server --backend file --data-dir /var/lib/bandana --sync periodic
 //	curl 'localhost:8080/v1/lookup?table=table1&id=42'
 //	curl -d '{"table":"table2","ids":[1,2,3]}' localhost:8080/v1/batch
 //	curl localhost:8080/v1/stats
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"bandana/internal/core"
+	"bandana/internal/nvm"
 	"bandana/internal/server"
-	"bandana/internal/table"
+	"bandana/internal/synth"
 	"bandana/internal/trace"
 )
 
@@ -39,6 +51,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		stateOut = flag.String("save-state", "", "write the trained state to this file before serving")
 		shards   = flag.Int("shards", 0, "cache lock shards per table (0 = auto from GOMAXPROCS)")
+		backend  = flag.String("backend", core.BackendMem, "block store backend: mem or file")
+		dataDir  = flag.String("data-dir", "", "data directory for the file backend (reused across runs)")
+		syncStr  = flag.String("sync", "periodic", "file backend durability: none, periodic or always")
 	)
 	flag.Parse()
 	if *tables < 1 {
@@ -47,71 +62,149 @@ func main() {
 	if *tables > 8 {
 		*tables = 8
 	}
-
-	log.Printf("generating %d synthetic tables at scale %g", *tables, *scale)
-	profiles := trace.DefaultProfiles(*scale)[:*tables]
-	for i := range profiles {
-		profiles[i].Seed += *seed * 100
-	}
-	workload := trace.GenerateWorkload(profiles, *requests)
-	embTables := make([]*table.Table, len(profiles))
-	for i, p := range profiles {
-		g := table.Generate(p.Name, table.GenerateOptions{
-			NumVectors:  p.NumVectors,
-			Dim:         64,
-			NumClusters: p.NumVectors / trace.DefaultCommunitySize,
-			Seed:        *seed + int64(i),
-			Assignments: workload.Communities[i],
-		})
-		embTables[i] = g.Table
-	}
-
-	store, err := core.Open(core.Config{
-		Tables:            embTables,
-		DRAMBudgetVectors: *budget,
-		Seed:              *seed,
-		CacheShards:       *shards,
-	})
+	syncMode, err := nvm.ParseSyncMode(*syncStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
+
+	if *backend != core.BackendFile && *dataDir != "" {
+		log.Fatalf("--data-dir requires --backend %s (got --backend %s)", core.BackendFile, *backend)
+	}
+	cfg := core.Config{
+		DRAMBudgetVectors: *budget,
+		Seed:              *seed,
+		CacheShards:       *shards,
+		Backend:           *backend,
+		DataDir:           *dataDir,
+		Sync:              syncMode,
+	}
+
+	reopening := *backend == core.BackendFile && core.DirInitialized(*dataDir)
+	if reopening {
+		log.Printf("reopening initialized data dir %s (no regeneration, no retraining)", *dataDir)
+	} else {
+		log.Printf("generating %d synthetic tables at scale %g", *tables, *scale)
+		embTables, workload := synth.Build(*scale, *tables, *seed, *requests)
+		cfg.Tables = embTables
+
+		store, err := openAndMaybeTrain(cfg, workload, *train, *requests, *stateOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serve(store, *addr)
+		return
+	}
+
+	store, err := core.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec := store.DeviceStats().Store.RecoveredRecords; rec > 0 {
+		log.Printf("journal recovery replayed %d block write(s) from the previous run", rec)
+	}
+	if *train {
+		log.Printf("--train ignored: a reopened data dir serves its persisted state (train at init time with 'bandana init --train')")
+	}
+	if *stateOut != "" {
+		if err := writeStateFile(store, *stateOut); err != nil {
+			store.Close()
+			log.Fatal(err)
+		}
+		log.Printf("trained state written to %s", *stateOut)
+	}
+	serve(store, *addr)
+}
+
+// writeStateFile dumps the store's trained state to path.
+func writeStateFile(store *core.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.SaveState(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openAndMaybeTrain opens a freshly generated store and trains it from the
+// synthetic workload. On the file backend, Train persists the result to the
+// data dir so the next run can skip all of this.
+func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, requests int, stateOut string) (*core.Store, error) {
+	store, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
 	log.Printf("serving with GOMAXPROCS=%d, %d cache shards per table",
 		runtime.GOMAXPROCS(0), store.Stats()[0].CacheShards)
 
-	if *train {
-		log.Printf("training placement and caching on %d requests...", *requests)
+	if train {
+		log.Printf("training placement and caching on %d requests...", requests)
 		start := time.Now()
 		report, err := store.Train(workload.Traces, core.TrainOptions{})
 		if err != nil {
-			log.Fatal(err)
+			store.Close()
+			return nil, err
 		}
 		for _, tr := range report.Tables {
 			log.Printf("  %-10s fanout %.1f -> %.1f, cache %d vectors, threshold %d",
 				tr.Name, tr.InitialFanout, tr.FinalFanout, tr.CacheVectors, tr.Threshold)
 		}
 		log.Printf("training finished in %s", time.Since(start).Round(time.Millisecond))
-		if *stateOut != "" {
-			f, err := os.Create(*stateOut)
-			if err != nil {
-				log.Fatal(err)
+		if dir := store.DataDir(); dir != "" {
+			log.Printf("trained state persisted to %s", dir)
+		}
+		if stateOut != "" {
+			if err := writeStateFile(store, stateOut); err != nil {
+				store.Close()
+				return nil, err
 			}
-			if err := store.SaveState(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("trained state written to %s", *stateOut)
+			log.Printf("trained state written to %s", stateOut)
 		}
 	}
+	return store, nil
+}
 
+func serve(store *core.Store, addr string) {
 	srv := server.New(store)
 	httpServer := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("bandana-server listening on %s (%d tables, %s)\n", *addr, store.NumTables(), store.Device())
-	log.Fatal(httpServer.ListenAndServe())
+
+	// SIGINT/SIGTERM drain the listener and then Close the store: on the
+	// file backend a clean Close flushes and retires the write journal, so
+	// an ordinary restart reports recoveredRecords == 0.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigc
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		// Bounded drain: requests still running after the grace period are
+		// abandoned and will see errors from the closing store.
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("drain timed out, closing with requests in flight: %v", err)
+		}
+	}()
+
+	fmt.Printf("bandana-server listening on %s (%d tables, %s, backend %s)\n",
+		addr, store.NumTables(), store.Device(), store.DeviceStats().Store.Backend)
+	err := httpServer.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		store.Close()
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the
+	// bounded drain before closing the store.
+	<-drained
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("clean shutdown: store closed")
 }

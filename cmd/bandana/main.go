@@ -1,6 +1,7 @@
 // Command bandana runs the Bandana experiment suite: it regenerates the
 // tables and figures of the paper's evaluation against the simulated NVM
-// substrate and prints them as text tables.
+// substrate and prints them as text tables. It also initializes durable
+// data directories (`bandana init`) that bandana-server reopens across runs.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	bandana run --exp fig9            # run one experiment
 //	bandana run --all                 # run the full evaluation
 //	bandana run --all --quick         # reduced sizes (smoke test)
+//	bandana init --data-dir /var/lib/bandana --scale 0.001 --train
 //
 // Scale flags let you trade fidelity for runtime; see DESIGN.md for how the
 // default scale maps to the paper's table sizes.
@@ -37,6 +39,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+	case "init":
+		if err := initCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -52,6 +59,8 @@ func usage() {
 commands:
   list                list available experiments
   run [flags]         run experiments
+  init [flags]        write (and optionally train) a durable data dir that
+                      bandana-server --backend=file reopens without retraining
 
 run flags:
   --exp <id>          experiment to run (repeatable via comma separation)
@@ -60,6 +69,16 @@ run flags:
   --scale <f>         table size scale vs the paper (default 0.004)
   --train <n>         training requests (default 3000)
   --eval <n>          evaluation requests (default 1500)
+  --seed <n>          random seed (default 1)
+
+init flags:
+  --data-dir <dir>    target directory (required)
+  --scale <f>         table size scale (default 0.001)
+  --tables <n>        number of tables (default 3, max 8)
+  --requests <n>      training requests (default 1500)
+  --train             train placement + caching after ingest (default true)
+  --dram <n>          DRAM budget in vectors (default: 5% of all vectors)
+  --sync <mode>       durability mode: none, periodic, always (default periodic)
   --seed <n>          random seed (default 1)`)
 }
 

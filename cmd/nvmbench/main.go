@@ -7,6 +7,7 @@
 //
 //	nvmbench --mode qd                  # queue depth sweep (Figure 2)
 //	nvmbench --mode load --vector 128   # latency vs load (Figure 5)
+//	nvmbench --mode qd --backend file --data-dir /tmp/bench --sync always
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"bandana/internal/nvm"
 )
@@ -26,10 +28,53 @@ func main() {
 		blocks     = flag.Int("blocks", 8192, "device size in 4 KB blocks")
 		vectorSize = flag.Int("vector", 128, "vector size in bytes (load mode baseline)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		backend    = flag.String("backend", "mem", "block store backend: mem or file")
+		dataDir    = flag.String("data-dir", "", "directory for the file backend's block file (default: temp dir)")
+		syncStr    = flag.String("sync", "none", "file backend durability: none, periodic or always")
 	)
 	flag.Parse()
+	// Validate the mode before creating any backing store, so a typo does
+	// not leave a file store opened (and its temp dir leaked via os.Exit).
+	if *mode != "qd" && *mode != "load" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
 
-	device := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: *blocks, Seed: *seed})
+	var store nvm.BlockStore
+	switch *backend {
+	case "mem":
+		// nil lets NewDevice create a MemStore of the right size.
+	case "file":
+		syncMode, err := nvm.ParseSyncMode(*syncStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dir := *dataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "nvmbench-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fs, _, err := nvm.OpenOrCreateFileStore(filepath.Join(dir, "bench-blocks.bnd"), *blocks,
+			nvm.FileStoreOptions{Sync: syncMode})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store = fs
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+
+	device := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: *blocks, Store: store, Seed: *seed})
 	defer device.Close()
 
 	switch *mode {

@@ -1,0 +1,103 @@
+package bandana_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"bandana"
+)
+
+// TestGoldenQuickstartHitRatios pins the end-to-end policy behaviour of the
+// quickstart scenario (examples/quickstart): two scaled-down tables, a 1200
+// request synthetic workload, train on a 60% prefix and serve the 40%
+// suffix. The trained hit ratios are the paper-relevant outcome of the whole
+// pipeline — SHP placement, DRAM allocation, miniature-cache threshold
+// tuning, prefetch admission — so a silent change in any of those layers
+// shows up here. Everything is seeded, so the expected values are exact
+// today; the tolerance absorbs deliberate small reshuffles (e.g. sharded-LRU
+// eviction order), not policy regressions.
+//
+// Golden values (seed 1, scale 0.001): baseline 0.54/0.48, trained
+// 0.58/0.49.
+func TestGoldenQuickstartHitRatios(t *testing.T) {
+	for _, backend := range []string{bandana.BackendMem, bandana.BackendFile} {
+		t.Run(backend, func(t *testing.T) {
+			runGoldenQuickstart(t, backend)
+		})
+	}
+}
+
+func runGoldenQuickstart(t *testing.T, backend string) {
+	profiles := bandana.DefaultProfiles(0.001)[:2]
+	workload := bandana.GenerateWorkload(profiles, 1200)
+	tables := make([]*bandana.Table, len(profiles))
+	for i, p := range profiles {
+		g := bandana.GenerateTable(p.Name, bandana.TableGenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         64,
+			NumClusters: p.NumVectors / 64,
+			Seed:        int64(i),
+			Assignments: workload.Communities[i],
+		})
+		tables[i] = g.Table
+	}
+	cfg := bandana.Config{Tables: tables, DRAMBudgetVectors: 1200, Seed: 1}
+	if backend == bandana.BackendFile {
+		cfg.Backend = bandana.BackendFile
+		cfg.DataDir = filepath.Join(t.TempDir(), "store")
+	}
+	store, err := bandana.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	trains := make([]*bandana.Trace, len(workload.Traces))
+	evals := make([]*bandana.Trace, len(workload.Traces))
+	for i, tr := range workload.Traces {
+		trains[i], evals[i] = tr.Split(0.6)
+	}
+	serve := func() []bandana.TableStats {
+		store.ResetStats()
+		for ti, tr := range evals {
+			for _, q := range tr.Queries {
+				if _, err := store.LookupBatch(ti, q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return store.Stats()
+	}
+
+	const tol = 0.02
+	checkHitRate := func(phase string, stats []bandana.TableStats, want []float64) {
+		t.Helper()
+		for i, w := range want {
+			if got := stats[i].HitRate; math.Abs(got-w) > tol {
+				t.Errorf("%s %s hit ratio = %.4f, want %.2f±%.2f", phase, stats[i].Name, got, w, tol)
+			}
+		}
+	}
+
+	baseline := serve()
+	checkHitRate("baseline", baseline, []float64{0.54, 0.48})
+
+	if _, err := store.Train(trains, bandana.TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	trained := serve()
+	checkHitRate("trained", trained, []float64{0.58, 0.49})
+
+	// Training must actually pay off: fewer NVM block reads for the same
+	// workload on every table (the paper's effective-bandwidth win).
+	for i := range trained {
+		if trained[i].BlockReads >= baseline[i].BlockReads {
+			t.Errorf("table %s: block reads did not improve (%d -> %d)",
+				trained[i].Name, baseline[i].BlockReads, trained[i].BlockReads)
+		}
+		if !trained[i].Prefetching {
+			t.Errorf("table %s: training did not enable prefetching", trained[i].Name)
+		}
+	}
+}

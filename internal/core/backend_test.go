@@ -1,0 +1,414 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bandana/internal/nvm"
+)
+
+// testBackendConfig adjusts cfg to the backend selected by the
+// BANDANA_TEST_BACKEND environment variable, which CI uses to run the core
+// suite against both backends. Default (unset or "mem") leaves cfg alone;
+// "file" switches to the durable backend over a per-test temp dir.
+func testBackendConfig(t *testing.T, cfg Config) Config {
+	t.Helper()
+	if os.Getenv("BANDANA_TEST_BACKEND") == BackendFile {
+		cfg.Backend = BackendFile
+		cfg.DataDir = filepath.Join(t.TempDir(), "store")
+	}
+	return cfg
+}
+
+func vecsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(float64(a[i])) && math.IsNaN(float64(b[i]))) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossBackendStoreEquivalence trains and serves the identical workload
+// on a mem-backed and a file-backed store and asserts they are
+// indistinguishable: same lookup results, same hit ratios, same per-table
+// counters, and byte-identical NVM block images.
+func TestCrossBackendStoreEquivalence(t *testing.T) {
+	tables, traces := buildTestTables(t, 2, 2048, 150)
+
+	memStore, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memStore.Close()
+	fileStore, err := Open(Config{
+		Tables:            tables,
+		DRAMBudgetVectors: 256,
+		Seed:              7,
+		Backend:           BackendFile,
+		DataDir:           filepath.Join(t.TempDir(), "store"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileStore.Close()
+
+	if _, err := memStore.Train(traces, TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fileStore.Train(traces, TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the same query stream on both and compare every result.
+	for ti, tr := range traces {
+		for qi, q := range tr.Queries {
+			if qi >= 60 {
+				break
+			}
+			mv, err := memStore.LookupBatch(ti, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fv, err := fileStore.LookupBatch(ti, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range mv {
+				if !vecsEqual(mv[i], fv[i]) {
+					t.Fatalf("table %d query %d id %d: backends return different vectors", ti, qi, q[i])
+				}
+			}
+		}
+	}
+
+	// Serving counters (and therefore hit ratios) must match exactly: the
+	// trained layouts, thresholds and cache decisions are seed-deterministic
+	// and independent of the backing medium.
+	ms, fs := memStore.Stats(), fileStore.Stats()
+	for i := range ms {
+		if ms[i].Lookups != fs[i].Lookups || ms[i].Hits != fs[i].Hits ||
+			ms[i].Misses != fs[i].Misses || ms[i].BlockReads != fs[i].BlockReads {
+			t.Fatalf("table %s counters diverge: mem %+v file %+v", ms[i].Name, ms[i], fs[i])
+		}
+		if ms[i].HitRate != fs[i].HitRate {
+			t.Fatalf("table %s hit ratio diverges: %v vs %v", ms[i].Name, ms[i].HitRate, fs[i].HitRate)
+		}
+		if ms[i].Threshold != fs[i].Threshold || ms[i].Prefetching != fs[i].Prefetching {
+			t.Fatalf("table %s trained state diverges", ms[i].Name)
+		}
+	}
+
+	// And the raw block images are byte-identical.
+	if memStore.Device().NumBlocks() != fileStore.Device().NumBlocks() {
+		t.Fatalf("device sizes diverge")
+	}
+	mb := make([]byte, nvm.BlockSize)
+	fb := make([]byte, nvm.BlockSize)
+	for b := 0; b < memStore.Device().NumBlocks(); b++ {
+		if _, err := memStore.Device().ReadBlock(b, mb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fileStore.Device().ReadBlock(b, fb); err != nil {
+			t.Fatal(err)
+		}
+		for i := range mb {
+			if mb[i] != fb[i] {
+				t.Fatalf("block %d byte %d diverges between backends", b, i)
+			}
+		}
+	}
+}
+
+// TestFileBackendReopenServesWithoutRetraining is the durability acceptance
+// path: init a data dir, train, kill the store, reopen with no tables and no
+// training, and get identical vectors and trained behaviour back.
+func TestFileBackendReopenServesWithoutRetraining(t *testing.T) {
+	tables, traces := buildTestTables(t, 2, 2048, 150)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	s, err := Open(Config{
+		Tables:            tables,
+		DRAMBudgetVectors: 256,
+		Seed:              3,
+		Backend:           BackendFile,
+		DataDir:           dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DirInitialized(dir) {
+		t.Fatal("data dir not initialized by Open")
+	}
+	report, err := s.Train(traces, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite one vector after training: the update must survive too.
+	updated := make([]float32, tables[0].Dim)
+	for i := range updated {
+		updated[i] = float32(i) / 4 // fp16-exact
+	}
+	if err := s.UpdateVector(0, 42, updated); err != nil {
+		t.Fatal(err)
+	}
+
+	type probe struct {
+		table int
+		id    uint32
+	}
+	probes := []probe{{0, 0}, {0, 42}, {0, 2047}, {1, 1}, {1, 777}, {1, 1500}}
+	want := make([][]float32, len(probes))
+	for i, p := range probes {
+		vec, err := s.Lookup(p.table, p.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float32(nil), vec...)
+	}
+	wantStats := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: no Tables, no Train.
+	r, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumTables() != 2 {
+		t.Fatalf("reopened with %d tables", r.NumTables())
+	}
+	for i, p := range probes {
+		vec, err := r.Lookup(p.table, p.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecsEqual(vec, want[i]) {
+			t.Fatalf("table %d id %d: vector changed across restart", p.table, p.id)
+		}
+	}
+	rs := r.Stats()
+	for i := range rs {
+		if !rs[i].Prefetching {
+			t.Fatalf("table %s: prefetching lost across restart", rs[i].Name)
+		}
+		if rs[i].Threshold != wantStats[i].Threshold {
+			t.Fatalf("table %s: threshold %d != %d across restart", rs[i].Name, rs[i].Threshold, wantStats[i].Threshold)
+		}
+		if rs[i].CacheVectors != wantStats[i].CacheVectors {
+			t.Fatalf("table %s: cache allocation %d != %d across restart", rs[i].Name, rs[i].CacheVectors, wantStats[i].CacheVectors)
+		}
+		if rs[i].Policy != "threshold-admit" {
+			t.Fatalf("table %s: policy %q after reopen", rs[i].Name, rs[i].Policy)
+		}
+		if rs[i].Threshold != report.Tables[i].Threshold {
+			t.Fatalf("table %s: reopened threshold differs from training report", rs[i].Name)
+		}
+	}
+	if got := r.DeviceStats().Store.Backend; got != "file" {
+		t.Fatalf("backend reported as %q", got)
+	}
+}
+
+// TestFileBackendUntrainedReopen covers a dir that was initialized but never
+// trained: reopen restores identity layouts and baseline caching.
+func TestFileBackendUntrainedReopen(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 512, 10)
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := s.Lookup(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin = append([]float32(nil), origin...)
+	s.Close()
+
+	r, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	vec, err := r.Lookup(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsEqual(vec, origin) {
+		t.Fatal("untrained vectors changed across restart")
+	}
+	if st := r.Stats()[0]; st.Prefetching {
+		t.Fatal("untrained reopen must not enable prefetching")
+	}
+}
+
+func TestFileBackendValidation(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	if _, err := Open(Config{Tables: tables, Backend: BackendFile}); err == nil {
+		t.Fatal("file backend without DataDir must error")
+	}
+	if _, err := Open(Config{Tables: tables, DataDir: t.TempDir()}); err == nil {
+		t.Fatal("DataDir with mem backend must error")
+	}
+	if _, err := Open(Config{Tables: tables, Backend: "tape"}); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	dev := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: 64})
+	defer dev.Close()
+	if _, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: t.TempDir(), Device: dev}); err == nil {
+		t.Fatal("file backend with explicit Device must error")
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1}); err == nil {
+		t.Fatal("reopening an initialized dir with Tables set must error")
+	}
+}
+
+func TestFileBackendRejectsCorruptManifest(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, ManifestFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Backend: BackendFile, DataDir: dir}); err == nil {
+		t.Fatal("corrupt manifest must be rejected")
+	}
+}
+
+// TestFileBackendInterruptedRewriteDetected: a data dir whose previous
+// process died during a whole-table rewrite (Train/LoadState) carries the
+// rewrite marker and must refuse to reopen rather than decode a stale
+// layout; a completed rewrite cycle must clear the marker.
+func TestFileBackendInterruptedRewriteDetected(t *testing.T) {
+	tables, traces := buildTestTables(t, 1, 512, 40)
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(traces, TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// A clean Train cycle leaves no marker behind.
+	if _, err := os.Stat(filepath.Join(dir, rewriteMarkerName)); !os.IsNotExist(err) {
+		t.Fatalf("rewrite marker still present after Train: %v", err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-rewrite: the marker exists, state is stale.
+	if err := os.WriteFile(filepath.Join(dir, rewriteMarkerName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 1}); err == nil {
+		t.Fatal("reopen must refuse a dir with an interrupted rewrite")
+	}
+	if err := os.Remove(filepath.Join(dir, rewriteMarkerName)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}
+
+// A corrupted state.bnd must fail the reopen loudly (CRC trailer) — a
+// decodable-but-wrong saved order would otherwise silently serve wrong
+// vectors.
+func TestFileBackendRejectsCorruptState(t *testing.T) {
+	tables, traces := buildTestTables(t, 1, 512, 40)
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(traces, TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, StateFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 1}); err == nil {
+		t.Fatal("corrupt state file must be rejected at reopen")
+	}
+}
+
+// Version-1 state files (written before the CRC trailer existed) must still
+// decode.
+func TestStateVersion1StillAccepted(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	s, err := Open(Config{Tables: tables, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version varint (single byte, right after the 8-byte
+	// magic) to 1 and strip the v2 trailer.
+	v1 := append([]byte(nil), buf.Bytes()[:buf.Len()-4]...)
+	if v1[len(stateMagic)] != stateVersion {
+		t.Fatalf("unexpected version byte %d", v1[len(stateMagic)])
+	}
+	v1[len(stateMagic)] = 1
+	saved, err := decodeSavedStates(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 state rejected: %v", err)
+	}
+	if len(saved) != 1 || saved[0].name != tables[0].Name {
+		t.Fatalf("v1 decode wrong: %+v", saved)
+	}
+}
+
+func TestPersistRequiresDataDir(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	s, err := Open(Config{Tables: tables, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Persist(); err == nil {
+		t.Fatal("Persist on a mem-backed store must error")
+	}
+	if s.DataDir() != "" {
+		t.Fatal("mem store reports a data dir")
+	}
+}

@@ -30,7 +30,7 @@ func stressStore(t *testing.T) (*Store, []*trace.Trace) {
 		})
 		tables[i] = g.Table
 	}
-	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 800, Seed: 7})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: 800, Seed: 7}))
 	if err != nil {
 		t.Fatal(err)
 	}

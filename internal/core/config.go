@@ -26,11 +26,33 @@ import (
 	"bandana/internal/table"
 )
 
+// Backend names for Config.Backend.
+const (
+	// BackendMem keeps blocks in RAM (the default); nothing survives the
+	// process.
+	BackendMem = "mem"
+	// BackendFile stores blocks in a durable journaled file under
+	// Config.DataDir; tables and trained state survive restarts.
+	BackendFile = "file"
+)
+
 // Config configures a Store.
 type Config struct {
 	// Tables are the embedding tables to store. Their contents are copied
-	// onto the NVM device by Open.
+	// onto the NVM device by Open. Must be nil when reopening an already
+	// initialized DataDir: the tables are restored from disk.
 	Tables []*table.Table
+	// Backend selects the block store backing the NVM device when Device is
+	// nil: BackendMem (default) or BackendFile.
+	Backend string
+	// DataDir is the directory holding the file backend's block file,
+	// manifest and trained state (required for BackendFile). Opening an
+	// initialized directory restores tables, placement and caching from disk
+	// without retraining.
+	DataDir string
+	// Sync selects the file backend's durability mode (nvm.SyncNone,
+	// nvm.SyncPeriodic or nvm.SyncAlways).
+	Sync nvm.SyncMode
 	// DRAMBudgetVectors is the total number of vectors that may be cached
 	// in DRAM across all tables. Defaults to 5% of the total vector count.
 	DRAMBudgetVectors int

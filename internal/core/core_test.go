@@ -71,7 +71,7 @@ func TestOpenValidation(t *testing.T) {
 
 func TestOpenLookupRoundTrip(t *testing.T) {
 	tables, _ := buildTestTables(t, 2, 2048, 10)
-	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestOpenLookupRoundTrip(t *testing.T) {
 
 func TestLookupErrors(t *testing.T) {
 	tables, _ := buildTestTables(t, 1, 1024, 5)
-	s, err := Open(Config{Tables: tables, Seed: 1})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, Seed: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestLookupErrors(t *testing.T) {
 
 func TestLookupBatchAndServeRequest(t *testing.T) {
 	tables, _ := buildTestTables(t, 2, 1024, 5)
-	s, err := Open(Config{Tables: tables, Seed: 2})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, Seed: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestLookupBatchAndServeRequest(t *testing.T) {
 
 func TestTrainEnablesPrefetchingAndImprovesEffectiveBandwidth(t *testing.T) {
 	tables, traces := buildTestTables(t, 2, 4096, 1200)
-	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 600, Seed: 3})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: 600, Seed: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestTrainSkipOptions(t *testing.T) {
 
 func TestUpdateVectorWriteThrough(t *testing.T) {
 	tables, _ := buildTestTables(t, 1, 1024, 10)
-	s, err := Open(Config{Tables: tables, Seed: 6})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, Seed: 6}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestUpdateVectorWriteThrough(t *testing.T) {
 
 func TestConcurrentLookups(t *testing.T) {
 	tables, _ := buildTestTables(t, 2, 2048, 10)
-	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 300, Seed: 7})
+	s, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: 300, Seed: 7}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,450 @@
+// File-backed store lifecycle: a Config with Backend == BackendFile persists
+// the store under Config.DataDir as three files —
+//
+//	blocks.bnd    the journaled NVM block file (see nvm.FileStore)
+//	manifest.bnd  table geometry (names, dims, sizes, block spans) + CRC
+//	state.bnd     trained state in the SaveState format
+//
+// The manifest is written last (via temp file + rename) when a directory is
+// initialized, so a half-written data dir is simply re-initialized on the
+// next Open. Reopening an initialized directory replays the block file's
+// journal, rebuilds the in-memory tables from the block image using the
+// persisted layout, and installs the trained state without rewriting a
+// single block — a restarted server serves identical vectors without
+// retraining.
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bandana/internal/layout"
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+)
+
+const (
+	// BlocksFileName is the journaled block file inside a data dir.
+	BlocksFileName = "blocks.bnd"
+	// ManifestFileName is the table-geometry manifest inside a data dir.
+	ManifestFileName = "manifest.bnd"
+	// StateFileName is the trained-state file inside a data dir.
+	StateFileName = "state.bnd"
+
+	manifestMagic   = "BNDMANI1"
+	manifestVersion = 1
+
+	// rewriteMarkerName flags an in-progress multi-block layout rewrite
+	// (Train / LoadState). Single-block writes are protected by the block
+	// file's journal, but a whole-table rewrite is only crash-consistent as
+	// a unit: the marker is created before the first block is rewritten and
+	// removed after the matching state file is persisted, so a data dir
+	// whose previous process died mid-rewrite is refused instead of being
+	// decoded with a stale layout.
+	rewriteMarkerName = "rewrite.dirty"
+)
+
+var manifestCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// manifestEntry records one table's geometry and block span.
+type manifestEntry struct {
+	name         string
+	dim          int
+	numVectors   int
+	blockVectors int
+	numBlocks    int
+	blockBase    int
+}
+
+// DirInitialized reports whether dir holds an initialized file-backed store
+// (i.e. a committed manifest).
+func DirInitialized(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestFileName))
+	return err == nil
+}
+
+// openFileBacked opens the file backend: it initializes DataDir on first use
+// and reopens it (journal replay + state restore, no retraining) afterwards.
+func openFileBacked(cfg Config) (*Store, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("core: backend %q requires DataDir", BackendFile)
+	}
+	if cfg.Device != nil {
+		return nil, fmt.Errorf("core: Device and backend %q are mutually exclusive", BackendFile)
+	}
+	if DirInitialized(cfg.DataDir) {
+		return reopenDir(cfg)
+	}
+	return initDir(cfg)
+}
+
+// initDir writes a fresh data dir: block file, table contents, baseline
+// state, and finally the manifest as the commit point.
+func initDir(cfg Config) (*Store, error) {
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("core: data dir %q is not initialized and no tables were provided", cfg.DataDir)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create data dir: %w", err)
+	}
+	spans, totalBlocks := computeSpans(cfg.Tables)
+	fs, err := nvm.CreateFileStore(filepath.Join(cfg.DataDir, BlocksFileName), totalBlocks,
+		nvm.FileStoreOptions{Sync: cfg.Sync})
+	if err != nil {
+		return nil, err
+	}
+	device := nvm.NewDevice(nvm.DeviceConfig{Store: fs, Seed: cfg.Seed})
+	s, err := buildStore(cfg, device, true, spans)
+	if err == nil {
+		err = s.writeAllTables()
+	}
+	if err == nil {
+		err = s.Persist() // baseline state: identity layout, no prefetching
+	}
+	if err == nil {
+		err = writeManifest(cfg.DataDir, s, totalBlocks)
+	}
+	if err != nil {
+		device.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// reopenDir restores a store from an initialized data dir without rewriting
+// blocks or retraining.
+func reopenDir(cfg Config) (*Store, error) {
+	if cfg.Tables != nil {
+		return nil, fmt.Errorf("core: data dir %q is already initialized; reopen with Tables == nil (vectors are restored from disk)", cfg.DataDir)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.DataDir, rewriteMarkerName)); err == nil {
+		return nil, fmt.Errorf("core: data dir %q has an interrupted layout rewrite (the previous process died during Train or LoadState); re-initialize the directory or restore it from a backup", cfg.DataDir)
+	}
+	entries, totalBlocks, err := readManifest(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := nvm.OpenFileStore(filepath.Join(cfg.DataDir, BlocksFileName),
+		nvm.FileStoreOptions{Sync: cfg.Sync})
+	if err != nil {
+		return nil, err
+	}
+	closeOnErr := fs
+	defer func() {
+		if closeOnErr != nil {
+			closeOnErr.Close()
+		}
+	}()
+	if fs.NumBlocks() != totalBlocks {
+		return nil, fmt.Errorf("core: manifest expects %d blocks, block file has %d", totalBlocks, fs.NumBlocks())
+	}
+
+	// Trained state (absent on a dir that was initialized but never trained
+	// nor persisted — fall back to identity layouts).
+	saved := make(map[string]savedTable)
+	if f, err := os.Open(filepath.Join(cfg.DataDir, StateFileName)); err == nil {
+		entriesSaved, derr := decodeSavedStates(bufio.NewReader(f))
+		f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("core: read %s: %w", StateFileName, derr)
+		}
+		for _, sv := range entriesSaved {
+			saved[sv.name] = sv
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	// Rebuild each table's vectors from the block image, through the
+	// persisted layout (block slot -> vector ID).
+	tables := make([]*table.Table, len(entries))
+	layouts := make([]*layout.Layout, len(entries))
+	buf := make([]byte, nvm.BlockSize)
+	var members []uint32
+	for i, e := range entries {
+		tbl := table.New(e.name, e.numVectors, e.dim)
+		l := layout.Identity(e.numVectors, e.blockVectors)
+		if sv, ok := saved[e.name]; ok && len(sv.order) > 0 {
+			if len(sv.order) != e.numVectors {
+				return nil, fmt.Errorf("core: table %q: state covers %d vectors, manifest says %d",
+					e.name, len(sv.order), e.numVectors)
+			}
+			if l, err = layout.FromOrder(sv.order, e.blockVectors); err != nil {
+				return nil, fmt.Errorf("core: table %q: %w", e.name, err)
+			}
+		}
+		vb := tbl.VectorBytes()
+		for b := 0; b < e.numBlocks; b++ {
+			if err := fs.ReadBlock(e.blockBase+b, buf); err != nil {
+				return nil, fmt.Errorf("core: table %q block %d: %w", e.name, b, err)
+			}
+			members = l.BlockMembers(b, members[:0])
+			for slot, id := range members {
+				if err := tbl.SetRaw(id, buf[slot*vb:(slot+1)*vb]); err != nil {
+					return nil, fmt.Errorf("core: table %q block %d: %w", e.name, b, err)
+				}
+			}
+		}
+		tables[i] = tbl
+		layouts[i] = l
+	}
+
+	cfg.Tables = tables
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	spans, derivedTotal := computeSpans(tables)
+	if derivedTotal != totalBlocks {
+		return nil, fmt.Errorf("core: manifest geometry is internally inconsistent (%d vs %d blocks)",
+			derivedTotal, totalBlocks)
+	}
+	for i, e := range entries {
+		if spans[i].base != e.blockBase || spans[i].blocks != e.numBlocks || spans[i].blockVectors != e.blockVectors {
+			return nil, fmt.Errorf("core: table %q: manifest span does not match derived layout", e.name)
+		}
+	}
+
+	device := nvm.NewDevice(nvm.DeviceConfig{Store: fs, Seed: cfg.Seed})
+	s, err := buildStore(cfg, device, true, spans)
+	if err != nil {
+		return nil, err
+	}
+	// Install the persisted trained state WITHOUT rewriting: the block image
+	// on disk already matches the persisted layouts.
+	for i, st := range s.tables {
+		sv, ok := saved[st.name]
+		if !ok {
+			continue
+		}
+		st.mutateState(savedStateMutator(layouts[i], sv))
+		if sv.cacheCap > 0 {
+			st.resizeCache(sv.cacheCap)
+		}
+	}
+	closeOnErr = nil
+	return s, nil
+}
+
+// syncDir fsyncs a directory so entry mutations (create/rename/remove) are
+// durable and ordered with respect to later ones — without it, power loss
+// can reorder a state-file rename against a marker removal and reopen a dir
+// whose blocks and persisted layout disagree.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// markDirMutation durably creates the rewrite marker before a multi-block
+// layout rewrite begins. No-op for mem-backed stores.
+func (s *Store) markDirMutation() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(s.dataDir, rewriteMarkerName))
+	if err != nil {
+		return fmt.Errorf("core: mark rewrite: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: mark rewrite: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: mark rewrite: %w", err)
+	}
+	if err := syncDir(s.dataDir); err != nil {
+		return fmt.Errorf("core: mark rewrite: %w", err)
+	}
+	return nil
+}
+
+// clearDirMutation removes the rewrite marker once the rewritten blocks and
+// the matching state file are both durable.
+func (s *Store) clearDirMutation() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.dataDir, rewriteMarkerName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: clear rewrite marker: %w", err)
+	}
+	if err := syncDir(s.dataDir); err != nil {
+		return fmt.Errorf("core: clear rewrite marker: %w", err)
+	}
+	return nil
+}
+
+// Persist writes the store's trained state to its data dir (atomically, via
+// temp file + rename) and flushes the block file. Train and LoadState call
+// it automatically on file-backed stores; call it manually after
+// SetAdmissionPolicy or cache-resize changes that should survive a restart.
+func (s *Store) Persist() error {
+	if s.dataDir == "" {
+		return fmt.Errorf("core: store was not opened with a data dir")
+	}
+	tmp := filepath.Join(s.dataDir, StateFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	if err := s.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dataDir, StateFileName)); err != nil {
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	if err := syncDir(s.dataDir); err != nil {
+		return fmt.Errorf("core: persist state: %w", err)
+	}
+	return s.device.Flush()
+}
+
+// DataDir returns the persistence directory of a file-backed store ("" for
+// the mem backend).
+func (s *Store) DataDir() string { return s.dataDir }
+
+// writeManifest commits the data dir: geometry of every table plus a CRC,
+// written via temp file + rename so the manifest is all-or-nothing.
+func writeManifest(dir string, s *Store, totalBlocks int) error {
+	var payload bytes.Buffer
+	payload.WriteString(manifestMagic)
+	varint := make([]byte, binary.MaxVarintLen64)
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(varint, v)
+		payload.Write(varint[:n])
+	}
+	writeUvarint(manifestVersion)
+	writeUvarint(uint64(len(s.tables)))
+	for _, st := range s.tables {
+		writeUvarint(uint64(len(st.name)))
+		payload.WriteString(st.name)
+		writeUvarint(uint64(st.dim))
+		writeUvarint(uint64(st.src.NumVectors()))
+		writeUvarint(uint64(st.blockVectors))
+		writeUvarint(uint64(st.numBlocks))
+		writeUvarint(uint64(st.blockBase))
+	}
+	writeUvarint(uint64(totalBlocks))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), manifestCRCTable))
+
+	tmp := filepath.Join(dir, ManifestFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	if _, err = f.Write(payload.Bytes()); err == nil {
+		_, err = f.Write(crc[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFileName)); err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and verifies a data dir's manifest.
+func readManifest(dir string) ([]manifestEntry, int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFileName))
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: read manifest: %w", err)
+	}
+	if len(raw) < len(manifestMagic)+4 {
+		return nil, 0, fmt.Errorf("core: manifest too short (%d bytes)", len(raw))
+	}
+	payload, crc := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(payload, manifestCRCTable) != crc {
+		return nil, 0, fmt.Errorf("core: manifest checksum mismatch")
+	}
+	if string(payload[:len(manifestMagic)]) != manifestMagic {
+		return nil, 0, fmt.Errorf("core: bad manifest magic %q", payload[:len(manifestMagic)])
+	}
+	br := bytes.NewReader(payload[len(manifestMagic):])
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	version, err := readUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if version != manifestVersion {
+		return nil, 0, fmt.Errorf("core: unsupported manifest version %d", version)
+	}
+	numTables, err := readUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if numTables == 0 || numTables > 1<<16 {
+		return nil, 0, fmt.Errorf("core: implausible manifest table count %d", numTables)
+	}
+	entries := make([]manifestEntry, 0, numTables)
+	for i := uint64(0); i < numTables; i++ {
+		var e manifestEntry
+		nameLen, err := readUvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nameLen > 1<<16 {
+			return nil, 0, fmt.Errorf("core: implausible manifest name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, 0, err
+		}
+		e.name = string(name)
+		for _, dst := range []*int{&e.dim, &e.numVectors, &e.blockVectors, &e.numBlocks, &e.blockBase} {
+			v, err := readUvarint()
+			if err != nil {
+				return nil, 0, err
+			}
+			if v > 1<<40 {
+				return nil, 0, fmt.Errorf("core: implausible manifest field %d for table %q", v, e.name)
+			}
+			*dst = int(v)
+		}
+		if e.dim <= 0 || e.numVectors <= 0 || e.blockVectors <= 0 || e.numBlocks <= 0 {
+			return nil, 0, fmt.Errorf("core: manifest table %q has invalid geometry", e.name)
+		}
+		entries = append(entries, e)
+	}
+	totalBlocks, err := readUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, int(totalBlocks), nil
+}

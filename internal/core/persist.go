@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"bandana/internal/cache"
@@ -17,7 +19,12 @@ import (
 // store can adopt a previous training run without repeating it.
 
 const stateMagic = "BNDSTATE"
-const stateVersion = 1
+
+// stateVersion 2 appended a CRC-32C trailer over the whole payload so a
+// corrupted-but-decodable state file (e.g. bit rot flipping a varint into
+// another valid permutation) fails loudly at load instead of silently
+// serving wrong vectors after a reopen.
+const stateVersion = 2
 
 // SaveState serialises the store's trained state (placements, access counts,
 // thresholds, cache allocations). Embedding values are not included: they
@@ -26,7 +33,8 @@ const stateVersion = 1
 // threshold policy's inputs (counts + threshold) survive a round trip;
 // LoadState disables prefetching when they are absent.
 func (s *Store) SaveState(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	h := crc32.New(manifestCRCTable)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, h), 1<<20)
 	buf := make([]byte, binary.MaxVarintLen64)
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf, v)
@@ -91,35 +99,75 @@ func (s *Store) SaveState(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// CRC-32C trailer over the whole payload, written past the hashed
+	// stream itself.
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+	_, err := w.Write(crc[:])
+	return err
 }
 
-// LoadState restores state produced by SaveState into a store opened over
-// the same tables (matched by name and size). It installs the saved
-// placement (rewriting the NVM blocks), access counts, thresholds and cache
-// allocations, and enables prefetching where the saved state had it enabled.
-func (s *Store) LoadState(r io.Reader) error {
-	br := bufio.NewReaderSize(r, 1<<20)
+// crcByteReader hashes exactly the bytes the decoder consumes (a bufio
+// reader would read ahead and hash the trailer too).
+type crcByteReader struct {
+	br *bufio.Reader
+	h  hash.Hash32
+}
+
+func (c *crcByteReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+// savedTable is one table's decoded trained state.
+type savedTable struct {
+	name      string
+	order     []uint32
+	counts    []uint32
+	threshold uint32
+	prefetch  bool
+	cacheCap  int
+}
+
+// decodeSavedStates parses a SaveState stream into per-table entries without
+// reference to any live store (the caller validates geometry).
+func decodeSavedStates(r io.Reader) ([]savedTable, error) {
+	raw := bufio.NewReaderSize(r, 1<<20)
+	br := &crcByteReader{br: raw, h: crc32.New(manifestCRCTable)}
 	magic := make([]byte, len(stateMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("core: read state header: %w", err)
+		return nil, fmt.Errorf("core: read state header: %w", err)
 	}
 	if string(magic) != stateMagic {
-		return fmt.Errorf("core: bad state magic %q", magic)
+		return nil, fmt.Errorf("core: bad state magic %q", magic)
 	}
 	version, err := binary.ReadUvarint(br)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if version != stateVersion {
-		return fmt.Errorf("core: unsupported state version %d", version)
+	// Version 1 files (no CRC trailer) are still accepted so state dumps
+	// written before the trailer was added keep loading.
+	if version != 1 && version != stateVersion {
+		return nil, fmt.Errorf("core: unsupported state version %d", version)
 	}
 	numTables, err := binary.ReadUvarint(br)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if int(numTables) != len(s.tables) {
-		return fmt.Errorf("core: state has %d tables, store has %d", numTables, len(s.tables))
+	if numTables > 1<<16 {
+		return nil, fmt.Errorf("core: implausible table count %d", numTables)
 	}
 	readString := func() (string, error) {
 		n, err := binary.ReadUvarint(br)
@@ -136,88 +184,158 @@ func (s *Store) LoadState(r io.Reader) error {
 		return string(b), nil
 	}
 
+	saved := make([]savedTable, 0, numTables)
 	for ti := 0; ti < int(numTables); ti++ {
-		name, err := readString()
+		var sv savedTable
+		sv.name, err = readString()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		idx, ok := s.byName[name]
-		if !ok {
-			return fmt.Errorf("core: state references unknown table %q", name)
-		}
-		st := s.tables[idx]
-
 		orderLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if int(orderLen) != st.src.NumVectors() {
-			return fmt.Errorf("core: table %q: state has %d vectors, table has %d",
-				name, orderLen, st.src.NumVectors())
+		if orderLen > 1<<32 {
+			return nil, fmt.Errorf("core: table %q: implausible order length %d", sv.name, orderLen)
 		}
-		order := make([]uint32, orderLen)
-		for i := range order {
+		// Length claims from the wire are untrusted: cap the up-front
+		// allocation and let append grow the real thing, so a corrupt file
+		// fails at EOF instead of forcing a multi-GiB allocation first.
+		sv.order = make([]uint32, 0, min(orderLen, 1<<16))
+		for j := uint64(0); j < orderLen; j++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			order[i] = uint32(v)
+			sv.order = append(sv.order, uint32(v))
 		}
 		countsLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if countsLen > orderLen {
-			return fmt.Errorf("core: table %q: implausible counts length %d", name, countsLen)
+			return nil, fmt.Errorf("core: table %q: implausible counts length %d", sv.name, countsLen)
 		}
-		counts := make([]uint32, countsLen)
-		for i := range counts {
+		sv.counts = make([]uint32, 0, min(countsLen, 1<<16))
+		for j := uint64(0); j < countsLen; j++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			counts[i] = uint32(v)
+			sv.counts = append(sv.counts, uint32(v))
 		}
 		threshold, err := binary.ReadUvarint(br)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		sv.threshold = uint32(threshold)
 		prefetch, err := binary.ReadUvarint(br)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		sv.prefetch = prefetch == 1
 		cacheCap, err := binary.ReadUvarint(br)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		sv.cacheCap = int(cacheCap)
+		saved = append(saved, sv)
+	}
+	// The payload hash must match the trailer (read past the hashed
+	// stream, straight from the underlying reader). v1 files predate the
+	// trailer.
+	if version >= 2 {
+		sum := br.h.Sum32()
+		var crc [4]byte
+		if _, err := io.ReadFull(raw, crc[:]); err != nil {
+			return nil, fmt.Errorf("core: read state checksum: %w", err)
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != sum {
+			return nil, fmt.Errorf("core: state checksum mismatch (file corrupt)")
+		}
+	}
+	return saved, nil
+}
 
-		l, err := layout.FromOrder(order, st.blockVectors)
-		if err != nil {
-			return fmt.Errorf("core: table %q: %w", name, err)
+// savedStateMutator returns the tableState mutation that installs sv's
+// trained fields over layout l.
+func savedStateMutator(l *layout.Layout, sv savedTable) func(*tableState) {
+	return func(ts *tableState) {
+		ts.layout = l
+		ts.counts = sv.counts
+		ts.threshold = sv.threshold
+		// Only the threshold policy is persistable (the state format stores
+		// counts + threshold, not arbitrary policy objects). A saved state
+		// with prefetching on but no counts — e.g. a store that was running
+		// a custom policy installed via SetAdmissionPolicy — would reload as
+		// a policy that never admits anything, so disable prefetching
+		// instead of installing an inert one.
+		ts.prefetch = sv.prefetch && len(sv.counts) > 0
+		if ts.prefetch {
+			ts.policy = cache.ThresholdAdmit{Counts: sv.counts, Threshold: sv.threshold}
+		} else {
+			ts.policy = nil
 		}
-		if err := s.rewriteTable(st, func(ts *tableState) {
-			ts.layout = l
-			ts.counts = counts
-			ts.threshold = uint32(threshold)
-			// Only the threshold policy is persistable (the state format
-			// stores counts + threshold, not arbitrary policy objects). A
-			// saved state with prefetching on but no counts — e.g. a store
-			// that was running a custom policy installed via
-			// SetAdmissionPolicy — would reload as a policy that never
-			// admits anything, so disable prefetching instead of
-			// installing an inert one.
-			ts.prefetch = prefetch == 1 && len(counts) > 0
-			if ts.prefetch {
-				ts.policy = cache.ThresholdAdmit{Counts: counts, Threshold: uint32(threshold)}
-			} else {
-				ts.policy = nil
-			}
-		}); err != nil {
+	}
+}
+
+// LoadState restores state produced by SaveState into a store opened over
+// the same tables (matched by name and size). It installs the saved
+// placement (rewriting the NVM blocks), access counts, thresholds and cache
+// allocations, and enables prefetching where the saved state had it enabled.
+// A file-backed store persists the restored state to its data dir.
+func (s *Store) LoadState(r io.Reader) error {
+	saved, err := decodeSavedStates(r)
+	if err != nil {
+		return err
+	}
+	if len(saved) != len(s.tables) {
+		return fmt.Errorf("core: state has %d tables, store has %d", len(saved), len(s.tables))
+	}
+	// Validate the whole state against the store BEFORE mutating anything:
+	// once the rewrite marker is set a failure leaves the data dir flagged
+	// as interrupted, which must only happen when blocks may actually have
+	// been rewritten.
+	layouts := make([]*layout.Layout, len(saved))
+	sts := make([]*storeTable, len(saved))
+	for i, sv := range saved {
+		idx, ok := s.byName[sv.name]
+		if !ok {
+			return fmt.Errorf("core: state references unknown table %q", sv.name)
+		}
+		st := s.tables[idx]
+		if len(sv.order) != st.src.NumVectors() {
+			return fmt.Errorf("core: table %q: state has %d vectors, table has %d",
+				sv.name, len(sv.order), st.src.NumVectors())
+		}
+		l, err := layout.FromOrder(sv.order, st.blockVectors)
+		if err != nil {
+			return fmt.Errorf("core: table %q: %w", sv.name, err)
+		}
+		layouts[i] = l
+		sts[i] = st
+	}
+	// Like Train, this rewrites whole tables: serialize against other
+	// whole-store mutators and flag the data dir until the blocks and the
+	// matching state file are both durable.
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	if err := s.markDirMutation(); err != nil {
+		return err
+	}
+	for i, sv := range saved {
+		if err := s.rewriteTable(sts[i], savedStateMutator(layouts[i], sv)); err != nil {
 			return err
 		}
-		if int(cacheCap) > 0 {
-			st.resizeCache(int(cacheCap))
+		if sv.cacheCap > 0 {
+			sts[i].resizeCache(sv.cacheCap)
 		}
+	}
+	if s.dataDir != "" {
+		if err := s.Persist(); err != nil {
+			return err
+		}
+		return s.clearDirMutation()
 	}
 	return nil
 }

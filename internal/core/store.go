@@ -30,19 +30,32 @@ type Store struct {
 	tables     []*storeTable
 	byName     map[string]int
 	seed       int64
+	// dataDir is the persistence directory of a file-backed store ("" for
+	// the mem backend); Persist writes the trained state there.
+	dataDir string
+	// mutateMu serializes whole-store mutators (Train, LoadState) against
+	// each other — they rewrite every table and share the single
+	// rewrite-marker / state-file commit protocol, which is not reentrant.
+	// Serving never takes it.
+	mutateMu sync.Mutex
 }
 
-// blockBufPool recycles 4 KB block buffers across lookups so the miss path
-// does not allocate one per NVM read.
-var blockBufPool = sync.Pool{
+// getBlockBuf / putBlockBuf recycle 4 KB block buffers (shared with
+// internal/nvm's pool) so the miss path does not allocate one per NVM read.
+func getBlockBuf() *[]byte  { return nvm.GetBlockBuf() }
+func putBlockBuf(b *[]byte) { nvm.PutBlockBuf(b) }
+
+// batchBufBlocks is the largest batched-miss read served from the pooled
+// batch buffer; rarer, larger batches fall back to a one-off allocation.
+const batchBufBlocks = 8
+
+// batchBufPool recycles the multi-block read buffers of lookupBatch.
+var batchBufPool = sync.Pool{
 	New: func() any {
-		b := make([]byte, nvm.BlockSize)
+		b := make([]byte, batchBufBlocks*nvm.BlockSize)
 		return &b
 	},
 }
-
-func getBlockBuf() *[]byte  { return blockBufPool.Get().(*[]byte) }
-func putBlockBuf(b *[]byte) { blockBufPool.Put(b) }
 
 // cachedVec is one cache entry: the decoded vector plus whether it entered
 // the cache via prefetch and has not been requested yet (used to attribute
@@ -149,13 +162,80 @@ func (st *storeTable) mutateState(fn func(*tableState)) {
 	st.stateMu.Unlock()
 }
 
+// tableSpan is one table's contiguous block range on the device.
+type tableSpan struct{ base, blocks, blockVectors int }
+
+// computeSpans lays the tables out as contiguous block ranges and returns
+// the spans plus the total device size in blocks. The layout is a pure
+// function of the table geometries, so a reopened file-backed store derives
+// identical spans from its manifest.
+func computeSpans(tables []*table.Table) ([]tableSpan, int) {
+	spans := make([]tableSpan, len(tables))
+	next := 0
+	for i, t := range tables {
+		bv := nvm.BlockSize / t.VectorBytes()
+		if bv < 1 {
+			bv = 1
+		}
+		blocks := (t.NumVectors() + bv - 1) / bv
+		spans[i] = tableSpan{base: next, blocks: blocks, blockVectors: bv}
+		next += blocks
+	}
+	return spans, next
+}
+
 // Open creates a Store, sizes (or adopts) the NVM device, writes every table
 // to NVM in its original order and sets up per-table caches with an even
 // split of the DRAM budget. Prefetching is disabled until Train is called.
+//
+// With Config.Backend == BackendFile the blocks live in a durable journaled
+// file under Config.DataDir: the first Open writes the tables to disk, and
+// later Opens of the same directory restore tables, placement and trained
+// state without rewriting or retraining (see Persist).
 func Open(cfg Config) (*Store, error) {
+	switch cfg.Backend {
+	case "", BackendMem:
+		if cfg.DataDir != "" {
+			return nil, fmt.Errorf("core: DataDir requires Backend %q", BackendFile)
+		}
+		return openMem(cfg)
+	case BackendFile:
+		return openFileBacked(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want %q or %q)", cfg.Backend, BackendMem, BackendFile)
+	}
+}
+
+// openMem is the RAM-backed (or caller-supplied-device) open path.
+func openMem(cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	spans, totalBlocks := computeSpans(cfg.Tables)
+	device := cfg.Device
+	owns := false
+	if device == nil {
+		device = nvm.NewDevice(nvm.DeviceConfig{NumBlocks: totalBlocks, Seed: cfg.Seed})
+		owns = true
+	} else if device.NumBlocks() < totalBlocks {
+		return nil, fmt.Errorf("core: device has %d blocks, need %d", device.NumBlocks(), totalBlocks)
+	}
+	s, err := buildStore(cfg, device, owns, spans)
+	if err == nil {
+		err = s.writeAllTables()
+	}
+	if err != nil {
+		if owns {
+			device.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildStore assembles the Store skeleton (per-table state, caches,
+// counters) over an existing device without touching the device contents.
+func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*Store, error) {
 	// validate rejects an empty table list, but the budget split below
 	// divides by the table count — keep an explicit guard so a future
 	// validate change cannot turn this into a panic.
@@ -174,34 +254,12 @@ func Open(cfg Config) (*Store, error) {
 		shards = DefaultCacheShards()
 	}
 
-	// Compute the device size: per-table contiguous block ranges.
-	type span struct{ base, blocks, blockVectors int }
-	spans := make([]span, len(cfg.Tables))
-	next := 0
-	for i, t := range cfg.Tables {
-		bv := nvm.BlockSize / t.VectorBytes()
-		if bv < 1 {
-			bv = 1
-		}
-		blocks := (t.NumVectors() + bv - 1) / bv
-		spans[i] = span{base: next, blocks: blocks, blockVectors: bv}
-		next += blocks
-	}
-
-	device := cfg.Device
-	owns := false
-	if device == nil {
-		device = nvm.NewDevice(nvm.DeviceConfig{NumBlocks: next, Seed: cfg.Seed})
-		owns = true
-	} else if device.NumBlocks() < next {
-		return nil, fmt.Errorf("core: device has %d blocks, need %d", device.NumBlocks(), next)
-	}
-
 	s := &Store{
 		device:     device,
 		ownsDevice: owns,
 		byName:     make(map[string]int, len(cfg.Tables)),
 		seed:       cfg.Seed,
+		dataDir:    cfg.DataDir,
 	}
 	perTable := budget / len(cfg.Tables)
 	if perTable < 1 {
@@ -231,16 +289,21 @@ func Open(cfg Config) (*Store, error) {
 			cacheCap: perTable,
 			cache:    newVecCache(perTable, shards),
 		})
-		if err := s.rewriteTable(st, nil); err != nil {
-			if owns {
-				device.Close()
-			}
-			return nil, err
-		}
 		s.tables = append(s.tables, st)
 		s.byName[t.Name] = i
 	}
 	return s, nil
+}
+
+// writeAllTables writes every table's blocks to the device in the currently
+// published layout (identity after buildStore).
+func (s *Store) writeAllTables() error {
+	for _, st := range s.tables {
+		if err := s.rewriteTable(st, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close releases the store's resources (and the device if the store created
@@ -325,7 +388,10 @@ func (s *Store) rewriteTable(st *storeTable, mutate func(*tableState)) error {
 			}
 			copy(buf[slot*st.vecBytes:], raw)
 		}
-		if err := s.device.WriteBlock(st.blockBase+b, buf); err != nil {
+		// Bulk path: a whole-table rewrite is not block-wise crash-atomic
+		// anyway (the rewrite marker / manifest is the commit point), so
+		// skip the per-block write-ahead journal.
+		if err := s.device.WriteBlockBulk(st.blockBase+b, buf); err != nil {
 			return fmt.Errorf("core: table %q block %d: %w", st.name, b, err)
 		}
 	}
@@ -574,19 +640,40 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		blocks = append(blocks, block)
 	}
 	sort.Ints(blocks)
-	bufp := getBlockBuf()
-	defer putBlockBuf(bufp)
-	buf := *bufp
+
+	// One batched device read covers every missed block: the reads overlap
+	// at the device (and collapse into offset I/O on the file backend)
+	// instead of being issued one by one. Small batches reuse pooled
+	// buffers so the steady-state miss path stays allocation-free.
+	var batch []byte
+	switch {
+	case len(blocks) == 1:
+		bufp := getBlockBuf()
+		defer putBlockBuf(bufp)
+		batch = *bufp
+	case len(blocks) <= batchBufBlocks:
+		bufp := batchBufPool.Get().(*[]byte)
+		defer batchBufPool.Put(bufp)
+		batch = (*bufp)[:len(blocks)*nvm.BlockSize]
+	default:
+		batch = make([]byte, len(blocks)*nvm.BlockSize)
+	}
+	abs := make([]int, len(blocks))
+	for i, block := range blocks {
+		abs[i] = st.blockBase + block
+	}
+	epoch := st.epoch.Load()
+	lat, err := device.ReadBlocks(abs, batch)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.lookupLatency.Observe(lat)
+
 	var members []uint32
-	for _, block := range blocks {
+	for bi, block := range blocks {
 		refs := missesByBlock[block]
-		epoch := st.epoch.Load()
-		lat, err := device.ReadBlock(st.blockBase+block, buf)
-		if err != nil {
-			return nil, fmt.Errorf("core: table %q: %w", st.name, err)
-		}
+		buf := batch[bi*nvm.BlockSize : (bi+1)*nvm.BlockSize]
 		st.blockReads.Inc(uint64(block))
-		st.lookupLatency.Observe(lat)
 
 		requested := make(map[uint32]struct{}, len(refs))
 		for _, ref := range refs {

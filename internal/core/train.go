@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bandana/internal/alloc"
 	"bandana/internal/cache"
@@ -48,6 +50,40 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 	opts.defaults()
 	report := &TrainReport{Tables: make([]TableTrainReport, len(s.tables))}
 
+	// Validate the traces before mutating anything, so a bad input cannot
+	// leave the data dir flagged as interrupted (see the marker below).
+	for i, tr := range traces {
+		if tr != nil && tr.NumVectors != s.tables[i].src.NumVectors() {
+			return nil, fmt.Errorf("core: table %q: trace covers %d vectors, table has %d",
+				s.tables[i].name, tr.NumVectors, s.tables[i].src.NumVectors())
+		}
+	}
+
+	// Whole-store mutators are serialized: two concurrent Trains (or a
+	// Train racing a LoadState) would race the rewrite marker and persist
+	// protocol below.
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+
+	// Training rewrites whole tables, which is only crash-consistent as a
+	// unit on the file backend: set the rewrite marker first so a crash
+	// before the new state is persisted makes the data dir refuse to reopen
+	// with a stale layout. Cleared after Persist below — or on an error
+	// path, provided no table was actually rewritten yet (rewroteAny), so a
+	// pure compute failure cannot brick a still-consistent data dir.
+	if err := s.markDirMutation(); err != nil {
+		return nil, err
+	}
+	var rewroteAny atomic.Bool
+	failErr := func(err error) (*TrainReport, error) {
+		if !rewroteAny.Load() {
+			if cerr := s.clearDirMutation(); cerr != nil {
+				return nil, errors.Join(err, cerr)
+			}
+		}
+		return nil, err
+	}
+
 	// Phase 1 (parallel across tables): partition with SHP, rewrite NVM,
 	// compute access counts and hit-rate curves.
 	type phase1 struct {
@@ -66,13 +102,13 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = s.trainTable(i, traces[i], opts, report)
+			results[i] = s.trainTable(i, traces[i], opts, report, &rewroteAny)
 		}(i)
 	}
 	wg.Wait()
 	for i := range results {
 		if results[i].err != nil {
-			return nil, results[i].err
+			return failErr(results[i].err)
 		}
 	}
 
@@ -100,7 +136,7 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 	if len(demands) > 0 && budget > 0 {
 		allocRes, err := alloc.Allocate(demands, alloc.Options{TotalVectors: budget})
 		if err != nil {
-			return nil, fmt.Errorf("core: DRAM allocation: %w", err)
+			return failErr(fmt.Errorf("core: DRAM allocation: %w", err))
 		}
 		for di, ti := range demandIdx {
 			s.tables[ti].resizeCache(allocRes.Vectors[di])
@@ -128,8 +164,19 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 		wg2.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return failErr(err)
 			}
+		}
+	}
+	// A file-backed store persists the trained state alongside the (already
+	// rewritten) blocks, so a restart serves the trained layout without
+	// retraining.
+	if s.dataDir != "" {
+		if err := s.Persist(); err != nil {
+			return nil, fmt.Errorf("core: persist trained state: %w", err)
+		}
+		if err := s.clearDirMutation(); err != nil {
+			return nil, err
 		}
 	}
 	return report, nil
@@ -137,8 +184,10 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 
 // trainTable runs SHP for one table, rewrites its NVM blocks and computes
 // its access statistics. It fills the per-table report entry and returns the
-// hit-rate curve for the allocation phase.
-func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *TrainReport) (out struct {
+// hit-rate curve for the allocation phase. rewroteAny is set just before the
+// first NVM mutation so Train's error paths know whether the data dir is
+// still pristine.
+func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *TrainReport, rewroteAny *atomic.Bool) (out struct {
 	hrc *mrc.HRC
 	err error
 }) {
@@ -187,6 +236,7 @@ func (s *Store) trainTable(i int, tr *trace.Trace, opts TrainOptions, report *Tr
 
 	// Install the new layout and rewrite the table's NVM blocks — one
 	// atomic step with respect to concurrent lookups and updates.
+	rewroteAny.Store(true)
 	if err := s.rewriteTable(st, func(ts *tableState) {
 		ts.layout = newLayout
 		ts.counts = counts

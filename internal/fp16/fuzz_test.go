@@ -1,0 +1,78 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFP16RoundTrip checks the two identities the codec relies on:
+//
+//  1. bits -> float32 -> bits is lossless for every non-NaN binary16 value
+//     (every binary16 is exactly representable in binary32, and
+//     round-to-nearest-even maps it straight back), and NaNs stay NaNs.
+//  2. float32 -> binary16 -> float32 -> binary16 is idempotent: once a value
+//     has been quantised, re-encoding it changes nothing (no double
+//     rounding drift).
+func FuzzFP16RoundTrip(f *testing.F) {
+	seeds := []uint16{
+		0x0000, 0x8000, // +0, -0
+		0x0001, 0x8001, // smallest subnormals
+		0x03FF, // largest subnormal
+		0x0400, // smallest normal
+		0x3C00, 0xBC00, // +1, -1
+		0x7BFF, 0xFBFF, // largest finite
+		0x7C00, 0xFC00, // +Inf, -Inf
+		0x7C01, 0x7E00, 0xFE00, // NaNs
+		0x3555, // ~1/3
+	}
+	for _, s := range seeds {
+		f.Add(s, float32(0.1))
+	}
+	f.Add(uint16(0x1234), float32(math.Inf(1)))
+	f.Add(uint16(0x4321), float32(math.NaN()))
+	f.Add(uint16(0xCAFE), float32(65520)) // overflows binary16 -> Inf
+	f.Add(uint16(0xBEEF), float32(5.96e-8))
+
+	f.Fuzz(func(t *testing.T, bits uint16, val float32) {
+		h := FromBits(bits)
+		f32 := h.ToFloat32()
+		back := FromFloat32(f32)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("bits %#04x: NaN did not survive the round trip (got %#04x)", bits, back.Bits())
+			}
+			if math.Float32bits(f32)&(1<<22) == 0 {
+				t.Fatalf("bits %#04x: NaN must decode to a quiet float32 NaN", bits)
+			}
+		} else if back != h {
+			t.Fatalf("bits %#04x -> %g -> %#04x: lossless round trip violated", bits, f32, back.Bits())
+		}
+
+		// Idempotence of quantisation for arbitrary float32 input.
+		q1 := FromFloat32(val)
+		q2 := FromFloat32(q1.ToFloat32())
+		if q1.IsNaN() {
+			if !q2.IsNaN() {
+				t.Fatalf("val %g: NaN quantisation not stable", val)
+			}
+		} else if q1 != q2 {
+			t.Fatalf("val %g: quantisation not idempotent (%#04x vs %#04x)", val, q1.Bits(), q2.Bits())
+		}
+
+		// Infinity classification must be consistent between the encoded and
+		// decoded forms.
+		if h.IsInf(0) != math.IsInf(float64(f32), 0) {
+			t.Fatalf("bits %#04x: IsInf disagrees with decoded value %g", bits, f32)
+		}
+
+		// Slice codec agrees with the scalar path.
+		enc := EncodeSlice(nil, []float32{f32, val})
+		dec := make([]float32, 2)
+		if n := DecodeSlice(dec, enc); n != 2 {
+			t.Fatalf("decoded %d elements, want 2", n)
+		}
+		if math.Float32bits(dec[0]) != math.Float32bits(f32) && !(math.IsNaN(float64(dec[0])) && math.IsNaN(float64(f32))) {
+			t.Fatalf("slice codec diverges from scalar codec for %#04x", bits)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrossBackendPropertyEquivalence drives one randomized op sequence
+// (writes of random lengths, reads, and — for the file backend — periodic
+// close/reopen cycles) against MemStore and FileStore and asserts the two
+// backends expose byte-identical block images throughout and at the end.
+func TestCrossBackendPropertyEquivalence(t *testing.T) {
+	const numBlocks = 24
+	const ops = 600
+
+	path := filepath.Join(t.TempDir(), "nvm.bnd")
+	mem := NewMemStore(numBlocks)
+	defer mem.Close()
+	file, err := CreateFileStore(path, numBlocks, FileStoreOptions{JournalSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { file.Close() }()
+
+	rng := rand.New(rand.NewSource(42))
+	memBuf := make([]byte, BlockSize)
+	fileBuf := make([]byte, BlockSize)
+
+	for op := 0; op < ops; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // write (sometimes short, exercising zero-fill)
+			idx := rng.Intn(numBlocks)
+			n := BlockSize
+			if rng.Intn(3) == 0 {
+				n = rng.Intn(BlockSize + 1)
+			}
+			src := make([]byte, n)
+			rng.Read(src)
+			if err := mem.WriteBlock(idx, src); err != nil {
+				t.Fatal(err)
+			}
+			if err := file.WriteBlock(idx, src); err != nil {
+				t.Fatal(err)
+			}
+		case 4, 5, 6, 7: // single read
+			idx := rng.Intn(numBlocks)
+			if err := mem.ReadBlock(idx, memBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := file.ReadBlock(idx, fileBuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(memBuf, fileBuf) {
+				t.Fatalf("op %d: block %d diverges between backends", op, idx)
+			}
+		case 8: // batched read
+			k := 1 + rng.Intn(5)
+			idxs := make([]int, k)
+			for i := range idxs {
+				idxs[i] = rng.Intn(numBlocks)
+			}
+			m := make([]byte, k*BlockSize)
+			f := make([]byte, k*BlockSize)
+			if err := mem.ReadBlocks(idxs, m); err != nil {
+				t.Fatal(err)
+			}
+			if err := file.ReadBlocks(idxs, f); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(m, f) {
+				t.Fatalf("op %d: batched read diverges for blocks %v", op, idxs)
+			}
+		case 9: // close + reopen the durable backend mid-sequence
+			if err := file.Close(); err != nil {
+				t.Fatal(err)
+			}
+			file, err = OpenFileStore(path, FileStoreOptions{})
+			if err != nil {
+				t.Fatalf("op %d: reopen: %v", op, err)
+			}
+		}
+	}
+
+	// Final sweep: every block byte-identical.
+	for idx := 0; idx < numBlocks; idx++ {
+		if err := mem.ReadBlock(idx, memBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := file.ReadBlock(idx, fileBuf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(memBuf, fileBuf) {
+			t.Fatalf("final: block %d diverges between backends", idx)
+		}
+	}
+}

@@ -107,12 +107,65 @@ func (d *Device) ReadBlockQD(idx int, dst []byte, queueDepth int) (latencyUS flo
 	return latencyUS, nil
 }
 
+// ReadBlocks reads len(idxs) blocks into dst (>= len(idxs)*BlockSize bytes)
+// as one batch dispatched at queue depth len(idxs): the blocks overlap at the
+// device, so the returned latency is the completion time of the slowest read
+// in the batch rather than the sum.
+func (d *Device) ReadBlocks(idxs []int, dst []byte) (latencyUS float64, err error) {
+	if len(idxs) == 0 {
+		return 0, nil
+	}
+	inflight := int(d.inflight.Add(int64(len(idxs))))
+	defer d.inflight.Add(int64(-len(idxs)))
+
+	if err := d.store.ReadBlocks(idxs, dst); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	for range idxs {
+		if l := d.model.SampleLatencyUS(d.rng, inflight); l > latencyUS {
+			latencyUS = l
+		}
+	}
+	d.mu.Unlock()
+
+	d.blocksRead.Add(int64(len(idxs)))
+	d.readLatency.Observe(latencyUS)
+	return latencyUS, nil
+}
+
 // WriteBlock writes src as block idx.
 func (d *Device) WriteBlock(idx int, src []byte) error {
 	if err := d.store.WriteBlock(idx, src); err != nil {
 		return err
 	}
 	d.blocksWritten.Inc()
+	return nil
+}
+
+// WriteBlockBulk writes src as block idx through the backing store's
+// bulk-load path, skipping any write-ahead journal it keeps (stores without
+// one behave exactly like WriteBlock). Use it for multi-block loads whose
+// crash-atomicity is handled by a higher-level commit point; single-block
+// updates should use WriteBlock.
+func (d *Device) WriteBlockBulk(idx int, src []byte) error {
+	bw, ok := d.store.(BulkWriter)
+	if !ok {
+		return d.WriteBlock(idx, src)
+	}
+	if err := bw.WriteBlockUnjournaled(idx, src); err != nil {
+		return err
+	}
+	d.blocksWritten.Inc()
+	return nil
+}
+
+// Flush forces buffered writes of the backing store to stable storage; it is
+// a no-op for stores (like MemStore) that do not buffer.
+func (d *Device) Flush() error {
+	if fl, ok := d.store.(Flusher); ok {
+		return fl.Flush()
+	}
 	return nil
 }
 
@@ -130,6 +183,9 @@ type Stats struct {
 	DriveWrites float64
 	// EnduranceDWPD is the configured endurance budget (writes/day).
 	EnduranceDWPD float64
+	// Store describes the backing block store (backend name, journal and
+	// flush counters for the file backend).
+	Store BackendStats
 }
 
 // Stats returns a snapshot of the device counters.
@@ -143,6 +199,9 @@ func (d *Device) Stats() Stats {
 		BytesWritten:  bw * BlockSize,
 		ReadLatency:   d.readLatency.Snapshot(),
 		EnduranceDWPD: d.enduranceDWPD,
+	}
+	if bs, ok := d.store.(BackendStatser); ok {
+		s.Store = bs.BackendStats()
 	}
 	if cap := d.CapacityBytes(); cap > 0 {
 		s.DriveWrites = float64(s.BytesWritten) / float64(cap)

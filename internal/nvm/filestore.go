@@ -1,0 +1,709 @@
+package nvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FileStore is a durable file-backed block store. Unlike MemStore it survives
+// process restarts and is not bounded by RAM, which makes the simulated NVM
+// device behave like the real thing: embedding tables are written once and
+// reopened across runs.
+//
+// On-disk layout (all regions are BlockSize-aligned):
+//
+//	block 0                superblock: magic, format version, geometry, CRC
+//	blocks 1 .. 2J         journal: J slots of (header block, data block)
+//	blocks 2J+1 ..         data blocks 0 .. NumBlocks-1
+//
+// Every WriteBlock first writes the full 4 KB image and a checksummed header
+// to a free journal slot, then writes the block in place. The journal slot is
+// only reused after the in-place write completed, so at any instant the
+// newest write of a block is either fully in place or fully described by a
+// valid journal record. Open replays valid journal records (in sequence
+// order) over the data region, which repairs any torn in-place write; a torn
+// journal record fails its CRC and is ignored, which rolls the write back to
+// the previous block contents. With SyncAlways the file is opened O_SYNC so
+// the journal-before-data ordering also holds across power loss; the other
+// modes guarantee consistency across process crashes only.
+//
+// Reads and writes use offset I/O (pread/pwrite) with per-block-stripe
+// RW locks, so independent blocks are accessed with no shared lock at all and
+// concurrent reads of the same block never block each other.
+type FileStore struct {
+	f            *os.File
+	n            int
+	journalSlots int
+	dataOff      int64
+	sync         SyncMode
+
+	seq       atomic.Uint64
+	freeSlots chan int
+	// quarantined[slot] marks a slot whose record must survive until its
+	// target block is written successfully again or the next open repairs
+	// it: the write's in-place (or retire) pwrite failed, so the record is
+	// the authoritative copy. Quarantined slots are not recycled and
+	// clearJournal leaves them alone; a later successful write of the same
+	// block destroys the now-stale record and returns the slot to the pool
+	// (releaseQuarantined).
+	quarantined []atomic.Bool
+	quarTargets []int // target block per quarantined slot
+	quarCount   atomic.Int64
+	quarMu      sync.Mutex
+	locks       [blockStripes]sync.RWMutex
+
+	journalWrites atomic.Int64
+	flushes       atomic.Int64
+	recovered     int64
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	// Fault injection for crash tests: when armed, the countdown is
+	// decremented on every pwrite; the pwrite that reaches zero is cut short
+	// (a torn write) and it and every later pwrite fail.
+	faultArmed     atomic.Bool
+	faultCountdown atomic.Int64
+}
+
+const (
+	superMagic   = "BNDNVM01"
+	journalMagic = "BNDJRNL1"
+
+	// FormatVersion is the on-disk format version written to the superblock.
+	FormatVersion = 1
+
+	// DefaultJournalSlots bounds how many block writes can be in flight at
+	// once; each slot costs two blocks of file space.
+	DefaultJournalSlots = 16
+
+	// DefaultFlushInterval is the SyncPeriodic background flush cadence.
+	DefaultFlushInterval = time.Second
+
+	blockStripes = 128
+
+	superblockBytes = 32 // magic(8) version(4) blockSize(4) numBlocks(8) slots(4) crc(4)
+	journalHdrBytes = 32 // magic(8) seq(8) target(8) dataCRC(4) crc(4)
+)
+
+// ErrBadSuperblock is returned by OpenFileStore when the superblock is
+// missing, corrupt, or describes a different geometry than the file holds.
+var ErrBadSuperblock = errors.New("nvm: invalid or corrupt superblock")
+
+// ErrVersionMismatch is returned by OpenFileStore when the superblock carries
+// an unsupported format version.
+var ErrVersionMismatch = errors.New("nvm: unsupported file store format version")
+
+var errInjectedFault = errors.New("nvm: injected write fault")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncMode selects the durability of a FileStore.
+type SyncMode int
+
+const (
+	// SyncNone leaves flushing to the OS page cache; Flush forces one.
+	SyncNone SyncMode = iota
+	// SyncPeriodic flushes in the background every FlushInterval.
+	SyncPeriodic
+	// SyncAlways opens the file O_SYNC: every journal and data write is
+	// durable (and ordered) before the call returns.
+	SyncAlways
+)
+
+// String returns the flag spelling of the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncNone:
+		return "none"
+	case SyncPeriodic:
+		return "periodic"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncMode parses the flag spelling of a SyncMode ("none", "periodic",
+// "always").
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "none", "":
+		return SyncNone, nil
+	case "periodic":
+		return SyncPeriodic, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("nvm: unknown sync mode %q (want none, periodic or always)", s)
+}
+
+// FileStoreOptions configures CreateFileStore / OpenFileStore.
+type FileStoreOptions struct {
+	// JournalSlots is the number of write-ahead journal slots (create only;
+	// an existing file keeps the count in its superblock). Defaults to
+	// DefaultJournalSlots.
+	JournalSlots int
+	// Sync selects the durability mode. Defaults to SyncNone.
+	Sync SyncMode
+	// FlushInterval is the SyncPeriodic flush cadence. Defaults to
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+}
+
+func (o *FileStoreOptions) defaults() {
+	if o.JournalSlots <= 0 {
+		o.JournalSlots = DefaultJournalSlots
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = DefaultFlushInterval
+	}
+}
+
+func openFlags(mode SyncMode) int {
+	flags := os.O_RDWR
+	if mode == SyncAlways {
+		flags |= os.O_SYNC
+	}
+	return flags
+}
+
+// CreateFileStore creates (or overwrites) a journaled file store of numBlocks
+// data blocks at path.
+func CreateFileStore(path string, numBlocks int, opts FileStoreOptions) (*FileStore, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("nvm: invalid block count %d", numBlocks)
+	}
+	opts.defaults()
+	f, err := os.OpenFile(path, openFlags(opts.Sync)|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: create file store: %w", err)
+	}
+	totalBlocks := 1 + 2*opts.JournalSlots + numBlocks
+	if err := f.Truncate(int64(totalBlocks) * BlockSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: size file store: %w", err)
+	}
+	sb := make([]byte, superblockBytes)
+	copy(sb, superMagic)
+	binary.LittleEndian.PutUint32(sb[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(sb[12:], BlockSize)
+	binary.LittleEndian.PutUint64(sb[16:], uint64(numBlocks))
+	binary.LittleEndian.PutUint32(sb[24:], uint32(opts.JournalSlots))
+	binary.LittleEndian.PutUint32(sb[28:], crc32.Checksum(sb[:28], castagnoli))
+	if _, err := f.WriteAt(sb, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: write superblock: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: sync superblock: %w", err)
+	}
+	return newFileStore(f, numBlocks, opts), nil
+}
+
+// OpenFileStore opens an existing journaled file store, validating its
+// superblock and replaying any committed-but-not-in-place journal records
+// before returning.
+func OpenFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
+	opts.defaults()
+	f, err := os.OpenFile(path, openFlags(opts.Sync), 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open file store: %w", err)
+	}
+	sb := make([]byte, superblockBytes)
+	if _, err := f.ReadAt(sb, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: short superblock read: %v", ErrBadSuperblock, err)
+	}
+	if string(sb[:8]) != superMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSuperblock, sb[:8])
+	}
+	if got := crc32.Checksum(sb[:28], castagnoli); got != binary.LittleEndian.Uint32(sb[28:]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
+	}
+	if v := binary.LittleEndian.Uint32(sb[8:]); v != FormatVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: file has version %d, this build supports %d",
+			ErrVersionMismatch, v, FormatVersion)
+	}
+	if bs := binary.LittleEndian.Uint32(sb[12:]); bs != BlockSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: file has block size %d, want %d", ErrBadSuperblock, bs, BlockSize)
+	}
+	numBlocks := int(binary.LittleEndian.Uint64(sb[16:]))
+	slots := int(binary.LittleEndian.Uint32(sb[24:]))
+	if numBlocks <= 0 || slots <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: implausible geometry (%d blocks, %d journal slots)",
+			ErrBadSuperblock, numBlocks, slots)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(1+2*slots+numBlocks) * BlockSize; fi.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("%w: file is %d bytes, geometry needs %d", ErrBadSuperblock, fi.Size(), want)
+	}
+	opts.JournalSlots = slots
+	s := newFileStore(f, numBlocks, opts)
+	if err := s.replayJournal(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenOrCreateFileStore opens path if it holds a valid store and creates it
+// otherwise; created reports which happened. An existing store must have
+// exactly numBlocks data blocks.
+func OpenOrCreateFileStore(path string, numBlocks int, opts FileStoreOptions) (s *FileStore, created bool, err error) {
+	if _, statErr := os.Stat(path); statErr == nil {
+		s, err = OpenFileStore(path, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.NumBlocks() != numBlocks {
+			s.Close()
+			return nil, false, fmt.Errorf("nvm: existing store has %d blocks, want %d", s.NumBlocks(), numBlocks)
+		}
+		return s, false, nil
+	}
+	s, err = CreateFileStore(path, numBlocks, opts)
+	return s, true, err
+}
+
+// NewFileStore creates (or overwrites) a file-backed store at path with the
+// default options. It is shorthand for CreateFileStore.
+func NewFileStore(path string, numBlocks int) (*FileStore, error) {
+	return CreateFileStore(path, numBlocks, FileStoreOptions{})
+}
+
+func newFileStore(f *os.File, numBlocks int, opts FileStoreOptions) *FileStore {
+	s := &FileStore{
+		f:            f,
+		n:            numBlocks,
+		journalSlots: opts.JournalSlots,
+		dataOff:      int64(1+2*opts.JournalSlots) * BlockSize,
+		sync:         opts.Sync,
+		freeSlots:    make(chan int, opts.JournalSlots),
+		quarantined:  make([]atomic.Bool, opts.JournalSlots),
+		quarTargets:  make([]int, opts.JournalSlots),
+	}
+	for i := 0; i < opts.JournalSlots; i++ {
+		s.freeSlots <- i
+	}
+	if opts.Sync == SyncPeriodic {
+		s.stopFlush = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop(opts.FlushInterval)
+	}
+	return s
+}
+
+func (s *FileStore) journalHdrOff(slot int) int64  { return int64(1+2*slot) * BlockSize }
+func (s *FileStore) journalDataOff(slot int) int64 { return int64(2+2*slot) * BlockSize }
+
+// writeAt is the single pwrite choke point; crash tests inject torn writes
+// here.
+func (s *FileStore) writeAt(p []byte, off int64) error {
+	if s.faultArmed.Load() {
+		left := s.faultCountdown.Add(-1)
+		if left < 0 {
+			return errInjectedFault
+		}
+		if left == 0 {
+			// Tear the write: persist only a prefix, then fail.
+			_, _ = s.f.WriteAt(p[:len(p)/2], off)
+			return errInjectedFault
+		}
+	}
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+// failAfterWrites arms fault injection (tests only): the n-th pwrite from now
+// (1-based) is torn short and fails, as does every write after it.
+func (s *FileStore) failAfterWrites(n int) {
+	s.faultCountdown.Store(int64(n))
+	s.faultArmed.Store(true)
+}
+
+// quarantineSlot parks a slot whose record must outlive this process's
+// journal lifecycle (see the field comment).
+func (s *FileStore) quarantineSlot(slot, target int) {
+	s.quarMu.Lock()
+	s.quarTargets[slot] = target
+	s.quarantined[slot].Store(true)
+	s.quarCount.Add(1)
+	s.quarMu.Unlock()
+}
+
+// releaseQuarantined destroys any quarantined records targeting block and
+// returns their slots to the pool. Called after a successful write of that
+// block (journaled or bulk): the new image supersedes the quarantined one,
+// which must not be replayed over it at the next open.
+func (s *FileStore) releaseQuarantined(block int) error {
+	if s.quarCount.Load() == 0 {
+		return nil
+	}
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	var zero [8]byte
+	for slot := 0; slot < s.journalSlots; slot++ {
+		if !s.quarantined[slot].Load() || s.quarTargets[slot] != block {
+			continue
+		}
+		if _, err := s.f.WriteAt(zero[:], s.journalHdrOff(slot)); err != nil {
+			return fmt.Errorf("nvm: retire quarantined slot %d: %w", slot, err)
+		}
+		s.quarantined[slot].Store(false)
+		s.quarCount.Add(-1)
+		s.freeSlots <- slot // buffered to journalSlots; never blocks
+	}
+	return nil
+}
+
+// NumBlocks implements BlockStore.
+func (s *FileStore) NumBlocks() int { return s.n }
+
+// JournalSlots returns the number of write-ahead journal slots.
+func (s *FileStore) JournalSlots() int { return s.journalSlots }
+
+// ReadBlock implements BlockStore.
+func (s *FileStore) ReadBlock(idx int, dst []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(dst) < BlockSize {
+		return fmt.Errorf("nvm: destination buffer too small: %d", len(dst))
+	}
+	lock := &s.locks[idx%blockStripes]
+	lock.RLock()
+	defer lock.RUnlock()
+	_, err := s.f.ReadAt(dst[:BlockSize], s.dataOff+int64(idx)*BlockSize)
+	return err
+}
+
+// ReadBlocks implements BlockStore: it reads block idxs[i] into
+// dst[i*BlockSize:(i+1)*BlockSize] with one pread per block and no shared
+// lock across blocks.
+func (s *FileStore) ReadBlocks(idxs []int, dst []byte) error {
+	if len(dst) < len(idxs)*BlockSize {
+		return fmt.Errorf("nvm: destination buffer too small for %d blocks: %d", len(idxs), len(dst))
+	}
+	for i, idx := range idxs {
+		if err := s.ReadBlock(idx, dst[i*BlockSize:(i+1)*BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlock implements BlockStore: journal first, then write in place,
+// then retire the journal record. The slot is held until the record is
+// retired, so a crash at any point either rolls the write back (torn
+// journal record) or replays it (valid record) on the next open — the data
+// region never keeps a torn block image. Retiring the record on completion
+// is what makes this sound: at most the single in-flight write per block
+// can have a live record, so recovery can never replay a stale image over
+// bytes written later (by a newer journaled write or by the bulk
+// WriteBlockUnjournaled path).
+func (s *FileStore) WriteBlock(idx int, src []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(src) > BlockSize {
+		return fmt.Errorf("nvm: block write of %d bytes exceeds block size", len(src))
+	}
+	bufp := GetBlockBuf()
+	defer PutBlockBuf(bufp)
+	buf := *bufp
+	copy(buf, src)
+	for i := len(src); i < BlockSize; i++ {
+		buf[i] = 0
+	}
+
+	// Acquire a journal slot. If every slot is quarantined the pool can
+	// only be replenished by a successful write, which needs a slot — fail
+	// instead of parking forever on a wedged store. The periodic re-check
+	// (rather than a single check before blocking) closes the race where
+	// the last in-flight writer quarantines its slot after we started
+	// waiting.
+	var slot int
+	for acquired := false; !acquired; {
+		select {
+		case slot = <-s.freeSlots:
+			acquired = true
+		case <-time.After(50 * time.Millisecond):
+			if s.quarCount.Load() >= int64(s.journalSlots) {
+				return fmt.Errorf("nvm: all %d journal slots quarantined by failed writes; reopen the store to repair", s.journalSlots)
+			}
+		}
+	}
+	recycle := true
+	defer func() {
+		if recycle {
+			s.freeSlots <- slot
+		}
+	}()
+	seq := s.seq.Add(1)
+
+	var hdr [journalHdrBytes]byte
+	copy(hdr[:], journalMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(idx))
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(buf, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:28], castagnoli))
+
+	// Journal record: data before header, so a valid header implies valid
+	// data (modulo the CRC re-check at replay).
+	if err := s.writeAt(buf, s.journalDataOff(slot)); err != nil {
+		return fmt.Errorf("nvm: journal write: %w", err)
+	}
+	if err := s.writeAt(hdr[:], s.journalHdrOff(slot)); err != nil {
+		return fmt.Errorf("nvm: journal write: %w", err)
+	}
+	s.journalWrites.Add(1)
+
+	lock := &s.locks[idx%blockStripes]
+	lock.Lock()
+	err := s.writeAt(buf, s.dataOff+int64(idx)*BlockSize)
+	lock.Unlock()
+	if err != nil {
+		// The failed pwrite may have torn the block, and the journal record
+		// is now the only good copy: quarantine the slot so the record
+		// survives until the next open repairs the block or a later
+		// successful write of it supersedes the record. The cost is
+		// redo-log semantics — a write whose error the caller observed can
+		// still surface after recovery — and one parked slot meanwhile.
+		s.quarantineSlot(slot, idx)
+		recycle = false
+		return fmt.Errorf("nvm: block write: %w", err)
+	}
+
+	// The new image supersedes any quarantined record for this block; that
+	// record must not be replayed over it at the next open. On failure our
+	// own live record joins the quarantine (it matches the in-place bytes,
+	// so replaying it is harmless until a later write supersedes it too).
+	if err := s.releaseQuarantined(idx); err != nil {
+		s.quarantineSlot(slot, idx)
+		recycle = false
+		return err
+	}
+
+	// The block image is in place: retire the record by destroying the
+	// header magic. A crash before (or a tear during) this write leaves a
+	// record that replays the exact bytes already in place — idempotent. On
+	// failure the live record is quarantined like a torn write: replaying
+	// it is harmless now, but it would become stale after a later write of
+	// this block, so it must stay under quarantine bookkeeping.
+	var dead [8]byte
+	if err := s.writeAt(dead[:], s.journalHdrOff(slot)); err != nil {
+		s.quarantineSlot(slot, idx)
+		recycle = false
+		return fmt.Errorf("nvm: journal retire: %w", err)
+	}
+	return nil
+}
+
+// WriteBlockUnjournaled implements BulkWriter: it writes a block in place
+// with no write-ahead journal record, which makes bulk loads (initial table
+// ingest, whole-table layout rewrites) one pwrite per block instead of
+// three. Crash-safety contract: a torn write can surface a mixed block, so
+// callers must wrap the load in their own commit point and redo it entirely
+// if interrupted. Single-block updates should use WriteBlock.
+func (s *FileStore) WriteBlockUnjournaled(idx int, src []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if len(src) > BlockSize {
+		return fmt.Errorf("nvm: block write of %d bytes exceeds block size", len(src))
+	}
+	bufp := GetBlockBuf()
+	defer PutBlockBuf(bufp)
+	buf := *bufp
+	copy(buf, src)
+	for i := len(src); i < BlockSize; i++ {
+		buf[i] = 0
+	}
+	lock := &s.locks[idx%blockStripes]
+	lock.Lock()
+	err := s.writeAt(buf, s.dataOff+int64(idx)*BlockSize)
+	lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("nvm: block write: %w", err)
+	}
+	// As in WriteBlock: the new image supersedes any quarantined record.
+	return s.releaseQuarantined(idx)
+}
+
+// replayJournal scans every journal slot and re-applies valid records to the
+// data region in sequence order. Applying a record whose in-place write had
+// already completed rewrites identical bytes, so replay is idempotent.
+func (s *FileStore) replayJournal() error {
+	type record struct {
+		seq    uint64
+		target int
+		data   []byte
+	}
+	var records []record
+	hdr := make([]byte, journalHdrBytes)
+	maxSeq := uint64(0)
+	for slot := 0; slot < s.journalSlots; slot++ {
+		if _, err := s.f.ReadAt(hdr, s.journalHdrOff(slot)); err != nil {
+			return fmt.Errorf("nvm: read journal slot %d: %w", slot, err)
+		}
+		if string(hdr[:8]) != journalMagic {
+			continue // never used (or torn header magic)
+		}
+		if crc32.Checksum(hdr[:28], castagnoli) != binary.LittleEndian.Uint32(hdr[28:]) {
+			continue // torn header: the write never reached the data region
+		}
+		seq := binary.LittleEndian.Uint64(hdr[8:])
+		target := binary.LittleEndian.Uint64(hdr[16:])
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if target >= uint64(s.n) {
+			continue
+		}
+		data := make([]byte, BlockSize)
+		if _, err := s.f.ReadAt(data, s.journalDataOff(slot)); err != nil {
+			return fmt.Errorf("nvm: read journal slot %d: %w", slot, err)
+		}
+		if crc32.Checksum(data, castagnoli) != binary.LittleEndian.Uint32(hdr[24:]) {
+			continue // torn data under a stale header: already superseded
+		}
+		records = append(records, record{seq: seq, target: int(target), data: data})
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].seq < records[j].seq })
+	for _, r := range records {
+		if _, err := s.f.WriteAt(r.data, s.dataOff+int64(r.target)*BlockSize); err != nil {
+			return fmt.Errorf("nvm: replay block %d: %w", r.target, err)
+		}
+	}
+	if len(records) > 0 {
+		// Make the replayed blocks durable, then retire the records so the
+		// next open reports only genuinely recovered writes.
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("nvm: sync after replay: %w", err)
+		}
+		if err := s.clearJournal(); err != nil {
+			return err
+		}
+	}
+	s.seq.Store(maxSeq)
+	s.recovered = int64(len(records))
+	return nil
+}
+
+// clearJournal invalidates every non-quarantined journal slot (by zeroing
+// the header magic) and syncs. Callers must ensure all in-place block writes
+// the journal protects are durable first; quarantined slots hold the only
+// good copy of a block whose in-place write failed and must survive for the
+// next open's replay.
+func (s *FileStore) clearJournal() error {
+	zero := make([]byte, 8)
+	for slot := 0; slot < s.journalSlots; slot++ {
+		if s.quarantined[slot].Load() {
+			continue
+		}
+		if _, err := s.f.WriteAt(zero, s.journalHdrOff(slot)); err != nil {
+			return fmt.Errorf("nvm: clear journal slot %d: %w", slot, err)
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("nvm: sync journal clear: %w", err)
+	}
+	return nil
+}
+
+// Flush forces buffered writes to stable storage.
+func (s *FileStore) Flush() error {
+	s.flushes.Add(1)
+	return s.f.Sync()
+}
+
+func (s *FileStore) flushLoop(interval time.Duration) {
+	defer close(s.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.Flush()
+		case <-s.stopFlush:
+			return
+		}
+	}
+}
+
+// BackendStats implements BackendStatser.
+func (s *FileStore) BackendStats() BackendStats {
+	return BackendStats{
+		Backend:          "file",
+		JournalWrites:    s.journalWrites.Load(),
+		Flushes:          s.flushes.Load(),
+		RecoveredRecords: s.recovered,
+	}
+}
+
+// Close flushes, retires the journal (a clean shutdown leaves nothing to
+// recover) and closes the backing file. It is idempotent.
+func (s *FileStore) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stopFlush != nil {
+			close(s.stopFlush)
+			<-s.flushDone
+		}
+		flushErr := s.f.Sync()
+		if flushErr == nil {
+			flushErr = s.clearJournal()
+		}
+		s.closeErr = s.f.Close()
+		if s.closeErr == nil && flushErr != nil {
+			s.closeErr = flushErr
+		}
+	})
+	return s.closeErr
+}
+
+// blockBufPool recycles BlockSize scratch buffers for this package and its
+// callers (see GetBlockBuf).
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, BlockSize)
+		return &b
+	},
+}
+
+// GetBlockBuf returns a pooled BlockSize scratch buffer; release it with
+// PutBlockBuf. Contents are undefined.
+func GetBlockBuf() *[]byte { return blockBufPool.Get().(*[]byte) }
+
+// PutBlockBuf returns a buffer obtained from GetBlockBuf to the pool.
+func PutBlockBuf(b *[]byte) { blockBufPool.Put(b) }
+
+// ensure FileStore satisfies the optional capability interfaces.
+var (
+	_ BlockStore     = (*FileStore)(nil)
+	_ Flusher        = (*FileStore)(nil)
+	_ BulkWriter     = (*FileStore)(nil)
+	_ BackendStatser = (*FileStore)(nil)
+	_ io.Closer      = (*FileStore)(nil)
+)

@@ -101,8 +101,10 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	if string(dst[:9]) != "hello nvm" {
 		t.Fatalf("got %q", dst[:9])
 	}
-	if fi, err := os.Stat(path); err != nil || fi.Size() != 4*BlockSize {
-		t.Fatalf("file size = %v err %v", fi, err)
+	// Superblock + journal region + 4 data blocks.
+	want := int64(1+2*s.JournalSlots()+4) * BlockSize
+	if fi, err := os.Stat(path); err != nil || fi.Size() != want {
+		t.Fatalf("file size = %v err %v, want %d", fi, err, want)
 	}
 	if err := s.ReadBlock(9, dst); err == nil {
 		t.Fatal("expected range error")

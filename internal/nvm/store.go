@@ -2,7 +2,6 @@ package nvm
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -13,10 +12,46 @@ type BlockStore interface {
 	NumBlocks() int
 	// ReadBlock copies block idx into dst (which must be BlockSize bytes).
 	ReadBlock(idx int, dst []byte) error
+	// ReadBlocks copies block idxs[i] into dst[i*BlockSize:(i+1)*BlockSize]
+	// for every i — the batched read path used by LookupBatch misses.
+	ReadBlocks(idxs []int, dst []byte) error
 	// WriteBlock stores src (at most BlockSize bytes) as block idx.
 	WriteBlock(idx int, src []byte) error
 	// Close releases resources.
 	Close() error
+}
+
+// Flusher is implemented by block stores that buffer writes (FileStore);
+// Flush forces them to stable storage.
+type Flusher interface {
+	Flush() error
+}
+
+// BulkWriter is implemented by block stores that offer an unjournaled
+// bulk-load write path (FileStore). Use it only when crash-atomicity is
+// provided at a higher level — a torn unjournaled write leaves a mixed
+// block, so the caller must be able to detect the interruption and redo the
+// whole load (see core's manifest / rewrite-marker commit points).
+type BulkWriter interface {
+	WriteBlockUnjournaled(idx int, src []byte) error
+}
+
+// BackendStats describes a block store backend for reporting.
+type BackendStats struct {
+	// Backend names the backing medium ("mem" or "file").
+	Backend string
+	// JournalWrites counts write-ahead journal records written (file only).
+	JournalWrites int64
+	// Flushes counts explicit or periodic fsyncs (file only).
+	Flushes int64
+	// RecoveredRecords counts journal records replayed at open (file only).
+	RecoveredRecords int64
+}
+
+// BackendStatser is implemented by block stores that report backend
+// statistics through Device.Stats.
+type BackendStatser interface {
+	BackendStats() BackendStats
 }
 
 // MemStore is a RAM-backed block store. It is the default backing for the
@@ -53,6 +88,25 @@ func (s *MemStore) ReadBlock(idx int, dst []byte) error {
 	return nil
 }
 
+// ReadBlocks implements BlockStore, copying the whole batch under one shared
+// lock acquisition.
+func (s *MemStore) ReadBlocks(idxs []int, dst []byte) error {
+	if len(dst) < len(idxs)*BlockSize {
+		return fmt.Errorf("nvm: destination buffer too small for %d blocks: %d", len(idxs), len(dst))
+	}
+	for _, idx := range idxs {
+		if idx < 0 || idx >= s.n {
+			return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+		}
+	}
+	s.mu.RLock()
+	for i, idx := range idxs {
+		copy(dst[i*BlockSize:(i+1)*BlockSize], s.data[idx*BlockSize:])
+	}
+	s.mu.RUnlock()
+	return nil
+}
+
 // WriteBlock implements BlockStore.
 func (s *MemStore) WriteBlock(idx int, src []byte) error {
 	if idx < 0 || idx >= s.n {
@@ -72,65 +126,8 @@ func (s *MemStore) WriteBlock(idx int, src []byte) error {
 	return nil
 }
 
+// BackendStats implements BackendStatser.
+func (s *MemStore) BackendStats() BackendStats { return BackendStats{Backend: "mem"} }
+
 // Close implements BlockStore.
 func (s *MemStore) Close() error { return nil }
-
-// FileStore is a file-backed block store, useful when a table does not fit
-// in RAM or when persistence across runs is wanted.
-type FileStore struct {
-	mu sync.Mutex
-	f  *os.File
-	n  int
-}
-
-// NewFileStore creates (or truncates) a file-backed store at path.
-func NewFileStore(path string, numBlocks int) (*FileStore, error) {
-	if numBlocks <= 0 {
-		return nil, fmt.Errorf("nvm: invalid block count %d", numBlocks)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("nvm: open file store: %w", err)
-	}
-	if err := f.Truncate(int64(numBlocks) * BlockSize); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("nvm: size file store: %w", err)
-	}
-	return &FileStore{f: f, n: numBlocks}, nil
-}
-
-// NumBlocks implements BlockStore.
-func (s *FileStore) NumBlocks() int { return s.n }
-
-// ReadBlock implements BlockStore.
-func (s *FileStore) ReadBlock(idx int, dst []byte) error {
-	if idx < 0 || idx >= s.n {
-		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
-	}
-	if len(dst) < BlockSize {
-		return fmt.Errorf("nvm: destination buffer too small: %d", len(dst))
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.f.ReadAt(dst[:BlockSize], int64(idx)*BlockSize)
-	return err
-}
-
-// WriteBlock implements BlockStore.
-func (s *FileStore) WriteBlock(idx int, src []byte) error {
-	if idx < 0 || idx >= s.n {
-		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
-	}
-	if len(src) > BlockSize {
-		return fmt.Errorf("nvm: block write of %d bytes exceeds block size", len(src))
-	}
-	buf := make([]byte, BlockSize)
-	copy(buf, src)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err := s.f.WriteAt(buf, int64(idx)*BlockSize)
-	return err
-}
-
-// Close implements BlockStore.
-func (s *FileStore) Close() error { return s.f.Close() }

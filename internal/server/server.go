@@ -244,6 +244,12 @@ type deviceStats struct {
 	BytesRead     int64   `json:"bytesRead"`
 	DriveWrites   float64 `json:"driveWrites"`
 	EnduranceDWPD float64 `json:"enduranceDWPD"`
+	// Backend names the block store behind the device ("mem" or "file");
+	// the journal/flush counters are non-zero for the file backend only.
+	Backend          string `json:"backend"`
+	JournalWrites    int64  `json:"journalWrites"`
+	Flushes          int64  `json:"flushes"`
+	RecoveredRecords int64  `json:"recoveredRecords"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -251,11 +257,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Tables: s.store.Stats(),
 		Device: deviceStats{
-			BlocksRead:    dev.BlocksRead,
-			BlocksWritten: dev.BlocksWritten,
-			BytesRead:     dev.BytesRead,
-			DriveWrites:   dev.DriveWrites,
-			EnduranceDWPD: dev.EnduranceDWPD,
+			BlocksRead:       dev.BlocksRead,
+			BlocksWritten:    dev.BlocksWritten,
+			BytesRead:        dev.BytesRead,
+			DriveWrites:      dev.DriveWrites,
+			EnduranceDWPD:    dev.EnduranceDWPD,
+			Backend:          dev.Store.Backend,
+			JournalWrites:    dev.Store.JournalWrites,
+			Flushes:          dev.Store.Flushes,
+			RecoveredRecords: dev.Store.RecoveredRecords,
 		},
 		Server: serverStats{
 			Requests: s.requests.Value(),

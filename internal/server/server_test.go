@@ -160,6 +160,43 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsFileBackend serves a file-backed store and checks that /v1/stats
+// reports the backend name and its journal/flush counters.
+func TestStatsFileBackend(t *testing.T) {
+	g := table.Generate("tA", table.GenerateOptions{NumVectors: 512, Dim: 16, NumClusters: 8, Seed: 1})
+	store, err := core.Open(core.Config{
+		Tables:  []*table.Table{g.Table},
+		Seed:    1,
+		Backend: core.BackendFile,
+		DataDir: t.TempDir() + "/store",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	// Bulk ingest bypasses the journal; a single-vector update is the
+	// journaled path and must show up in the counter.
+	if err := store.UpdateVector(0, 1, make([]float32, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(store).Handler())
+	t.Cleanup(ts.Close)
+
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Device.Backend != "file" {
+		t.Fatalf("backend = %q, want file", out.Device.Backend)
+	}
+	if out.Device.JournalWrites == 0 {
+		t.Fatalf("journal writes not reported: %+v", out.Device)
+	}
+	if out.Device.Flushes == 0 {
+		t.Fatalf("flushes not reported (Persist flushes at init): %+v", out.Device)
+	}
+}
+
 func TestRequestEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	var out rankingResponse
@@ -195,6 +232,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if out.Device.EnduranceDWPD <= 0 {
 		t.Fatalf("endurance budget missing")
+	}
+	if out.Device.Backend != "mem" {
+		t.Fatalf("backend = %q, want mem", out.Device.Backend)
 	}
 	// The instrumentation middleware must have counted the traffic above
 	// (2 lookups + this stats request).

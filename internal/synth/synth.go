@@ -1,0 +1,41 @@
+// Package synth builds the synthetic embedding tables + workload used by
+// the demo binaries (bandana-server, bandana init). It exists so the two
+// binaries generate bit-identical tables for identical flags — `bandana
+// init --data-dir X` followed by `bandana-server --backend file --data-dir
+// X` must serve exactly the vectors that were ingested.
+package synth
+
+import (
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// Build generates numTables scaled-down versions of the paper's Table 1
+// profiles plus a shared training workload of the given request count.
+// Table geometry is aligned with the workload's co-access communities so
+// that SHP has signal to find. numTables is clamped to [1, 8].
+func Build(scale float64, numTables int, seed int64, requests int) ([]*table.Table, *trace.Workload) {
+	if numTables < 1 {
+		numTables = 1
+	}
+	if numTables > 8 {
+		numTables = 8
+	}
+	profiles := trace.DefaultProfiles(scale)[:numTables]
+	for i := range profiles {
+		profiles[i].Seed += seed * 100
+	}
+	workload := trace.GenerateWorkload(profiles, requests)
+	tables := make([]*table.Table, len(profiles))
+	for i, p := range profiles {
+		g := table.Generate(p.Name, table.GenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         64,
+			NumClusters: p.NumVectors / trace.DefaultCommunitySize,
+			Seed:        seed + int64(i),
+			Assignments: workload.Communities[i],
+		})
+		tables[i] = g.Table
+	}
+	return tables, workload
+}

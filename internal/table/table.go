@@ -98,6 +98,21 @@ func (t *Table) VectorInto(dst []float32, id ID) error {
 	return nil
 }
 
+// SetRaw overwrites the encoded bytes of vector id with raw, which must be
+// exactly VectorBytes long. It is the ingest path used when reconstructing a
+// table from its on-NVM block image.
+func (t *Table) SetRaw(id ID, raw []byte) error {
+	if int(id) >= t.NumVectors() {
+		return fmt.Errorf("%w: %d", ErrBadVector, id)
+	}
+	vb := t.VectorBytes()
+	if len(raw) != vb {
+		return fmt.Errorf("table: raw vector has %d bytes, want %d", len(raw), vb)
+	}
+	copy(t.data[int(id)*vb:], raw)
+	return nil
+}
+
 // SetVector encodes v (length Dim) as the value of vector id.
 func (t *Table) SetVector(id ID, v []float32) error {
 	if int(id) >= t.NumVectors() {

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode throws arbitrary bytes at ReadTrace. The decoder must
+// never panic or allocate unboundedly — it either returns a valid trace or
+// an error — and any trace it accepts must re-encode and re-decode to the
+// same value (the codec is a bijection on its accepted set).
+func FuzzTraceDecode(f *testing.F) {
+	// Seed corpus: valid encodings of a few representative traces...
+	seedTraces := []*Trace{
+		{TableName: "t", NumVectors: 8, Queries: []Query{{0, 1, 2}, {7}, {}}},
+		{TableName: "", NumVectors: 0, Queries: nil},
+		{TableName: "table1", NumVectors: 1 << 20, Queries: []Query{{42, 42, 42, 1048575}}},
+	}
+	for _, tr := range seedTraces {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// ...plus hostile headers: truncations and absurd length claims.
+	var buf bytes.Buffer
+	seedTraces[0].WriteTo(&buf)
+	valid := buf.Bytes()
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(traceMagic)+1])
+	f.Add([]byte(traceMagic))
+	f.Add([]byte("BNDTRC99"))
+	f.Add(append([]byte(traceMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if tr2.TableName != tr.TableName || tr2.NumVectors != tr.NumVectors || len(tr2.Queries) != len(tr.Queries) {
+			t.Fatalf("round trip changed the trace header")
+		}
+		for i := range tr.Queries {
+			if len(tr2.Queries[i]) != len(tr.Queries[i]) {
+				t.Fatalf("round trip changed query %d length", i)
+			}
+			for j := range tr.Queries[i] {
+				if tr2.Queries[i][j] != tr.Queries[i][j] {
+					t.Fatalf("round trip changed query %d lookup %d", i, j)
+				}
+			}
+		}
+	})
+}

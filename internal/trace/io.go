@@ -77,27 +77,39 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if numVectors > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible vector count %d", numVectors)
+	}
 	numQueries, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
+	// Size hints from the wire are untrusted: cap the up-front allocations
+	// and let append grow the real thing, so a corrupt or hostile header
+	// cannot force a huge allocation before decoding fails at EOF.
 	t := &Trace{
 		TableName:  string(name),
 		NumVectors: int(numVectors),
-		Queries:    make([]Query, 0, numQueries),
+		Queries:    make([]Query, 0, min(numQueries, 1<<16)),
 	}
 	for i := uint64(0); i < numQueries; i++ {
 		qlen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: query %d: %w", i, err)
 		}
-		q := make(Query, qlen)
-		for j := range q {
+		if qlen > 1<<24 {
+			return nil, fmt.Errorf("trace: query %d: implausible length %d", i, qlen)
+		}
+		q := make(Query, 0, min(qlen, 1<<12))
+		for j := uint64(0); j < qlen; j++ {
 			id, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("trace: query %d lookup %d: %w", i, j, err)
 			}
-			q[j] = uint32(id)
+			if id > 1<<32-1 {
+				return nil, fmt.Errorf("trace: query %d lookup %d: vector id %d overflows uint32", i, j, id)
+			}
+			q = append(q, uint32(id))
 		}
 		t.Queries = append(t.Queries, q)
 	}
