@@ -92,6 +92,31 @@ type TableStats = core.TableStats
 // Request is one recommendation request: vector IDs to look up per table.
 type Request = core.Request
 
+// AdaptOptions configures the online adaptation engine
+// (Store.StartAdaptation): runtime trace recording, periodic DRAM
+// rebalancing, miniature-cache threshold re-tuning and zero-downtime
+// background re-layout.
+type AdaptOptions = core.AdaptOptions
+
+// AdaptEpochReport summarises one adaptation epoch (Store.AdaptNow).
+type AdaptEpochReport = core.AdaptEpochReport
+
+// TableAdaptReport is the per-table part of an AdaptEpochReport.
+type TableAdaptReport = core.TableAdaptReport
+
+// AdaptationStats is the adaptation engine's observability snapshot
+// (Store.AdaptationStats).
+type AdaptationStats = core.AdaptationStats
+
+// TableAdaptationStats is the per-table part of AdaptationStats.
+type TableAdaptationStats = core.TableAdaptationStats
+
+// Background re-layout strategies for AdaptOptions.RelayoutStrategy.
+const (
+	RelayoutSHP    = core.RelayoutSHP
+	RelayoutKMeans = core.RelayoutKMeans
+)
+
 // Open creates a Store from a Config: it sizes the NVM device, writes every
 // table to it and starts serving lookups with per-table LRU caches (no
 // prefetching until Train is called). With Config.Backend == BackendFile the

@@ -54,6 +54,13 @@ func main() {
 		backend  = flag.String("backend", core.BackendMem, "block store backend: mem or file")
 		dataDir  = flag.String("data-dir", "", "data directory for the file backend (reused across runs)")
 		syncStr  = flag.String("sync", "periodic", "file backend durability: none, periodic or always")
+		drift    = flag.Int("drift", 0, "rotate each synthetic table's hot communities every N requests (0 = stationary)")
+
+		adaptEvery    = flag.Duration("adapt", 0, "online adaptation epoch interval (e.g. 30s); 0 disables adaptation")
+		adaptRelayout = flag.Int("adapt-relayout", 4, "run the background re-layout pass every N adaptation epochs (0 = never)")
+		adaptBudget   = flag.Int("adapt-budget", 0, "max NVM blocks migrated per adaptation epoch (0 = unlimited)")
+		adaptStrategy = flag.String("adapt-strategy", core.RelayoutSHP, "re-layout strategy: shp or kmeans")
+		adaptSample   = flag.Int("adapt-sample", 1, "record 1 in N queries for adaptation (higher = cheaper)")
 	)
 	flag.Parse()
 	if *tables < 1 {
@@ -79,19 +86,36 @@ func main() {
 		Sync:              syncMode,
 	}
 
+	// Online adaptation: with --adapt the server records a sampled window of
+	// live accesses and re-tunes caching/placement every interval — a store
+	// started untrained converges on its real traffic without a restart.
+	var adaptOpts *core.AdaptOptions
+	if *adaptEvery > 0 {
+		adaptOpts = &core.AdaptOptions{
+			Interval:            *adaptEvery,
+			RelayoutEvery:       *adaptRelayout,
+			RelayoutBlockBudget: *adaptBudget,
+			RelayoutStrategy:    *adaptStrategy,
+			SampleEvery:         *adaptSample,
+		}
+	}
+
 	reopening := *backend == core.BackendFile && core.DirInitialized(*dataDir)
 	if reopening {
 		log.Printf("reopening initialized data dir %s (no regeneration, no retraining)", *dataDir)
 	} else {
 		log.Printf("generating %d synthetic tables at scale %g", *tables, *scale)
-		embTables, workload := synth.Build(*scale, *tables, *seed, *requests)
+		embTables, workload := synth.BuildWorkload(synth.Options{
+			Scale: *scale, NumTables: *tables, Seed: *seed,
+			Requests: *requests, DriftRotateEvery: *drift,
+		})
 		cfg.Tables = embTables
 
 		store, err := openAndMaybeTrain(cfg, workload, *train, *requests, *stateOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(store, *addr)
+		serve(store, *addr, adaptOpts)
 		return
 	}
 
@@ -101,6 +125,9 @@ func main() {
 	}
 	if rec := store.DeviceStats().Store.RecoveredRecords; rec > 0 {
 		log.Printf("journal recovery replayed %d block write(s) from the previous run", rec)
+	}
+	if store.RecoveredMigration() {
+		log.Printf("redid a background re-layout interrupted by the previous process")
 	}
 	if *train {
 		log.Printf("--train ignored: a reopened data dir serves its persisted state (train at init time with 'bandana init --train')")
@@ -112,7 +139,7 @@ func main() {
 		}
 		log.Printf("trained state written to %s", *stateOut)
 	}
-	serve(store, *addr)
+	serve(store, *addr, adaptOpts)
 }
 
 // writeStateFile dumps the store's trained state to path.
@@ -166,7 +193,15 @@ func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, re
 	return store, nil
 }
 
-func serve(store *core.Store, addr string) {
+func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions) {
+	if adaptOpts != nil {
+		if err := store.StartAdaptation(*adaptOpts); err != nil {
+			store.Close()
+			log.Fatal(err)
+		}
+		log.Printf("online adaptation enabled: epoch every %s, re-layout every %d epoch(s), strategy %s",
+			adaptOpts.Interval, adaptOpts.RelayoutEvery, adaptOpts.RelayoutStrategy)
+	}
 	srv := server.New(store)
 	httpServer := &http.Server{
 		Addr:              addr,

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"bandana/internal/core"
+	"bandana/internal/synth"
+)
+
+// adaptBenchCmd is the drift benchmark: it serves the identical
+// hot-set-rotation workload to two untrained stores — one with the online
+// adaptation engine running an epoch every --adapt requests, one frozen at
+// the static even-split baseline — and prints per-phase and aggregate hit
+// ratios. It is the CLI form of the core acceptance test
+// (TestAdaptationBeatsStaticEvenSplitOnDrift).
+func adaptBenchCmd(args []string) error {
+	fs := flag.NewFlagSet("adapt-bench", flag.ContinueOnError)
+	var (
+		scale    = fs.Float64("scale", 0.001, "table size scale vs the paper's 10-20M vectors")
+		tables   = fs.Int("tables", 3, "number of embedding tables (max 8)")
+		requests = fs.Int("requests", 2400, "total requests to serve")
+		drift    = fs.Int("drift", 600, "rotate hot communities every N requests")
+		adapt    = fs.Int("adapt", 300, "run one adaptation epoch every N requests")
+		budget   = fs.Int("adapt-budget", 0, "max NVM blocks migrated per epoch (0 = unlimited)")
+		relayout = fs.Int("adapt-relayout", 2, "re-layout every N epochs (0 = never)")
+		dram     = fs.Int("dram", 0, "DRAM budget in vectors (default: 5% of all vectors)")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *adapt <= 0 {
+		return fmt.Errorf("--adapt must be positive")
+	}
+
+	build := func() ([]*core.Store, error) {
+		var stores []*core.Store
+		for i := 0; i < 2; i++ {
+			embTables, _ := synth.BuildWorkload(synth.Options{
+				Scale: *scale, NumTables: *tables, Seed: *seed,
+				Requests: 1, DriftRotateEvery: *drift,
+			})
+			s, err := core.Open(core.Config{Tables: embTables, DRAMBudgetVectors: *dram, Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+			stores = append(stores, s)
+		}
+		return stores, nil
+	}
+	stores, err := build()
+	if err != nil {
+		return err
+	}
+	adaptive, static := stores[0], stores[1]
+	defer adaptive.Close()
+	defer static.Close()
+
+	_, workload := synth.BuildWorkload(synth.Options{
+		Scale: *scale, NumTables: *tables, Seed: *seed,
+		Requests: *requests, DriftRotateEvery: *drift,
+	})
+
+	if err := adaptive.StartAdaptation(core.AdaptOptions{
+		RelayoutEvery:       *relayout,
+		RelayoutBlockBudget: *budget,
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("drift benchmark: %d tables, %d requests, hot set rotates every %d, adaptation epoch every %d\n\n",
+		adaptive.NumTables(), *requests, *drift, *adapt)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "requests\tadaptive hit ratio\tstatic even-split\tepoch\trelayouts")
+
+	rate := func(s *core.Store) float64 {
+		var lookups, hits int64
+		for _, st := range s.Stats() {
+			lookups += st.Lookups
+			hits += st.Hits
+		}
+		if lookups == 0 {
+			return 0
+		}
+		return float64(hits) / float64(lookups)
+	}
+
+	var adaptTotal, staticTotal struct{ hits, lookups int64 }
+	start := time.Now()
+	for served := 0; served < *requests; served += *adapt {
+		end := served + *adapt
+		if end > *requests {
+			end = *requests
+		}
+		adaptive.ResetStats()
+		static.ResetStats()
+		for ti, tr := range workload.Traces {
+			for q := served; q < end && q < len(tr.Queries); q++ {
+				if len(tr.Queries[q]) == 0 {
+					continue
+				}
+				if _, err := adaptive.LookupBatch(ti, tr.Queries[q]); err != nil {
+					return err
+				}
+				if _, err := static.LookupBatch(ti, tr.Queries[q]); err != nil {
+					return err
+				}
+			}
+		}
+		aRate, sRate := rate(adaptive), rate(static)
+		for _, st := range adaptive.Stats() {
+			adaptTotal.hits += st.Hits
+			adaptTotal.lookups += st.Lookups
+		}
+		for _, st := range static.Stats() {
+			staticTotal.hits += st.Hits
+			staticTotal.lookups += st.Lookups
+		}
+		if _, err := adaptive.AdaptNow(); err != nil {
+			return err
+		}
+		as := adaptive.AdaptationStats()
+		fmt.Fprintf(w, "%d-%d\t%.4f\t%.4f\t%d\t%d\n", served, end, aRate, sRate, as.EpochsCompleted, as.Relayouts)
+	}
+	w.Flush()
+
+	aAgg := float64(adaptTotal.hits) / float64(adaptTotal.lookups)
+	sAgg := float64(staticTotal.hits) / float64(staticTotal.lookups)
+	fmt.Printf("\naggregate: adaptive %.4f vs static %.4f (%+.1f%%), wall clock %s\n",
+		aAgg, sAgg, (aAgg/sAgg-1)*100, time.Since(start).Round(time.Millisecond))
+	as := adaptive.AdaptationStats()
+	fmt.Printf("adaptation: %d epochs, %d relayouts, last epoch %s, last relayout %s\n",
+		as.EpochsCompleted, as.Relayouts,
+		as.LastEpochDuration.Round(time.Microsecond), as.LastRelayoutDuration.Round(time.Microsecond))
+	for _, ts := range as.Tables {
+		fmt.Printf("  %-10s cache=%-6d threshold=%-10d prefetch=%-5v relayouts=%d\n",
+			ts.Name, ts.CacheVectors, ts.Threshold, ts.Prefetching, ts.Relayouts)
+	}
+	return nil
+}

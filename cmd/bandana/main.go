@@ -44,6 +44,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+	case "adapt-bench":
+		if err := adaptBenchCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -61,6 +66,10 @@ commands:
   run [flags]         run experiments
   init [flags]        write (and optionally train) a durable data dir that
                       bandana-server --backend=file reopens without retraining
+  adapt-bench [flags] drift benchmark: online adaptation vs the static
+                      even-split baseline on a hot-set-rotation workload
+                      (--adapt epoch interval, --adapt-budget migration
+                      budget, --drift rotation period)
 
 run flags:
   --exp <id>          experiment to run (repeatable via comma separation)

@@ -23,6 +23,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.004, "table size scale vs the paper's 10-20M vectors")
 		requests = flag.Int("requests", 5000, "number of requests to generate")
 		seed     = flag.Int64("seed", 1, "random seed")
+		drift    = flag.Int("drift", 0, "rotate each table's hot communities every N requests (0 = stationary workload)")
 		stats    = flag.String("stats", "", "print statistics of an existing trace file and exit")
 	)
 	flag.Parse()
@@ -38,17 +39,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error: --out directory is required (or use --stats)")
 		os.Exit(2)
 	}
-	if err := generate(*out, *scale, *requests, *seed); err != nil {
+	if err := generate(*out, *scale, *requests, *seed, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(dir string, scale float64, requests int, seed int64) error {
+func generate(dir string, scale float64, requests int, seed int64, drift int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	profiles := trace.DefaultProfiles(scale)
+	if drift > 0 {
+		profiles = trace.DriftProfiles(scale, drift)
+	}
 	for i := range profiles {
 		profiles[i].Seed += seed * 100
 	}

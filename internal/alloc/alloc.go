@@ -36,6 +36,16 @@ type Options struct {
 	// ChunkVectors is the granularity of the greedy allocation. Defaults to
 	// TotalVectors/256 (at least 1).
 	ChunkVectors int
+	// LookaheadVectors widens the horizon over which each step's marginal
+	// utility is measured (as a per-vector density). Hit-rate curves built
+	// from sampled stack distances are step functions whose plateaus can be
+	// wider than a chunk; judging a chunk only by its own span sees zero
+	// gain almost everywhere and collapses into an arbitrary tie-broken
+	// split, so callers allocating from sampled curves should set a horizon
+	// spanning several curve steps (a curve sampled at rate r has steps
+	// every 1/r vectors; the adaptation engine uses TotalVectors/16). The
+	// default (0) keeps the classic chunk-local scoring.
+	LookaheadVectors int
 }
 
 // Result maps each table (by position in the demand slice) to its allocated
@@ -66,6 +76,7 @@ func Allocate(demands []TableDemand, opts Options) (*Result, error) {
 			chunk = 1
 		}
 	}
+	lookahead := opts.LookaheadVectors
 
 	alloc := make([]int, len(demands))
 	remaining := opts.TotalVectors
@@ -99,11 +110,28 @@ func Allocate(demands []TableDemand, opts Options) (*Result, error) {
 			if grant <= 0 {
 				continue
 			}
-			gain := d.HRC.MarginalHits(alloc[i], alloc[i]+grant)
-			// Ties (common when hit-rate curves are coarse step functions
-			// built from sampled stack distances) are broken towards the
-			// table with the smallest allocation so far, so that flat
-			// regions do not starve later tables.
+			// Default: the classic greedy — absolute marginal hits over the
+			// actual grant. With a lookahead, score marginal-hit *density*
+			// over the horizon instead: on sampled (step-function) curves a
+			// single chunk usually sits inside one plateau and reads as zero
+			// gain even when the table has plenty of curve left.
+			var gain float64
+			if lookahead <= 0 {
+				gain = d.HRC.MarginalHits(alloc[i], alloc[i]+grant)
+			} else {
+				horizon := alloc[i] + lookahead
+				if d.MaxVectors > 0 && horizon > d.MaxVectors {
+					horizon = d.MaxVectors
+				}
+				span := horizon - alloc[i]
+				if span < grant {
+					span = grant
+				}
+				gain = d.HRC.MarginalHits(alloc[i], alloc[i]+span) / float64(span)
+			}
+			// Ties (both curves exhausted or identically flat) are broken
+			// towards the table with the smallest allocation so far, so
+			// that flat regions do not starve later tables.
 			if best == -1 || gain > bestGain || (gain == bestGain && alloc[i] < alloc[best]) {
 				best = i
 				bestGain = gain

@@ -1,0 +1,150 @@
+package alloc
+
+import (
+	"testing"
+
+	"bandana/internal/mrc"
+	"bandana/internal/trace"
+)
+
+// driftStream generates a hot-set-rotation lookup stream for one synthetic
+// table profile and returns its flattened accesses.
+func driftStream(seed int64, numVectors, queries, rotate int) []uint32 {
+	p := trace.Profile{
+		Name: "d", NumVectors: numVectors, AvgLookups: 20,
+		CompulsoryMissFrac: 0.05, Locality: 0.9, CommunitySize: 64,
+		ReuseSkew: 2, Seed: seed, HotSetRotation: rotate,
+	}
+	tr := trace.GenerateTable(p, queries)
+	var flat []uint32
+	for _, q := range tr.Queries {
+		flat = append(flat, q...)
+	}
+	return flat
+}
+
+func driftHRC(seed int64, numVectors, queries, rotate int, sampling float64) *mrc.HRC {
+	return mrc.SampledStackDistances(driftStream(seed, numVectors, queries, rotate), sampling).HitRateCurve()
+}
+
+// TestAllocateDeterministicOnDriftStreams pins determinism: identical
+// drifting streams (fixed seeds) must produce identical allocations, run
+// after run.
+func TestAllocateDeterministicOnDriftStreams(t *testing.T) {
+	build := func() *Result {
+		demands := []TableDemand{
+			{Name: "a", HRC: driftHRC(1, 4096, 300, 100, 0.1), MaxVectors: 4096, MinVectors: 32},
+			{Name: "b", HRC: driftHRC(2, 8192, 300, 100, 0.1), MaxVectors: 8192, MinVectors: 32},
+			{Name: "c", HRC: driftHRC(3, 2048, 300, 100, 0.1), MaxVectors: 2048, MinVectors: 32},
+		}
+		res, err := Allocate(demands, Options{TotalVectors: 900, LookaheadVectors: 56})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := build()
+	for run := 0; run < 3; run++ {
+		again := build()
+		for i := range first.Vectors {
+			if first.Vectors[i] != again.Vectors[i] {
+				t.Fatalf("run %d: allocation %v != %v", run, again.Vectors, first.Vectors)
+			}
+		}
+		if again.ExpectedHits != first.ExpectedHits {
+			t.Fatalf("expected hits drifted: %f != %f", again.ExpectedHits, first.ExpectedHits)
+		}
+	}
+}
+
+// TestAllocateMonotonicBudgetUse verifies budget discipline on drifting
+// streams: the allocation never exceeds the budget, uses all of it while
+// any table is uncapped, and growing the budget never shrinks the total.
+func TestAllocateMonotonicBudgetUse(t *testing.T) {
+	demands := []TableDemand{
+		{Name: "a", HRC: driftHRC(1, 4096, 300, 100, 0.1), MaxVectors: 4096, MinVectors: 32},
+		{Name: "b", HRC: driftHRC(2, 8192, 300, 100, 0.1), MaxVectors: 8192, MinVectors: 32},
+	}
+	prevTotal := 0
+	prevHits := -1.0
+	for _, budget := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		res, err := Allocate(demands, Options{TotalVectors: budget, LookaheadVectors: budget / 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, v := range res.Vectors {
+			if v < 0 {
+				t.Fatalf("budget %d: negative allocation %v", budget, res.Vectors)
+			}
+			if demands[i].MaxVectors > 0 && v > demands[i].MaxVectors {
+				t.Fatalf("budget %d: table %d over its cap: %v", budget, i, res.Vectors)
+			}
+			total += v
+		}
+		if total > budget {
+			t.Fatalf("budget %d exceeded: %v sums to %d", budget, res.Vectors, total)
+		}
+		if total != budget {
+			t.Fatalf("budget %d not fully used while tables uncapped: %v", budget, res.Vectors)
+		}
+		if total < prevTotal {
+			t.Fatalf("total allocation shrank when budget grew: %d -> %d", prevTotal, total)
+		}
+		if res.ExpectedHits < prevHits {
+			t.Fatalf("expected hits decreased with a larger budget: %f -> %f", prevHits, res.ExpectedHits)
+		}
+		prevTotal, prevHits = total, res.ExpectedHits
+	}
+}
+
+// TestAllocateNoStarvationOfWarmingTable: a table that has barely been
+// observed (a near-empty curve — it is still warming up) must keep its
+// floor allocation even when siblings have steep curves that would
+// otherwise absorb every chunk.
+func TestAllocateNoStarvationOfWarmingTable(t *testing.T) {
+	warming := mrc.SampledStackDistances([]uint32{1, 2, 3}, 1).HitRateCurve() // ~no reuse observed yet
+	demands := []TableDemand{
+		{Name: "hot", HRC: driftHRC(1, 4096, 400, 0, 0.1), MaxVectors: 4096, MinVectors: 32},
+		{Name: "warming", HRC: warming, MaxVectors: 8192, MinVectors: 64},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 1000, LookaheadVectors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[1] < 64 {
+		t.Fatalf("warming table starved below its floor: %v", res.Vectors)
+	}
+	// The warming table keeps its floor and a fair share of the slack once
+	// the hot curve is exhausted, but must not out-allocate the table with
+	// demonstrated demand.
+	if res.Vectors[0] < res.Vectors[1] {
+		t.Fatalf("warming table out-allocated the hot table: %v", res.Vectors)
+	}
+}
+
+// TestAllocateLookaheadSeesAcrossPlateaus is the regression test for the
+// sampled-curve pathology: with spatially sampled curves (steps every
+// 1/rate vectors) and a chunk smaller than a step, chunk-local scoring sees
+// zero marginal gain everywhere and falls back to a tie-broken even split.
+// The lookahead must recover the skewed split the curves actually justify.
+func TestAllocateLookaheadSeesAcrossPlateaus(t *testing.T) {
+	// Steep table: heavy reuse; flat table: almost none.
+	steep := driftHRC(7, 4096, 400, 0, 0.1)
+	flatStream := make([]uint32, 4000)
+	for i := range flatStream {
+		flatStream[i] = uint32(i % 3900) // reuse only at distance 3900, far past the budget
+	}
+	flat := mrc.SampledStackDistances(flatStream, 0.1).HitRateCurve()
+	demands := []TableDemand{
+		{Name: "steep", HRC: steep, MaxVectors: 4096, MinVectors: 32},
+		{Name: "flat", HRC: flat, MaxVectors: 8192, MinVectors: 32},
+	}
+	res, err := Allocate(demands, Options{TotalVectors: 600, LookaheadVectors: 600 / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors[0] <= res.Vectors[1] {
+		t.Fatalf("lookahead failed to break the plateau tie: %v", res.Vectors)
+	}
+}

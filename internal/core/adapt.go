@@ -1,0 +1,645 @@
+// The adaptation layer: a background engine that closes the paper's tuning
+// loops at runtime. Train (train.go) runs the loops once, offline, from a
+// trace file; this file runs the same loops — hit-rate curves via sampled
+// stack distances, greedy DRAM allocation, miniature-cache threshold
+// tuning, SHP/k-means re-partitioning — continuously, from a bounded window
+// of the *live* access stream captured by per-table recorders on the
+// serving path. Every decision is published through the same atomic state
+// pointer serving already reads, caches are resized in place (incremental
+// eviction, no cold restart), and layout changes go through the
+// crash-recoverable live migration protocol (rewrite.go / migration.go), so
+// the store tunes itself under load without ever blocking its readers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bandana/internal/alloc"
+	"bandana/internal/cache"
+	"bandana/internal/kmeans"
+	"bandana/internal/layout"
+	"bandana/internal/mrc"
+	"bandana/internal/shp"
+	"bandana/internal/sim"
+	"bandana/internal/trace"
+)
+
+// ErrAdaptationRunning is returned by StartAdaptation when the engine is
+// already started; callers (e.g. the HTTP layer) can distinguish this
+// conflict from an options-validation error.
+var ErrAdaptationRunning = errors.New("core: adaptation already started (StopAdaptation first)")
+
+// ErrAdaptationNotStarted is returned by AdaptNow when no engine is
+// installed (StartAdaptation has not run, or StopAdaptation tore it down —
+// possibly concurrently with the AdaptNow call).
+var ErrAdaptationNotStarted = errors.New("core: adaptation not started")
+
+// Relayout strategies for AdaptOptions.RelayoutStrategy.
+const (
+	// RelayoutSHP re-partitions with the Social Hash Partitioner over the
+	// recorded co-access hypergraph, warm-started from the current layout
+	// (the paper's supervised partitioner, §4.3.2).
+	RelayoutSHP = "shp"
+	// RelayoutKMeans re-partitions by embedding similarity with two-stage
+	// K-means (the paper's unsupervised fallback, §4.1) — useful when the
+	// recorded window is too thin to carry co-access signal.
+	RelayoutKMeans = "kmeans"
+)
+
+// AdaptOptions configures the online adaptation engine.
+type AdaptOptions struct {
+	// Interval is the background epoch period. <= 0 starts the engine in
+	// manual mode: recording is on but epochs only run when AdaptNow is
+	// called (how tests and the /v1/adapt endpoint drive it).
+	Interval time.Duration
+	// RecorderQueries bounds each table's recorded window (ring capacity in
+	// queries). Defaults to 4096.
+	RecorderQueries int
+	// RecorderStripes is the lock striping of each recorder. Defaults to 16.
+	RecorderStripes int
+	// SampleEvery records one in N queries (1 = everything). Defaults to 1;
+	// raise it on very hot stores to cut recording overhead further.
+	SampleEvery int
+	// MinQueries is the minimum recorded window before a table is adapted;
+	// colder tables keep their current configuration (and their DRAM share
+	// is reserved, so a warming table is never starved by the optimiser).
+	// Defaults to 64.
+	MinQueries int
+	// HRCSampling is the SHARDS sampling rate for hit-rate curves.
+	// Defaults to 0.1.
+	HRCSampling float64
+	// MiniCacheSampling is the miniature-cache sampling rate for threshold
+	// tuning. Defaults to 0.01.
+	MiniCacheSampling float64
+	// Thresholds are the candidate admission thresholds; nil derives them
+	// from the recorded access counts (sim.AdaptiveThresholds).
+	Thresholds []uint32
+	// MinPrefetchGain is the minimum held-out miniature-cache gain required
+	// to turn prefetching ON for a table this epoch; below it the table
+	// serves prefetch-free. The offline Train can afford optimism (its
+	// trace is the whole workload); the online loop tunes on a short noisy
+	// window where a marginal measured gain often means live cache
+	// pollution, so it demands a margin. Defaults to 0.15.
+	MinPrefetchGain float64
+	// RelayoutEvery runs the background re-layout pass every N epochs; 0
+	// disables re-layout (allocation and thresholds still adapt).
+	RelayoutEvery int
+	// RelayoutMinGain is the minimum relative fanout improvement (on the
+	// recorded queries) required before a table is migrated; below it the
+	// migration cost is not worth the layout delta. Defaults to 0.05.
+	RelayoutMinGain float64
+	// RelayoutBlockBudget caps the NVM blocks rewritten by migrations in
+	// one epoch (tables beyond the budget wait for a later epoch); 0 means
+	// unlimited.
+	RelayoutBlockBudget int
+	// RelayoutStrategy selects RelayoutSHP (default) or RelayoutKMeans.
+	RelayoutStrategy string
+	// SHPIterations bounds the warm-started refinement; incremental runs
+	// need far fewer than a cold Train. Defaults to 6.
+	SHPIterations int
+	// Parallelism bounds how many tables are analysed/tuned concurrently.
+	// Defaults to 4.
+	Parallelism int
+}
+
+func (o *AdaptOptions) defaults() error {
+	if o.RecorderQueries <= 0 {
+		o.RecorderQueries = 4096
+	}
+	if o.RecorderStripes <= 0 {
+		o.RecorderStripes = 16
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 1
+	}
+	if o.MinQueries <= 0 {
+		o.MinQueries = 64
+	}
+	if o.HRCSampling <= 0 {
+		o.HRCSampling = 0.1
+	}
+	if o.MiniCacheSampling <= 0 {
+		o.MiniCacheSampling = 0.01
+	}
+	if o.RelayoutMinGain <= 0 {
+		o.RelayoutMinGain = 0.05
+	}
+	if o.MinPrefetchGain <= 0 {
+		o.MinPrefetchGain = 0.15
+	}
+	if o.SHPIterations <= 0 {
+		o.SHPIterations = 6
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	switch o.RelayoutStrategy {
+	case "":
+		o.RelayoutStrategy = RelayoutSHP
+	case RelayoutSHP, RelayoutKMeans:
+	default:
+		return fmt.Errorf("core: unknown relayout strategy %q (want %q or %q)",
+			o.RelayoutStrategy, RelayoutSHP, RelayoutKMeans)
+	}
+	return nil
+}
+
+// adapter is the runtime state of the adaptation engine.
+type adapter struct {
+	opts AdaptOptions
+
+	// Background loop lifecycle (nil channels in manual mode).
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	running  atomic.Bool
+
+	epochs         atomic.Int64
+	relayouts      atomic.Int64
+	lastEpochNS    atomic.Int64
+	lastRelayoutNS atomic.Int64
+	lastErr        atomic.Pointer[string]
+
+	// Per-table counter baselines from the end of the previous epoch, so
+	// stats can report hit ratios *since the last adaptation*, not
+	// since-boot averages that drown out drift.
+	mu             sync.Mutex
+	baseLookups    []int64
+	baseHits       []int64
+	tableRelayouts []int64
+	// recorders are the exact recorder instances this adapter installed, so
+	// StopAdaptation can remove its own recorders without clobbering those
+	// of a successor engine.
+	recorders []*trace.Recorder
+}
+
+// StartAdaptation turns the store into a self-tuning system: it installs
+// per-table access recorders on the serving path and (when opts.Interval >
+// 0) starts a background goroutine that runs an adaptation epoch every
+// interval. Returns an error if the engine is already started.
+func (s *Store) StartAdaptation(opts AdaptOptions) error {
+	if err := opts.defaults(); err != nil {
+		return err
+	}
+	a := &adapter{
+		opts:           opts,
+		baseLookups:    make([]int64, len(s.tables)),
+		baseHits:       make([]int64, len(s.tables)),
+		tableRelayouts: make([]int64, len(s.tables)),
+		recorders:      make([]*trace.Recorder, len(s.tables)),
+	}
+	// Win the engine slot before touching any serving state, so a losing
+	// concurrent StartAdaptation cannot install recorders with its own
+	// config under the winner's adapter.
+	if !s.adapt.CompareAndSwap(nil, a) {
+		return ErrAdaptationRunning
+	}
+	for i, st := range s.tables {
+		a.baseLookups[i] = st.lookups.Value()
+		a.baseHits[i] = st.hits.Value()
+		a.recorders[i] = trace.NewRecorder(opts.RecorderQueries, opts.RecorderStripes, opts.SampleEvery)
+		st.recorder.Store(a.recorders[i])
+	}
+	if opts.Interval > 0 {
+		a.stop = make(chan struct{})
+		a.done = make(chan struct{})
+		a.running.Store(true)
+		go s.adaptLoop(a)
+	}
+	return nil
+}
+
+// adaptLoop is the background ticker: one adaptation epoch per interval.
+func (s *Store) adaptLoop(a *adapter) {
+	defer close(a.done)
+	ticker := time.NewTicker(a.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			if _, err := s.AdaptNow(); err != nil {
+				msg := err.Error()
+				a.lastErr.Store(&msg)
+			}
+		}
+	}
+}
+
+// StopAdaptation stops the background loop (waiting for an in-flight epoch
+// to finish) and removes the serving-path recorders. Idempotent; a stopped
+// engine can be restarted with StartAdaptation.
+func (s *Store) StopAdaptation() {
+	a := s.adapt.Load()
+	if a == nil {
+		return
+	}
+	// Drain the background loop first (idempotent for concurrent stops),
+	// then release the engine slot. Only the stop that wins the CAS removes
+	// the recorders — and only the exact instances this adapter installed —
+	// so a racing StopAdaptation can neither tear down a successor engine
+	// installed by a concurrent StartAdaptation nor strip its recorders.
+	if a.stop != nil {
+		a.stopOnce.Do(func() { close(a.stop) })
+		<-a.done
+	}
+	a.running.Store(false)
+	if !s.adapt.CompareAndSwap(a, nil) {
+		return
+	}
+	for i, st := range s.tables {
+		st.recorder.CompareAndSwap(a.recorders[i], nil)
+	}
+}
+
+// AdaptEpochReport summarises one adaptation epoch.
+type AdaptEpochReport struct {
+	Epoch    int64
+	Duration time.Duration
+	Tables   []TableAdaptReport
+}
+
+// TableAdaptReport is the per-table outcome of one epoch.
+type TableAdaptReport struct {
+	Name            string
+	RecordedQueries int
+	RecordedLookups int64
+	// Adapted is false when the recorded window was below MinQueries (the
+	// table keeps its configuration).
+	Adapted bool
+	// CacheVectors is the DRAM allocation after this epoch.
+	CacheVectors int
+	// Threshold and MiniatureGain mirror TableTrainReport.
+	Threshold     uint32
+	MiniatureGain float64
+	// Relayout reports whether the table's blocks were migrated this epoch;
+	// FanoutBefore/FanoutAfter are measured on the recorded queries.
+	Relayout         bool
+	FanoutBefore     float64
+	FanoutAfter      float64
+	RelayoutDuration time.Duration
+}
+
+// AdaptNow runs one adaptation epoch synchronously: snapshot the recorded
+// windows, rebuild hit-rate curves, rebalance the DRAM budget across tables
+// (live, in-place cache resizes), optionally re-partition-and-migrate
+// drifted tables, and re-tune every adapted table's prefetch-admission
+// threshold with miniature caches. Serving continues throughout; the only
+// serving-visible pauses are the per-table bulk copy of a migration.
+func (s *Store) AdaptNow() (*AdaptEpochReport, error) {
+	a := s.adapt.Load()
+	if a == nil {
+		return nil, ErrAdaptationNotStarted
+	}
+	start := time.Now()
+	// One epoch at a time, and never concurrent with Train/LoadState: they
+	// share the cache/threshold state and the migration protocol supports a
+	// single in-flight migration.
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	// Re-check under the lock: a Stop (or Stop+Start) that won the race
+	// while this call waited must not have its successor's recorders
+	// consumed by an epoch running with the dead engine's options.
+	if s.adapt.Load() != a {
+		return nil, ErrAdaptationNotStarted
+	}
+
+	opts := a.opts
+	epoch := a.epochs.Load() + 1
+	report := &AdaptEpochReport{Epoch: epoch, Tables: make([]TableAdaptReport, len(s.tables))}
+
+	// Phase 1 (parallel): snapshot each table's recorded window and derive
+	// access counts + hit-rate curve. Counts for the admission policy come
+	// from the window's *training prefix* only, and thresholds are later
+	// evaluated on the held-out suffix: tuning on the very stream the
+	// counts were measured from systematically overstates prefetch gains
+	// (the counts are that replay's future), and under drift that
+	// overfitting turns into live cache pollution.
+	type analysis struct {
+		tr     *trace.Trace // full window: allocation HRC + re-layout
+		tuneTr *trace.Trace // held-out suffix: threshold evaluation
+		counts []uint32     // training-prefix access counts
+		hrc    *mrc.HRC
+	}
+	analyses := make([]analysis, len(s.tables))
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, st := range s.tables {
+		rep := &report.Tables[i]
+		rep.Name = st.name
+		r := st.recorder.Load()
+		if r == nil {
+			continue
+		}
+		tr := r.Snapshot(st.name, st.src.NumVectors())
+		rep.RecordedQueries = len(tr.Queries)
+		rep.RecordedLookups = tr.Lookups()
+		if len(tr.Queries) < opts.MinQueries {
+			// Leave the window in place so a slow table keeps accumulating
+			// across epochs (the ring bounds memory); resetting here would
+			// turn MinQueries into a minimum arrival *rate* and starve
+			// low-traffic tables of adaptation forever.
+			continue
+		}
+		r.Reset()
+		rep.Adapted = true
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			flat := make([]uint32, 0, tr.Lookups())
+			for _, q := range tr.Queries {
+				flat = append(flat, q...)
+			}
+			trainTr, evalTr := tr.Split(0.6)
+			if len(evalTr.Queries) == 0 { // degenerate tiny window
+				trainTr, evalTr = tr, tr
+			}
+			analyses[i] = analysis{
+				tr:     tr,
+				tuneTr: evalTr,
+				counts: trainTr.AccessCounts(),
+				hrc:    mrc.SampledStackDistances(flat, opts.HRCSampling).HitRateCurve(),
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Phase 2: rebalance the DRAM budget across the adapted tables with the
+	// fresh hit-rate curves. Cold tables keep their current share reserved
+	// (no starvation of a warming table), and resizes are live — the
+	// surviving working set keeps serving hits.
+	budget := 0
+	var demands []alloc.TableDemand
+	var demandIdx []int
+	for i, st := range s.tables {
+		cacheCap := st.loadState().cacheCap
+		report.Tables[i].CacheVectors = cacheCap
+		if analyses[i].hrc == nil {
+			continue
+		}
+		budget += cacheCap
+		demands = append(demands, alloc.TableDemand{
+			Name:       st.name,
+			HRC:        analyses[i].hrc,
+			MaxVectors: st.src.NumVectors(),
+			MinVectors: st.blockVectors,
+		})
+		demandIdx = append(demandIdx, i)
+	}
+	if len(demands) > 0 && budget > 0 {
+		// The lookahead makes the greedy scoring see across the plateaus of
+		// the sampled hit-rate curves; without it the allocation degenerates
+		// to a tie-broken even split (see alloc.Options.LookaheadVectors).
+		allocRes, err := alloc.Allocate(demands, alloc.Options{TotalVectors: budget, LookaheadVectors: budget / 16})
+		if err != nil {
+			return nil, fmt.Errorf("core: adaptation allocation: %w", err)
+		}
+		for di, ti := range demandIdx {
+			actual := s.tables[ti].resizeCacheLive(allocRes.Vectors[di])
+			report.Tables[ti].CacheVectors = actual
+		}
+	}
+
+	// Phase 3: background re-layout of drifted tables (every RelayoutEvery
+	// epochs, within the block budget), before threshold tuning so the
+	// thresholds are tuned for the layout that will serve them.
+	if opts.RelayoutEvery > 0 && epoch%int64(opts.RelayoutEvery) == 0 {
+		blocksLeft := opts.RelayoutBlockBudget
+		for i, st := range s.tables {
+			if analyses[i].tr == nil {
+				continue
+			}
+			if opts.RelayoutBlockBudget > 0 && blocksLeft < st.numBlocks {
+				continue // over budget this epoch; a later epoch picks it up
+			}
+			migrated, before, after, err := s.maybeRelayout(st, analyses[i].tr, opts)
+			if err != nil {
+				return nil, err
+			}
+			rep := &report.Tables[i]
+			rep.FanoutBefore, rep.FanoutAfter = before, after
+			if migrated {
+				rep.Relayout = true
+				blocksLeft -= st.numBlocks
+				a.relayouts.Add(1)
+				a.mu.Lock()
+				a.tableRelayouts[i]++
+				a.mu.Unlock()
+			}
+		}
+	}
+
+	// Phase 4 (parallel): re-tune each adapted table's prefetch-admission
+	// threshold with miniature caches over the recorded window, at the new
+	// cache size and layout.
+	errs := make([]error, len(s.tables))
+	for i, st := range s.tables {
+		if analyses[i].tr == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, st *storeTable) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			snap := st.loadState()
+			choice, err := sim.TuneThreshold(analyses[i].tuneTr, sim.TunerConfig{
+				Layout:       snap.layout,
+				Counts:       analyses[i].counts,
+				CacheVectors: snap.cacheCap,
+				SamplingRate: opts.MiniCacheSampling,
+				Thresholds:   opts.Thresholds,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("core: table %q: %w", st.name, err)
+				return
+			}
+			enable := choice.Threshold != sim.DisablePrefetch && choice.MiniatureGain >= opts.MinPrefetchGain
+			st.mutateState(func(ts *tableState) {
+				ts.counts = analyses[i].counts
+				ts.threshold = choice.Threshold
+				ts.prefetch = enable
+				if enable {
+					ts.policy = cache.ThresholdAdmit{Counts: analyses[i].counts, Threshold: choice.Threshold}
+				} else {
+					ts.policy = nil
+				}
+			})
+			report.Tables[i].Threshold = choice.Threshold
+			report.Tables[i].MiniatureGain = choice.MiniatureGain
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Persist the adapted state so a restart resumes from the latest
+	// configuration instead of the last offline Train.
+	if s.dataDir != "" {
+		if err := s.Persist(); err != nil {
+			return nil, fmt.Errorf("core: persist adapted state: %w", err)
+		}
+	}
+
+	// Publish epoch accounting and reset the per-epoch counter baselines.
+	a.mu.Lock()
+	for i, st := range s.tables {
+		a.baseLookups[i] = st.lookups.Value()
+		a.baseHits[i] = st.hits.Value()
+	}
+	a.mu.Unlock()
+	report.Duration = time.Since(start)
+	a.lastEpochNS.Store(int64(report.Duration))
+	a.epochs.Store(epoch)
+	a.lastErr.Store(nil) // a completed epoch supersedes any earlier failure
+	return report, nil
+}
+
+// maybeRelayout evaluates a candidate layout for one table against the
+// recorded queries and migrates to it when the predicted fanout gain
+// clears the threshold. Returns whether a migration ran plus the measured
+// fanouts.
+func (s *Store) maybeRelayout(st *storeTable, tr *trace.Trace, opts AdaptOptions) (bool, float64, float64, error) {
+	queries := make([][]uint32, len(tr.Queries))
+	for i, q := range tr.Queries {
+		queries[i] = q
+	}
+	cur := st.loadState().layout
+
+	var candidate *layout.Layout
+	switch opts.RelayoutStrategy {
+	case RelayoutKMeans:
+		order, err := kmeans.OrderTable(st.src, st.blockVectors, kmeans.TwoStageOptions{Seed: s.seed + int64(st.index)})
+		if err != nil {
+			return false, 0, 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		l, err := layout.FromOrder(order, st.blockVectors)
+		if err != nil {
+			return false, 0, 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		candidate = l
+	default: // RelayoutSHP
+		res, err := shp.Repartition(cur.Order(), queries, shp.Options{
+			BlockVectors: st.blockVectors,
+			Iterations:   opts.SHPIterations,
+			Seed:         s.seed + int64(st.index),
+		})
+		if err != nil {
+			return false, 0, 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		l, err := layout.FromOrder(res.Order, st.blockVectors)
+		if err != nil {
+			return false, 0, 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		candidate = l
+	}
+
+	before := cur.AverageFanout(queries)
+	after := candidate.AverageFanout(queries)
+	if before <= 0 || (before-after)/before < opts.RelayoutMinGain {
+		return false, before, after, nil
+	}
+	a := s.adapt.Load()
+	migStart := time.Now()
+	if err := s.relayoutTable(st, candidate); err != nil {
+		return false, before, after, err
+	}
+	if a != nil {
+		a.lastRelayoutNS.Store(int64(time.Since(migStart)))
+	}
+	return true, before, after, nil
+}
+
+// AdaptationStats is a snapshot of the adaptation engine for observability.
+type AdaptationStats struct {
+	// Enabled reports whether recorders are installed (StartAdaptation was
+	// called); Background reports whether the interval loop is running.
+	Enabled    bool
+	Background bool
+	Interval   time.Duration
+	// EpochsCompleted counts finished adaptation epochs; Relayouts counts
+	// completed background migrations.
+	EpochsCompleted int64
+	Relayouts       int64
+	// LastEpochDuration / LastRelayoutDuration are wall-clock times of the
+	// most recent epoch and migration.
+	LastEpochDuration    time.Duration
+	LastRelayoutDuration time.Duration
+	// LastError is the most recent background-epoch failure ("" when the
+	// last epoch succeeded or none ran).
+	LastError string
+	Tables    []TableAdaptationStats
+}
+
+// TableAdaptationStats is the per-table adaptation view.
+type TableAdaptationStats struct {
+	Name string
+	// EpochLookups/EpochHits/EpochHitRate cover the window since the last
+	// completed adaptation epoch (or since StartAdaptation).
+	EpochLookups int64
+	EpochHits    int64
+	EpochHitRate float64
+	// CacheVectors, Threshold and Prefetching mirror the live config.
+	CacheVectors int
+	Threshold    uint32
+	Prefetching  bool
+	// RecordedQueries is the current recorder fill.
+	RecordedQueries int
+	// Relayouts counts this table's completed background migrations.
+	Relayouts int64
+}
+
+// AdaptationStats returns the adaptation engine's observability snapshot.
+// When the engine has never been started, Enabled is false and Tables is
+// empty.
+func (s *Store) AdaptationStats() AdaptationStats {
+	a := s.adapt.Load()
+	if a == nil {
+		return AdaptationStats{}
+	}
+	out := AdaptationStats{
+		Enabled:              true,
+		Background:           a.running.Load(),
+		Interval:             a.opts.Interval,
+		EpochsCompleted:      a.epochs.Load(),
+		Relayouts:            a.relayouts.Load(),
+		LastEpochDuration:    time.Duration(a.lastEpochNS.Load()),
+		LastRelayoutDuration: time.Duration(a.lastRelayoutNS.Load()),
+		Tables:               make([]TableAdaptationStats, len(s.tables)),
+	}
+	if msg := a.lastErr.Load(); msg != nil {
+		out.LastError = *msg
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, st := range s.tables {
+		state := st.loadState()
+		ts := TableAdaptationStats{
+			Name:         st.name,
+			EpochLookups: st.lookups.Value() - a.baseLookups[i],
+			EpochHits:    st.hits.Value() - a.baseHits[i],
+			CacheVectors: state.cacheCap,
+			Threshold:    state.threshold,
+			Prefetching:  state.prefetch,
+			Relayouts:    a.tableRelayouts[i],
+		}
+		if r := st.recorder.Load(); r != nil {
+			ts.RecordedQueries = r.Len()
+		}
+		if ts.EpochLookups > 0 {
+			ts.EpochHitRate = float64(ts.EpochHits) / float64(ts.EpochLookups)
+		}
+		out.Tables[i] = ts
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// driftTestTables builds a two-table drift workload with very different
+// cacheability, so the DRAM allocator has a real decision to make: table
+// "hot" is small, local and skewed (a small cache captures most of it),
+// table "cold" is large with weak locality (extra DRAM buys little).
+func driftTestTables(queries, rotateEvery int) ([]*table.Table, []*trace.Trace) {
+	profiles := []trace.Profile{
+		{
+			Name: "hot", NumVectors: 4096, AvgLookups: 25,
+			CompulsoryMissFrac: 0.02, Locality: 0.95, CommunitySize: 64,
+			ReuseSkew: 1.0, Seed: 11, HotSetRotation: rotateEvery,
+		},
+		{
+			Name: "cold", NumVectors: 8192, AvgLookups: 25,
+			CompulsoryMissFrac: 0.60, Locality: 0.10, CommunitySize: 64,
+			ReuseSkew: 1.0, Seed: 12, HotSetRotation: rotateEvery,
+		},
+	}
+	tables := make([]*table.Table, len(profiles))
+	traces := make([]*trace.Trace, len(profiles))
+	for i, p := range profiles {
+		traces[i] = trace.GenerateTable(p, queries)
+		tables[i] = table.Generate(p.Name, table.GenerateOptions{
+			NumVectors:  p.NumVectors,
+			Dim:         64,
+			NumClusters: p.NumVectors / 64,
+			Seed:        int64(i),
+			Assignments: trace.CommunityAssignment(p),
+		}).Table
+	}
+	return tables, traces
+}
+
+func servePhase(t *testing.T, s *Store, traces []*trace.Trace, from, to int) {
+	t.Helper()
+	for ti, tr := range traces {
+		for q := from; q < to && q < len(tr.Queries); q++ {
+			if len(tr.Queries[q]) == 0 {
+				continue
+			}
+			if _, err := s.LookupBatch(ti, tr.Queries[q]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func aggregateHitRate(s *Store) (float64, int64) {
+	var lookups, hits int64
+	for _, st := range s.Stats() {
+		lookups += st.Lookups
+		hits += st.Hits
+	}
+	if lookups == 0 {
+		return 0, 0
+	}
+	return float64(hits) / float64(lookups), lookups
+}
+
+// TestAdaptationBeatsStaticEvenSplitOnDrift is the acceptance scenario: a
+// server started UNTRAINED on a drifting workload converges without a
+// restart — after a few adaptation epochs its aggregate hit ratio is
+// strictly better than the static even-split baseline serving the identical
+// stream.
+func TestAdaptationBeatsStaticEvenSplitOnDrift(t *testing.T) {
+	const (
+		epochQ    = 150 // queries served between adaptation epochs
+		epochs    = 8
+		rotate    = 2 * epochQ // drift phase length (the hot set rotates every 2 epochs)
+		warmupEps = 4
+		budget    = 600
+	)
+	tables, traces := driftTestTables(epochQ*epochs, rotate)
+	tables2, _ := driftTestTables(epochQ*epochs, rotate) // fresh copies for the baseline store
+
+	adaptive, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: budget, Seed: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adaptive.Close()
+	static, err := Open(Config{Tables: tables2, DRAMBudgetVectors: budget, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer static.Close()
+
+	if err := adaptive.StartAdaptation(AdaptOptions{
+		MinQueries:      32,
+		RelayoutEvery:   2,
+		RelayoutMinGain: 0.02,
+		SHPIterations:   8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		servePhase(t, adaptive, traces, epoch*epochQ, (epoch+1)*epochQ)
+		servePhase(t, static, traces, epoch*epochQ, (epoch+1)*epochQ)
+		if _, err := adaptive.AdaptNow(); err != nil {
+			t.Fatal(err)
+		}
+		if epoch == warmupEps-1 {
+			// Converged enough: measure both stores on the remaining
+			// (still drifting) epochs only.
+			adaptive.ResetStats()
+			static.ResetStats()
+		}
+	}
+
+	adaptRate, adaptN := aggregateHitRate(adaptive)
+	staticRate, staticN := aggregateHitRate(static)
+	if adaptN == 0 || staticN == 0 {
+		t.Fatal("no post-warmup lookups measured")
+	}
+	t.Logf("post-warmup aggregate hit ratio: adaptive %.4f (%d lookups) vs static even-split %.4f (%d lookups)",
+		adaptRate, adaptN, staticRate, staticN)
+	if adaptRate <= staticRate {
+		t.Fatalf("adaptation did not beat the static even split: %.4f <= %.4f", adaptRate, staticRate)
+	}
+
+	stats := adaptive.AdaptationStats()
+	if stats.EpochsCompleted != epochs {
+		t.Fatalf("EpochsCompleted = %d, want %d", stats.EpochsCompleted, epochs)
+	}
+	// The allocator should have moved DRAM toward the cacheable table.
+	var hotCap, coldCap int
+	for _, ts := range stats.Tables {
+		switch ts.Name {
+		case "hot":
+			hotCap = ts.CacheVectors
+		case "cold":
+			coldCap = ts.CacheVectors
+		}
+	}
+	if hotCap <= coldCap {
+		t.Errorf("expected the hot table to win DRAM: hot=%d cold=%d", hotCap, coldCap)
+	}
+}
+
+func TestAdaptNowRequiresStart(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 10)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.AdaptNow(); err == nil {
+		t.Fatal("AdaptNow without StartAdaptation should error")
+	}
+	st := s.AdaptationStats()
+	if st.Enabled {
+		t.Fatal("AdaptationStats.Enabled should be false before StartAdaptation")
+	}
+}
+
+func TestStartAdaptationLifecycle(t *testing.T) {
+	tables, traces := buildTestTables(t, 2, 1024, 120)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.StartAdaptation(AdaptOptions{
+		MinQueries:      16,
+		RelayoutEvery:   1,
+		RelayoutMinGain: 0.01,
+		MinPrefetchGain: 0.01,
+		SHPIterations:   8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartAdaptation(AdaptOptions{}); err == nil {
+		t.Fatal("double StartAdaptation should error")
+	}
+	if err := s.StartAdaptation(AdaptOptions{RelayoutStrategy: "bogus"}); err == nil {
+		t.Fatal("bad relayout strategy should error")
+	}
+
+	// Two epochs: the first re-partitions the tables, the second tunes
+	// thresholds against the partitioned layout (where prefetching pays).
+	var rep *AdaptEpochReport
+	var err2 error
+	for e := 0; e < 2; e++ {
+		servePhase(t, s, traces, 0, 120)
+		rep, err2 = s.AdaptNow()
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+	}
+	for _, tr := range rep.Tables {
+		if !tr.Adapted {
+			t.Fatalf("table %s not adapted despite %d recorded queries", tr.Name, tr.RecordedQueries)
+		}
+		if tr.CacheVectors <= 0 {
+			t.Fatalf("table %s: no cache allocation reported", tr.Name)
+		}
+	}
+	stats := s.AdaptationStats()
+	if !stats.Enabled || stats.Background {
+		t.Fatalf("manual-mode stats: Enabled=%v Background=%v", stats.Enabled, stats.Background)
+	}
+	if stats.EpochsCompleted != 2 || stats.LastEpochDuration <= 0 {
+		t.Fatalf("epoch accounting: %d epochs, %v duration", stats.EpochsCompleted, stats.LastEpochDuration)
+	}
+
+	// Prefetching must now be live with the tuned threshold policy.
+	found := false
+	for _, ts := range s.Stats() {
+		if ts.Prefetching && ts.Policy == "threshold-admit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no table ended up with a live threshold-admit policy")
+	}
+
+	s.StopAdaptation()
+	s.StopAdaptation() // idempotent
+	if s.AdaptationStats().Enabled {
+		t.Fatal("stats still enabled after stop")
+	}
+	if _, err := s.AdaptNow(); err == nil {
+		t.Fatal("AdaptNow after StopAdaptation should error")
+	}
+	// Restartable.
+	if err := s.StartAdaptation(AdaptOptions{MinQueries: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundAdaptationLoop(t *testing.T) {
+	tables, traces := buildTestTables(t, 1, 1024, 200)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartAdaptation(AdaptOptions{Interval: 10 * time.Millisecond, MinQueries: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AdaptationStats().Background {
+		t.Fatal("background loop not reported")
+	}
+	servePhase(t, s, traces, 0, 200)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.AdaptationStats().EpochsCompleted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never completed an epoch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.StopAdaptation()
+	if got := s.AdaptationStats(); got.Enabled {
+		t.Fatalf("adaptation still enabled after stop: %+v", got)
+	}
+}
+
+// TestAdaptationResizeKeepsWorkingSet verifies live rebalancing does not
+// drop the cache: after an epoch shrinks a table's cache, previously hot
+// vectors still hit.
+func TestAdaptationResizeKeepsWorkingSet(t *testing.T) {
+	tables, traces := driftTestTables(400, 0)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartAdaptation(AdaptOptions{MinQueries: 32}); err != nil {
+		t.Fatal(err)
+	}
+	servePhase(t, s, traces, 0, 400)
+	before := s.Stats()
+	if _, err := s.AdaptNow(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	for i := range after {
+		if after[i].CacheVectors < before[i].CacheVectors && after[i].CacheUsed == 0 {
+			t.Fatalf("table %s: shrink emptied the cache (incremental eviction expected)", after[i].Name)
+		}
+	}
+}
+
+// TestLookupHitZeroAllocWithRecorder pins the serving-path cost of
+// recording: a cache-hit Lookup must stay allocation-free while the
+// adaptation recorder is installed (Record1 keeps the one-ID buffer on the
+// stack).
+func TestLookupHitZeroAllocWithRecorder(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 10)
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A small recorder ring so the warmup below touches every slot: each
+	// ring slot heap-allocates its reusable ID buffer on FIRST use (bounded
+	// by ring capacity, amortized to zero); steady state must be
+	// allocation-free.
+	if err := s.StartAdaptation(AdaptOptions{MinQueries: 16, RecorderQueries: 64, RecorderStripes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ { // warm the cache and every ring slot
+		if _, err := s.Lookup(0, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.Lookup(0, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("cache-hit lookup allocates %.1f times per op with recording on, want 0", allocs)
+	}
+}

@@ -148,6 +148,44 @@ func reopenDir(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("core: manifest expects %d blocks, block file has %d", totalBlocks, fs.NumBlocks())
 	}
 
+	// A committed-but-unfinished background migration (the previous process
+	// died between the migration record commit and its cleanup) is redone
+	// now, before the tables are rebuilt: the staged image is bulk-copied
+	// into the table's block range, and the recorded placement overrides
+	// whatever the state file says for that table. Unlike the rewrite
+	// marker, this never refuses the reopen — the staged image makes the
+	// redo exact (see migration.go).
+	mig, err := readMigrationRecord(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	migOrder := map[string][]uint32{}
+	if mig == nil {
+		// A crash between staging the image and committing the record
+		// leaves an orphan image; the migration never happened, so drop it.
+		_ = os.Remove(filepath.Join(cfg.DataDir, MigrationImageName))
+	}
+	if mig != nil {
+		var entry *manifestEntry
+		for i := range entries {
+			if entries[i].name == mig.table {
+				entry = &entries[i]
+				break
+			}
+		}
+		if entry == nil {
+			return nil, fmt.Errorf("core: migration record references unknown table %q", mig.table)
+		}
+		if len(mig.order) != entry.numVectors {
+			return nil, fmt.Errorf("core: migration record covers %d vectors, table %q has %d",
+				len(mig.order), mig.table, entry.numVectors)
+		}
+		if err := redoMigration(cfg.DataDir, mig, fs, *entry); err != nil {
+			return nil, err
+		}
+		migOrder[mig.table] = mig.order
+	}
+
 	// Trained state (absent on a dir that was initialized but never trained
 	// nor persisted — fall back to identity layouts).
 	saved := make(map[string]savedTable)
@@ -173,7 +211,13 @@ func reopenDir(cfg Config) (*Store, error) {
 	for i, e := range entries {
 		tbl := table.New(e.name, e.numVectors, e.dim)
 		l := layout.Identity(e.numVectors, e.blockVectors)
-		if sv, ok := saved[e.name]; ok && len(sv.order) > 0 {
+		if ord, ok := migOrder[e.name]; ok {
+			// The redone migration's placement wins over the (possibly
+			// stale) state file for this table.
+			if l, err = layout.FromOrder(ord, e.blockVectors); err != nil {
+				return nil, fmt.Errorf("core: table %q: %w", e.name, err)
+			}
+		} else if sv, ok := saved[e.name]; ok && len(sv.order) > 0 {
 			if len(sv.order) != e.numVectors {
 				return nil, fmt.Errorf("core: table %q: state covers %d vectors, manifest says %d",
 					e.name, len(sv.order), e.numVectors)
@@ -230,8 +274,55 @@ func reopenDir(cfg Config) (*Store, error) {
 			st.resizeCache(sv.cacheCap)
 		}
 	}
+	// Finish a redone migration: persist the state file with the migrated
+	// layout, then drop the migration record. A crash anywhere before the
+	// record is removed simply redoes the (idempotent) copy next time.
+	if mig != nil {
+		if _, ok := saved[mig.table]; !ok {
+			// No trained state for the migrated table (possible only if the
+			// state file was deleted out-of-band): still publish the
+			// migrated layout, which is what the blocks now hold.
+			idx := s.byName[mig.table]
+			s.tables[idx].mutateState(func(ts *tableState) { ts.layout = layouts[idx] })
+		}
+		if err := s.Persist(); err != nil {
+			return nil, fmt.Errorf("core: persist recovered migration: %w", err)
+		}
+		if err := removeMigrationFiles(cfg.DataDir); err != nil {
+			return nil, err
+		}
+		s.recoveredMigration = true
+	}
 	closeOnErr = nil
 	return s, nil
+}
+
+// atomicWriteFile durably replaces dir/name: the payload is written to a
+// temp file (via the write callback), fsynced, renamed over the target, and
+// the directory entry fsynced — so readers always observe either the old or
+// the complete new file, never a partial one. Shared by the manifest, state
+// and migration commit points.
+func atomicWriteFile(dir, name string, write func(io.Writer) error) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory so entry mutations (create/rename/remove) are
@@ -296,29 +387,7 @@ func (s *Store) Persist() error {
 	if s.dataDir == "" {
 		return fmt.Errorf("core: store was not opened with a data dir")
 	}
-	tmp := filepath.Join(s.dataDir, StateFileName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("core: persist state: %w", err)
-	}
-	if err := s.SaveState(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: persist state: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: persist state: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: persist state: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dataDir, StateFileName)); err != nil {
-		return fmt.Errorf("core: persist state: %w", err)
-	}
-	if err := syncDir(s.dataDir); err != nil {
+	if err := atomicWriteFile(s.dataDir, StateFileName, s.SaveState); err != nil {
 		return fmt.Errorf("core: persist state: %w", err)
 	}
 	return s.device.Flush()
@@ -353,28 +422,14 @@ func writeManifest(dir string, s *Store, totalBlocks int) error {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), manifestCRCTable))
 
-	tmp := filepath.Join(dir, ManifestFileName+".tmp")
-	f, err := os.Create(tmp)
+	err := atomicWriteFile(dir, ManifestFileName, func(w io.Writer) error {
+		if _, err := w.Write(payload.Bytes()); err != nil {
+			return err
+		}
+		_, err := w.Write(crc[:])
+		return err
+	})
 	if err != nil {
-		return fmt.Errorf("core: write manifest: %w", err)
-	}
-	if _, err = f.Write(payload.Bytes()); err == nil {
-		_, err = f.Write(crc[:])
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: write manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestFileName)); err != nil {
-		return fmt.Errorf("core: write manifest: %w", err)
-	}
-	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("core: write manifest: %w", err)
 	}
 	return nil

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"bandana/internal/table"
+	"bandana/internal/trace"
+)
+
+// migTestTables builds deterministic tables + traces without a *testing.T so
+// the crash-injection child process (which runs as its own test) can
+// construct the identical store the parent verifies against.
+func migTestTables(numTables, vectorsPerTable, queries int) ([]*table.Table, []*trace.Trace) {
+	tables := make([]*table.Table, numTables)
+	traces := make([]*trace.Trace, numTables)
+	for i := 0; i < numTables; i++ {
+		p := trace.Profile{
+			Name:               fmt.Sprintf("mig%d", i),
+			NumVectors:         vectorsPerTable,
+			AvgLookups:         20,
+			CompulsoryMissFrac: 0.08,
+			Locality:           0.9,
+			CommunitySize:      64,
+			ReuseSkew:          3,
+			Seed:               int64(500 + i),
+		}
+		traces[i] = trace.GenerateTable(p, queries)
+		g := table.Generate(p.Name, table.GenerateOptions{
+			NumVectors:  vectorsPerTable,
+			Dim:         64,
+			NumClusters: vectorsPerTable / 64,
+			Seed:        int64(40 + i),
+			Assignments: trace.CommunityAssignment(p),
+		})
+		tables[i] = g.Table
+	}
+	return tables, traces
+}
+
+// driveAdaptedMigration opens a file-backed store on dir, records a window
+// and runs one adaptation epoch with an aggressive relayout policy, so a
+// migration deterministically runs. Shared by the crash child and the
+// in-process migration tests.
+func driveAdaptedMigration(dir string, tables []*table.Table, traces []*trace.Trace) (*Store, *AdaptEpochReport, error) {
+	cfg := Config{Backend: BackendFile, DataDir: dir, Seed: 3, DRAMBudgetVectors: 256}
+	if !DirInitialized(dir) {
+		cfg.Tables = tables
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.StartAdaptation(AdaptOptions{
+		MinQueries:      8,
+		RelayoutEvery:   1,
+		RelayoutMinGain: 0.01,
+		SHPIterations:   8,
+	}); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	for ti, tr := range traces {
+		for _, q := range tr.Queries {
+			if len(q) == 0 {
+				continue
+			}
+			if _, err := s.LookupBatch(ti, q); err != nil {
+				s.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	rep, err := s.AdaptNow()
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	return s, rep, nil
+}
+
+// verifyStoreMatchesTables asserts every vector served by the store equals
+// the authoritative table contents — a torn layout would decode garbage.
+func verifyStoreMatchesTables(t *testing.T, s *Store, tables []*table.Table) {
+	t.Helper()
+	for ti, tbl := range tables {
+		want := make([]float32, tbl.Dim)
+		for id := uint32(0); int(id) < tbl.NumVectors(); id++ {
+			got, err := s.Lookup(ti, id)
+			if err != nil {
+				t.Fatalf("table %d id %d: %v", ti, id, err)
+			}
+			if err := tbl.VectorInto(want, id); err != nil {
+				t.Fatal(err)
+			}
+			if !vecsEqual(got, want) {
+				t.Fatalf("table %d id %d: served vector differs from source after migration", ti, id)
+			}
+		}
+	}
+}
+
+// TestLiveRelayoutKeepsServing runs concurrent lookups straight through an
+// adaptation epoch that migrates the table, and verifies every result was
+// correct and the migration actually happened.
+func TestLiveRelayoutKeepsServing(t *testing.T) {
+	tables, traces := migTestTables(1, 2048, 200)
+	store, err := Open(testBackendConfig(t, Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.StartAdaptation(AdaptOptions{
+		MinQueries:      8,
+		RelayoutEvery:   1,
+		RelayoutMinGain: 0.01,
+		SHPIterations:   8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Record a window first so the epoch has signal.
+	for _, q := range traces[0].Queries {
+		if len(q) == 0 {
+			continue
+		}
+		if _, err := store.LookupBatch(0, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			want := make([]float32, tables[0].Dim)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint32((w*7919 + i) % tables[0].NumVectors())
+				got, err := store.Lookup(0, id)
+				if err != nil {
+					t.Errorf("lookup %d: %v", id, err)
+					return
+				}
+				if err := tables[0].VectorInto(want, id); err != nil {
+					t.Error(err)
+					return
+				}
+				if !vecsEqual(got, want) {
+					t.Errorf("id %d: wrong vector during live migration", id)
+					return
+				}
+			}
+		}(w)
+	}
+	rep, err := store.AdaptNow()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tables[0].Relayout {
+		t.Fatalf("expected a migration (fanout %.2f -> %.2f)", rep.Tables[0].FanoutBefore, rep.Tables[0].FanoutAfter)
+	}
+	if rep.Tables[0].FanoutAfter >= rep.Tables[0].FanoutBefore {
+		t.Fatalf("migration did not improve fanout: %.2f -> %.2f", rep.Tables[0].FanoutBefore, rep.Tables[0].FanoutAfter)
+	}
+	verifyStoreMatchesTables(t, store, tables)
+	stats := store.AdaptationStats()
+	if stats.Relayouts != 1 || stats.Tables[0].Relayouts != 1 {
+		t.Fatalf("relayout counters = %d/%d, want 1/1", stats.Relayouts, stats.Tables[0].Relayouts)
+	}
+	if stats.LastRelayoutDuration <= 0 {
+		t.Fatal("LastRelayoutDuration not recorded")
+	}
+}
+
+// TestMigrationCrashChild is the crash-injection subprocess: it drives a
+// migration on the directory named by BANDANA_MIG_CRASH_DIR and SIGKILLs
+// itself at stage BANDANA_MIG_CRASH_STAGE. Skipped in normal runs.
+func TestMigrationCrashChild(t *testing.T) {
+	dir := os.Getenv("BANDANA_MIG_CRASH_DIR")
+	stage := os.Getenv("BANDANA_MIG_CRASH_STAGE")
+	if dir == "" || stage == "" {
+		t.Skip("crash child only runs under TestMigrationKill9Recovery")
+	}
+	migrationCrashHook = func(s string) {
+		if s == stage {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			time.Sleep(10 * time.Second) // never reached
+		}
+	}
+	defer func() { migrationCrashHook = nil }()
+	tables, traces := migTestTables(1, 2048, 200)
+	s, _, err := driveAdaptedMigration(dir, tables, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+// TestMigrationKill9Recovery injects kill -9 at every stage of a live
+// background re-layout (before the commit record, after it, after the
+// copy, after the state persist) and verifies the data dir reopens cleanly
+// to a consistent layout serving exactly the source vectors — never a torn
+// mix, and never a refused open.
+func TestMigrationKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	tables, _ := migTestTables(1, 2048, 200)
+	stages := []struct {
+		stage string
+		// recovered says whether the reopen should report a redone
+		// migration (only stages at or past the commit record).
+		recovered bool
+	}{
+		{"image-staged", false},
+		{"staged", true},
+		{"installed", true},
+		{"persisted", true},
+	}
+	for _, tc := range stages {
+		t.Run(tc.stage, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "store")
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestMigrationCrashChild$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"BANDANA_MIG_CRASH_DIR="+dir,
+				"BANDANA_MIG_CRASH_STAGE="+tc.stage,
+				"BANDANA_TEST_BACKEND=", // the child manages its own backend
+			)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("child survived; stage %q never reached:\n%s", tc.stage, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ProcessState.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+				t.Fatalf("child did not die by SIGKILL: %v\n%s", err, out)
+			}
+
+			reopened, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+			if err != nil {
+				t.Fatalf("reopen after kill -9 at %q: %v", tc.stage, err)
+			}
+			defer reopened.Close()
+			if reopened.RecoveredMigration() != tc.recovered {
+				t.Fatalf("RecoveredMigration = %v, want %v", reopened.RecoveredMigration(), tc.recovered)
+			}
+			verifyStoreMatchesTables(t, reopened, tables)
+
+			// The migration record must be gone and a second reopen clean.
+			if _, err := os.Stat(filepath.Join(dir, MigrationManifestName)); !os.IsNotExist(err) {
+				t.Fatalf("migration record still present after recovery: %v", err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, MigrationImageName)); !os.IsNotExist(err) {
+				t.Fatalf("migration image still present after recovery: %v", err)
+			}
+			reopened.Close()
+			again, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+			if err != nil {
+				t.Fatalf("second reopen: %v", err)
+			}
+			if again.RecoveredMigration() {
+				t.Fatal("second reopen still reports a recovered migration")
+			}
+			verifyStoreMatchesTables(t, again, tables)
+			again.Close()
+		})
+	}
+}
+
+// TestMigrationRecoveryIdempotent simulates a crash *during recovery*: the
+// first reopen redoes the migration, then the migration record is put back
+// and the dir reopened again — the second redo must land on the same state.
+func TestMigrationRecoveryIdempotent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	tables, traces := migTestTables(1, 2048, 200)
+
+	// Run a full migration but stop before cleanup by copying the staged
+	// files away mid-protocol.
+	var savedMani, savedImg []byte
+	migrationCrashHook = func(s string) {
+		if s == "installed" {
+			var err error
+			savedMani, err = os.ReadFile(filepath.Join(dir, MigrationManifestName))
+			if err != nil {
+				t.Errorf("snapshot manifest: %v", err)
+			}
+			savedImg, err = os.ReadFile(filepath.Join(dir, MigrationImageName))
+			if err != nil {
+				t.Errorf("snapshot image: %v", err)
+			}
+		}
+	}
+	defer func() { migrationCrashHook = nil }()
+	s, rep, err := driveAdaptedMigration(dir, tables, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tables[0].Relayout {
+		t.Fatal("no migration ran")
+	}
+	s.Close()
+	if savedMani == nil || savedImg == nil {
+		t.Fatal("migration files were not snapshotted")
+	}
+
+	// Re-inject the migration record twice; each reopen must redo it to the
+	// same consistent result.
+	for round := 0; round < 2; round++ {
+		if err := os.WriteFile(filepath.Join(dir, MigrationImageName), savedImg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, MigrationManifestName), savedMani, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !re.RecoveredMigration() {
+			t.Fatalf("round %d: migration not redone", round)
+		}
+		verifyStoreMatchesTables(t, re, tables)
+		re.Close()
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bandana/internal/fp16"
+	"bandana/internal/lru"
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+)
+
+// This file is the serving engine: the lock-free-read lookup paths, the
+// cache interaction helpers and the single-vector update path. Everything
+// here operates on a tableState snapshot loaded once per operation; the
+// mutating layers (train.go, rewrite.go, adapt.go) publish new snapshots
+// through the atomic state pointer, so serving never blocks on them.
+
+// batchBufBlocks is the largest batched-miss read served from the pooled
+// batch buffer; rarer, larger batches fall back to a one-off allocation.
+const batchBufBlocks = 8
+
+// batchBufPool recycles the multi-block read buffers of lookupBatch.
+var batchBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, batchBufBlocks*nvm.BlockSize)
+		return &b
+	},
+}
+
+// Lookup returns the embedding vector id of table tableIdx. The returned
+// slice is a read-only view shared with the cache; it stays valid until the
+// vector is updated, but must not be modified by the caller.
+func (s *Store) Lookup(tableIdx int, id uint32) ([]float32, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, err
+	}
+	return st.lookup(s.device, id)
+}
+
+// LookupByName is Lookup with a table name.
+func (s *Store) LookupByName(name string, id uint32) ([]float32, error) {
+	i, err := s.TableIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Lookup(i, id)
+}
+
+// LookupBatch returns the embeddings of every id in ids from table tableIdx.
+// Lookups that miss the cache are grouped by NVM block, so a batch that hits
+// k distinct blocks issues exactly k block reads regardless of how many of
+// its vectors live in each block — the batched analogue of the paper's
+// prefetching. Returned slices follow the same read-only contract as Lookup.
+func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, err
+	}
+	return st.lookupBatch(s.device, ids)
+}
+
+// Request is one recommendation request: for each table (by index), the
+// vector IDs to look up.
+type Request [][]uint32
+
+// ServeRequest resolves every lookup of a request, returning the embeddings
+// grouped by table.
+func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
+	if len(req) > len(s.tables) {
+		return nil, fmt.Errorf("core: request has %d tables, store has %d", len(req), len(s.tables))
+	}
+	out := make([][][]float32, len(req))
+	for ti, ids := range req {
+		if len(ids) == 0 {
+			continue
+		}
+		vecs, err := s.LookupBatch(ti, ids)
+		if err != nil {
+			return nil, err
+		}
+		out[ti] = vecs
+	}
+	return out, nil
+}
+
+// UpdateVector overwrites the embedding of vector id in table tableIdx
+// (e.g. after periodic re-training of the model). The write goes through to
+// NVM (read-modify-write of the containing block) and invalidates the cached
+// copy.
+func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return err
+	}
+	return st.update(s.device, id, vec)
+}
+
+// cacheGet serves a cache hit for id, clearing the prefetched flag and
+// updating counters. It returns the cached vector or nil on a miss. h is
+// hashID(id), shared between shard routing and counter striping.
+func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
+	var out []float32
+	var wasPrefetch bool
+	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+		if e, ok := c.Get(id); ok {
+			out = e.vec
+			wasPrefetch = e.prefetched
+			e.prefetched = false
+		}
+	})
+	if out == nil {
+		return nil
+	}
+	st.hits.Inc(h)
+	if wasPrefetch {
+		st.prefetchHits.Inc(h)
+	}
+	return out
+}
+
+// cacheInsert caches a decoded vector at queue position pos unless the table
+// was rewritten since epoch was read (in which case the decode may be
+// stale). Requested vectors pass pos 0 and prefetched=false; admitted
+// prefetches carry the policy's position.
+func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, pos float64, prefetched bool, epoch uint64) bool {
+	inserted := false
+	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+		if st.epoch.Load() != epoch {
+			return
+		}
+		if prefetched && c.Contains(id) {
+			// A concurrent lookup already cached this vector as a
+			// requested one; do not demote it to a prefetch.
+			return
+		}
+		c.AddAt(id, &cachedVec{vec: vec, prefetched: prefetched}, pos)
+		inserted = true
+	})
+	return inserted
+}
+
+// admitBlock offers every not-yet-cached vector of the freshly read block to
+// the admission policy, decoding and caching the ones it admits. requested
+// reports IDs that were explicitly asked for in this operation (they are
+// cached separately and must not be double-counted as prefetches).
+func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, members []uint32, requested func(uint32) bool) {
+	for mslot, other := range members {
+		if requested(other) || ts.cache.Contains(other) {
+			continue
+		}
+		admit, pos := ts.policy.AdmitPrefetch(other)
+		if !admit {
+			continue
+		}
+		dec := make([]float32, st.dim)
+		fp16.DecodeSlice(dec, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
+		if st.cacheInsert(ts, other, dec, pos, true, epoch) {
+			st.prefetchAdds.Inc(hashID(other))
+		}
+	}
+}
+
+// lookup serves one vector read for this table.
+func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
+	if int(id) >= st.src.NumVectors() {
+		return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
+	}
+	ts := st.loadState()
+	h := hashID(id)
+	st.lookups.Inc(h)
+	if r := st.recorder.Load(); r != nil {
+		r.Record1(id)
+	}
+	if ts.policy != nil {
+		ts.policy.OnAccess(id)
+	}
+	if out := st.cacheGet(ts, id, h); out != nil {
+		return out, nil
+	}
+	st.misses.Inc(h)
+
+	// Hold the rewrite lock shared for the block read + decode: under it,
+	// the published layout is guaranteed to match the bytes on NVM.
+	// Independent misses still overlap at the device (shared mode).
+	st.rewriteMu.RLock()
+	defer st.rewriteMu.RUnlock()
+	ts = st.loadState()
+	epoch := st.epoch.Load()
+	block := ts.layout.BlockOf(id)
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
+	lat, err := device.ReadBlock(st.blockBase+block, buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.blockReads.Inc(h)
+	st.lookupLatency.Observe(lat)
+
+	// Decode the requested vector once; the cache and the caller share the
+	// same immutable slice.
+	slot := ts.layout.SlotOf(id)
+	want := make([]float32, st.dim)
+	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+	st.cacheInsert(ts, id, want, 0, false, epoch)
+
+	// Prefetch co-located vectors that pass the admission policy.
+	if ts.prefetch && ts.policy != nil {
+		members := ts.layout.BlockMembers(block, nil)
+		st.admitBlock(ts, buf, epoch, members, func(other uint32) bool { return other == id })
+	}
+	return want, nil
+}
+
+// lookupBatch serves a set of vector reads, grouping cache misses by NVM
+// block so that each distinct block is read only once per batch.
+func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32, error) {
+	for _, id := range ids {
+		if int(id) >= st.src.NumVectors() {
+			return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
+		}
+	}
+	out := make([][]float32, len(ids))
+	ts := st.loadState()
+	// One batch is one co-access set ("query" in the paper's terms): record
+	// it whole so the adaptation engine sees the hypergraph SHP needs, not
+	// just a flat ID stream.
+	if r := st.recorder.Load(); r != nil {
+		r.Record(ids)
+	}
+
+	// Pass 1: serve cache hits and collect misses.
+	type missRef struct {
+		pos int
+		id  uint32
+	}
+	var missed []missRef
+	for i, id := range ids {
+		h := hashID(id)
+		st.lookups.Inc(h)
+		if ts.policy != nil {
+			ts.policy.OnAccess(id)
+		}
+		if got := st.cacheGet(ts, id, h); got != nil {
+			out[i] = got
+			continue
+		}
+		st.misses.Inc(h)
+		missed = append(missed, missRef{pos: i, id: id})
+	}
+	if len(missed) == 0 {
+		return out, nil
+	}
+
+	// Pass 2: one NVM read per distinct block; decode all requested vectors
+	// from it and apply the usual prefetch admission to the rest. Blocks are
+	// processed in ascending order so a batch's cache effects are
+	// deterministic. The whole pass holds the rewrite lock shared so the
+	// layout used for grouping and decoding matches the bytes on NVM.
+	st.rewriteMu.RLock()
+	defer st.rewriteMu.RUnlock()
+	ts = st.loadState()
+	missesByBlock := make(map[int][]missRef)
+	for _, ref := range missed {
+		block := ts.layout.BlockOf(ref.id)
+		missesByBlock[block] = append(missesByBlock[block], ref)
+	}
+	blocks := make([]int, 0, len(missesByBlock))
+	for block := range missesByBlock {
+		blocks = append(blocks, block)
+	}
+	sort.Ints(blocks)
+
+	// One batched device read covers every missed block: the reads overlap
+	// at the device (and collapse into offset I/O on the file backend)
+	// instead of being issued one by one. Small batches reuse pooled
+	// buffers so the steady-state miss path stays allocation-free.
+	var batch []byte
+	switch {
+	case len(blocks) == 1:
+		bufp := getBlockBuf()
+		defer putBlockBuf(bufp)
+		batch = *bufp
+	case len(blocks) <= batchBufBlocks:
+		bufp := batchBufPool.Get().(*[]byte)
+		defer batchBufPool.Put(bufp)
+		batch = (*bufp)[:len(blocks)*nvm.BlockSize]
+	default:
+		batch = make([]byte, len(blocks)*nvm.BlockSize)
+	}
+	abs := make([]int, len(blocks))
+	for i, block := range blocks {
+		abs[i] = st.blockBase + block
+	}
+	epoch := st.epoch.Load()
+	lat, err := device.ReadBlocks(abs, batch)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	st.lookupLatency.Observe(lat)
+
+	var members []uint32
+	for bi, block := range blocks {
+		refs := missesByBlock[block]
+		buf := batch[bi*nvm.BlockSize : (bi+1)*nvm.BlockSize]
+		st.blockReads.Inc(uint64(block))
+
+		requested := make(map[uint32]struct{}, len(refs))
+		for _, ref := range refs {
+			slot := ts.layout.SlotOf(ref.id)
+			dec := make([]float32, st.dim)
+			fp16.DecodeSlice(dec, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+			st.cacheInsert(ts, ref.id, dec, 0, false, epoch)
+			out[ref.pos] = dec
+			requested[ref.id] = struct{}{}
+		}
+		if ts.prefetch && ts.policy != nil {
+			members = ts.layout.BlockMembers(block, members[:0])
+			st.admitBlock(ts, buf, epoch, members, func(other uint32) bool {
+				_, ok := requested[other]
+				return ok
+			})
+		}
+	}
+	return out, nil
+}
+
+// update rewrites one vector on NVM and in the source table, and drops any
+// cached copy.
+func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error {
+	if len(vec) != st.dim {
+		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
+	}
+	// Serialize concurrent updates: the read-modify-write below would lose
+	// one of two concurrent writes to the same block.
+	st.updateMu.Lock()
+	defer st.updateMu.Unlock()
+	if err := st.src.SetVector(id, vec); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	ts := st.loadState()
+
+	// Read-modify-write the containing block.
+	block := ts.layout.BlockOf(id)
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
+	if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	slot := ts.layout.SlotOf(id)
+	raw, err := st.src.Raw(id)
+	if err != nil {
+		return err
+	}
+	copy(buf[slot*st.vecBytes:], raw)
+	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	// Bump the epoch before invalidating so that a concurrent miss that
+	// read the block before the write cannot re-cache the stale vector.
+	st.epoch.Add(1)
+	ts.cache.Remove(id)
+	return nil
+}

@@ -2,17 +2,16 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"bandana/internal/cache"
-	"bandana/internal/fp16"
 	"bandana/internal/layout"
 	"bandana/internal/lru"
 	"bandana/internal/metrics"
 	"bandana/internal/nvm"
 	"bandana/internal/table"
+	"bandana/internal/trace"
 )
 
 // Store is a Bandana embedding store: NVM-resident tables with DRAM caches.
@@ -33,29 +32,31 @@ type Store struct {
 	// dataDir is the persistence directory of a file-backed store ("" for
 	// the mem backend); Persist writes the trained state there.
 	dataDir string
-	// mutateMu serializes whole-store mutators (Train, LoadState) against
-	// each other — they rewrite every table and share the single
-	// rewrite-marker / state-file commit protocol, which is not reentrant.
-	// Serving never takes it.
+	// recoveredMigration records that this reopen redid a committed
+	// background re-layout that the previous process did not finish.
+	recoveredMigration bool
+	// mutateMu serializes whole-store mutators (Train, LoadState, AdaptNow
+	// and the background migrations it drives) against each other — they
+	// rewrite tables and share the single rewrite-marker / migration /
+	// state-file commit protocols, which are not reentrant. Serving never
+	// takes it.
 	mutateMu sync.Mutex
+	// adapt is the online adaptation engine; nil until StartAdaptation.
+	adapt atomic.Pointer[adapter]
+	// migrationPoisoned disables further background migrations after one
+	// whose copy and rollback both failed: the pending migration record is
+	// the repair and must not be disturbed before the next open.
+	migrationPoisoned atomic.Bool
 }
+
+// RecoveredMigration reports whether opening this store redid a background
+// re-layout interrupted by a crash of the previous process.
+func (s *Store) RecoveredMigration() bool { return s.recoveredMigration }
 
 // getBlockBuf / putBlockBuf recycle 4 KB block buffers (shared with
 // internal/nvm's pool) so the miss path does not allocate one per NVM read.
 func getBlockBuf() *[]byte  { return nvm.GetBlockBuf() }
 func putBlockBuf(b *[]byte) { nvm.PutBlockBuf(b) }
-
-// batchBufBlocks is the largest batched-miss read served from the pooled
-// batch buffer; rarer, larger batches fall back to a one-off allocation.
-const batchBufBlocks = 8
-
-// batchBufPool recycles the multi-block read buffers of lookupBatch.
-var batchBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, batchBufBlocks*nvm.BlockSize)
-		return &b
-	},
-}
 
 // cachedVec is one cache entry: the decoded vector plus whether it entered
 // the cache via prefetch and has not been requested yet (used to attribute
@@ -135,6 +136,11 @@ type storeTable struct {
 	// so that an in-flight miss does not cache a vector decoded from a
 	// block read before the mutation.
 	epoch atomic.Uint64
+
+	// recorder captures a sampled window of the live access stream for the
+	// adaptation engine; nil (one atomic load on the serving path) while
+	// adaptation is off.
+	recorder atomic.Pointer[trace.Recorder]
 
 	// Serving counters, striped across cache lines so concurrent lookups
 	// on different vectors do not contend; the stripe is chosen by the
@@ -295,20 +301,10 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 	return s, nil
 }
 
-// writeAllTables writes every table's blocks to the device in the currently
-// published layout (identity after buildStore).
-func (s *Store) writeAllTables() error {
-	for _, st := range s.tables {
-		if err := s.rewriteTable(st, nil); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Close releases the store's resources (and the device if the store created
-// it).
+// Close stops the adaptation engine (if running) and releases the store's
+// resources (and the device if the store created it).
 func (s *Store) Close() error {
+	s.StopAdaptation()
 	if s.ownsDevice {
 		return s.device.Close()
 	}
@@ -355,383 +351,11 @@ func (s *Store) SetAdmissionPolicy(tableIdx int, p cache.AdmissionPolicy) error 
 	return nil
 }
 
-// rewriteTable atomically installs a state mutation (usually a new layout)
-// and rewrites the table's NVM block range to match it. It excludes
-// concurrent vector updates (updateMu) and miss-path block reads
-// (rewriteMu), so the serving path never decodes a block with the wrong
-// layout: a miss holding rewriteMu shared sees either the old layout with
-// the old bytes or the new layout with the new bytes.
-func (s *Store) rewriteTable(st *storeTable, mutate func(*tableState)) error {
-	st.updateMu.Lock()
-	defer st.updateMu.Unlock()
-	st.rewriteMu.Lock()
-	defer st.rewriteMu.Unlock()
-	if mutate != nil {
-		st.mutateState(mutate)
-	}
-	st.epoch.Add(1)
-	defer st.epoch.Add(1)
-	l := st.loadState().layout
-	bufp := getBlockBuf()
-	defer putBlockBuf(bufp)
-	buf := *bufp
-	var members []uint32
-	for b := 0; b < st.numBlocks; b++ {
-		for i := range buf {
-			buf[i] = 0
-		}
-		members = l.BlockMembers(b, members[:0])
-		for slot, id := range members {
-			raw, err := st.src.Raw(id)
-			if err != nil {
-				return fmt.Errorf("core: table %q: %w", st.name, err)
-			}
-			copy(buf[slot*st.vecBytes:], raw)
-		}
-		// Bulk path: a whole-table rewrite is not block-wise crash-atomic
-		// anyway (the rewrite marker / manifest is the commit point), so
-		// skip the per-block write-ahead journal.
-		if err := s.device.WriteBlockBulk(st.blockBase+b, buf); err != nil {
-			return fmt.Errorf("core: table %q block %d: %w", st.name, b, err)
-		}
-	}
-	return nil
-}
-
-// Lookup returns the embedding vector id of table tableIdx. The returned
-// slice is a read-only view shared with the cache; it stays valid until the
-// vector is updated, but must not be modified by the caller.
-func (s *Store) Lookup(tableIdx int, id uint32) ([]float32, error) {
-	st, err := s.tableAt(tableIdx)
-	if err != nil {
-		return nil, err
-	}
-	return st.lookup(s.device, id)
-}
-
-// LookupByName is Lookup with a table name.
-func (s *Store) LookupByName(name string, id uint32) ([]float32, error) {
-	i, err := s.TableIndex(name)
-	if err != nil {
-		return nil, err
-	}
-	return s.Lookup(i, id)
-}
-
-// LookupBatch returns the embeddings of every id in ids from table tableIdx.
-// Lookups that miss the cache are grouped by NVM block, so a batch that hits
-// k distinct blocks issues exactly k block reads regardless of how many of
-// its vectors live in each block — the batched analogue of the paper's
-// prefetching. Returned slices follow the same read-only contract as Lookup.
-func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
-	st, err := s.tableAt(tableIdx)
-	if err != nil {
-		return nil, err
-	}
-	return st.lookupBatch(s.device, ids)
-}
-
-// Request is one recommendation request: for each table (by index), the
-// vector IDs to look up.
-type Request [][]uint32
-
-// ServeRequest resolves every lookup of a request, returning the embeddings
-// grouped by table.
-func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
-	if len(req) > len(s.tables) {
-		return nil, fmt.Errorf("core: request has %d tables, store has %d", len(req), len(s.tables))
-	}
-	out := make([][][]float32, len(req))
-	for ti, ids := range req {
-		if len(ids) == 0 {
-			continue
-		}
-		vecs, err := s.LookupBatch(ti, ids)
-		if err != nil {
-			return nil, err
-		}
-		out[ti] = vecs
-	}
-	return out, nil
-}
-
-// UpdateVector overwrites the embedding of vector id in table tableIdx
-// (e.g. after periodic re-training of the model). The write goes through to
-// NVM (read-modify-write of the containing block) and invalidates the cached
-// copy.
-func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
-	st, err := s.tableAt(tableIdx)
-	if err != nil {
-		return err
-	}
-	return st.update(s.device, id, vec)
-}
-
 func (s *Store) tableAt(i int) (*storeTable, error) {
 	if i < 0 || i >= len(s.tables) {
 		return nil, fmt.Errorf("core: table index %d out of range [0,%d)", i, len(s.tables))
 	}
 	return s.tables[i], nil
-}
-
-// cacheGet serves a cache hit for id, clearing the prefetched flag and
-// updating counters. It returns the cached vector or nil on a miss. h is
-// hashID(id), shared between shard routing and counter striping.
-func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
-	var out []float32
-	var wasPrefetch bool
-	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-		if e, ok := c.Get(id); ok {
-			out = e.vec
-			wasPrefetch = e.prefetched
-			e.prefetched = false
-		}
-	})
-	if out == nil {
-		return nil
-	}
-	st.hits.Inc(h)
-	if wasPrefetch {
-		st.prefetchHits.Inc(h)
-	}
-	return out
-}
-
-// cacheInsert caches a decoded vector at queue position pos unless the table
-// was rewritten since epoch was read (in which case the decode may be
-// stale). Requested vectors pass pos 0 and prefetched=false; admitted
-// prefetches carry the policy's position.
-func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, pos float64, prefetched bool, epoch uint64) bool {
-	inserted := false
-	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-		if st.epoch.Load() != epoch {
-			return
-		}
-		if prefetched && c.Contains(id) {
-			// A concurrent lookup already cached this vector as a
-			// requested one; do not demote it to a prefetch.
-			return
-		}
-		c.AddAt(id, &cachedVec{vec: vec, prefetched: prefetched}, pos)
-		inserted = true
-	})
-	return inserted
-}
-
-// admitBlock offers every not-yet-cached vector of the freshly read block to
-// the admission policy, decoding and caching the ones it admits. requested
-// reports IDs that were explicitly asked for in this operation (they are
-// cached separately and must not be double-counted as prefetches).
-func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, members []uint32, requested func(uint32) bool) {
-	for mslot, other := range members {
-		if requested(other) || ts.cache.Contains(other) {
-			continue
-		}
-		admit, pos := ts.policy.AdmitPrefetch(other)
-		if !admit {
-			continue
-		}
-		dec := make([]float32, st.dim)
-		fp16.DecodeSlice(dec, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
-		if st.cacheInsert(ts, other, dec, pos, true, epoch) {
-			st.prefetchAdds.Inc(hashID(other))
-		}
-	}
-}
-
-// lookup serves one vector read for this table.
-func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
-	if int(id) >= st.src.NumVectors() {
-		return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
-	}
-	ts := st.loadState()
-	h := hashID(id)
-	st.lookups.Inc(h)
-	if ts.policy != nil {
-		ts.policy.OnAccess(id)
-	}
-	if out := st.cacheGet(ts, id, h); out != nil {
-		return out, nil
-	}
-	st.misses.Inc(h)
-
-	// Hold the rewrite lock shared for the block read + decode: under it,
-	// the published layout is guaranteed to match the bytes on NVM.
-	// Independent misses still overlap at the device (shared mode).
-	st.rewriteMu.RLock()
-	defer st.rewriteMu.RUnlock()
-	ts = st.loadState()
-	epoch := st.epoch.Load()
-	block := ts.layout.BlockOf(id)
-	bufp := getBlockBuf()
-	defer putBlockBuf(bufp)
-	buf := *bufp
-	lat, err := device.ReadBlock(st.blockBase+block, buf)
-	if err != nil {
-		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
-	}
-	st.blockReads.Inc(h)
-	st.lookupLatency.Observe(lat)
-
-	// Decode the requested vector once; the cache and the caller share the
-	// same immutable slice.
-	slot := ts.layout.SlotOf(id)
-	want := make([]float32, st.dim)
-	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-	st.cacheInsert(ts, id, want, 0, false, epoch)
-
-	// Prefetch co-located vectors that pass the admission policy.
-	if ts.prefetch && ts.policy != nil {
-		members := ts.layout.BlockMembers(block, nil)
-		st.admitBlock(ts, buf, epoch, members, func(other uint32) bool { return other == id })
-	}
-	return want, nil
-}
-
-// lookupBatch serves a set of vector reads, grouping cache misses by NVM
-// block so that each distinct block is read only once per batch.
-func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32, error) {
-	for _, id := range ids {
-		if int(id) >= st.src.NumVectors() {
-			return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
-		}
-	}
-	out := make([][]float32, len(ids))
-	ts := st.loadState()
-
-	// Pass 1: serve cache hits and collect misses.
-	type missRef struct {
-		pos int
-		id  uint32
-	}
-	var missed []missRef
-	for i, id := range ids {
-		h := hashID(id)
-		st.lookups.Inc(h)
-		if ts.policy != nil {
-			ts.policy.OnAccess(id)
-		}
-		if got := st.cacheGet(ts, id, h); got != nil {
-			out[i] = got
-			continue
-		}
-		st.misses.Inc(h)
-		missed = append(missed, missRef{pos: i, id: id})
-	}
-	if len(missed) == 0 {
-		return out, nil
-	}
-
-	// Pass 2: one NVM read per distinct block; decode all requested vectors
-	// from it and apply the usual prefetch admission to the rest. Blocks are
-	// processed in ascending order so a batch's cache effects are
-	// deterministic. The whole pass holds the rewrite lock shared so the
-	// layout used for grouping and decoding matches the bytes on NVM.
-	st.rewriteMu.RLock()
-	defer st.rewriteMu.RUnlock()
-	ts = st.loadState()
-	missesByBlock := make(map[int][]missRef)
-	for _, ref := range missed {
-		block := ts.layout.BlockOf(ref.id)
-		missesByBlock[block] = append(missesByBlock[block], ref)
-	}
-	blocks := make([]int, 0, len(missesByBlock))
-	for block := range missesByBlock {
-		blocks = append(blocks, block)
-	}
-	sort.Ints(blocks)
-
-	// One batched device read covers every missed block: the reads overlap
-	// at the device (and collapse into offset I/O on the file backend)
-	// instead of being issued one by one. Small batches reuse pooled
-	// buffers so the steady-state miss path stays allocation-free.
-	var batch []byte
-	switch {
-	case len(blocks) == 1:
-		bufp := getBlockBuf()
-		defer putBlockBuf(bufp)
-		batch = *bufp
-	case len(blocks) <= batchBufBlocks:
-		bufp := batchBufPool.Get().(*[]byte)
-		defer batchBufPool.Put(bufp)
-		batch = (*bufp)[:len(blocks)*nvm.BlockSize]
-	default:
-		batch = make([]byte, len(blocks)*nvm.BlockSize)
-	}
-	abs := make([]int, len(blocks))
-	for i, block := range blocks {
-		abs[i] = st.blockBase + block
-	}
-	epoch := st.epoch.Load()
-	lat, err := device.ReadBlocks(abs, batch)
-	if err != nil {
-		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
-	}
-	st.lookupLatency.Observe(lat)
-
-	var members []uint32
-	for bi, block := range blocks {
-		refs := missesByBlock[block]
-		buf := batch[bi*nvm.BlockSize : (bi+1)*nvm.BlockSize]
-		st.blockReads.Inc(uint64(block))
-
-		requested := make(map[uint32]struct{}, len(refs))
-		for _, ref := range refs {
-			slot := ts.layout.SlotOf(ref.id)
-			dec := make([]float32, st.dim)
-			fp16.DecodeSlice(dec, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-			st.cacheInsert(ts, ref.id, dec, 0, false, epoch)
-			out[ref.pos] = dec
-			requested[ref.id] = struct{}{}
-		}
-		if ts.prefetch && ts.policy != nil {
-			members = ts.layout.BlockMembers(block, members[:0])
-			st.admitBlock(ts, buf, epoch, members, func(other uint32) bool {
-				_, ok := requested[other]
-				return ok
-			})
-		}
-	}
-	return out, nil
-}
-
-// update rewrites one vector on NVM and in the source table, and drops any
-// cached copy.
-func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error {
-	if len(vec) != st.dim {
-		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
-	}
-	// Serialize concurrent updates: the read-modify-write below would lose
-	// one of two concurrent writes to the same block.
-	st.updateMu.Lock()
-	defer st.updateMu.Unlock()
-	if err := st.src.SetVector(id, vec); err != nil {
-		return fmt.Errorf("core: table %q: %w", st.name, err)
-	}
-	ts := st.loadState()
-
-	// Read-modify-write the containing block.
-	block := ts.layout.BlockOf(id)
-	bufp := getBlockBuf()
-	defer putBlockBuf(bufp)
-	buf := *bufp
-	if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
-		return fmt.Errorf("core: table %q: %w", st.name, err)
-	}
-	slot := ts.layout.SlotOf(id)
-	raw, err := st.src.Raw(id)
-	if err != nil {
-		return err
-	}
-	copy(buf[slot*st.vecBytes:], raw)
-	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
-		return fmt.Errorf("core: table %q: %w", st.name, err)
-	}
-	// Bump the epoch before invalidating so that a concurrent miss that
-	// read the block before the write cannot re-cache the stale vector.
-	st.epoch.Add(1)
-	ts.cache.Remove(id)
-	return nil
 }
 
 // resizeCache replaces the table's cache with a fresh one of the given
@@ -744,4 +368,30 @@ func (st *storeTable) resizeCache(capacity int) {
 		ts.cacheCap = capacity
 		ts.cache = newVecCache(capacity, st.shards)
 	})
+}
+
+// resizeCacheLive changes the table's cache capacity in place with
+// incremental per-shard eviction: the working set survives the resize, so
+// the adaptation engine can rebalance DRAM across tables without the hit
+// ratio collapsing to zero and re-warming. The shared cache object is
+// mutated (not swapped), so in-flight operations holding an older state
+// snapshot keep hitting the same cache.
+//
+// The recorded cacheCap is the *requested* capacity, even though the
+// sharded cache clamps its real capacity to one item per shard: the
+// adaptation engine re-derives each epoch's budget from the cacheCap sum,
+// and accounting the clamped value would compound the clamp slack into
+// unbounded budget growth across epochs. Returns the recorded capacity.
+func (st *storeTable) resizeCacheLive(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	st.stateMu.Lock()
+	defer st.stateMu.Unlock()
+	cur := st.state.Load()
+	cur.cache.Resize(capacity)
+	next := *cur
+	next.cacheCap = capacity
+	st.state.Store(&next)
+	return capacity
 }

@@ -197,6 +197,25 @@ func (c *Cache[K, V]) AddAt(key K, value V, pos float64) (evicted K, wasEvicted 
 	return evicted, false
 }
 
+// Resize changes the cache capacity, evicting LRU items one at a time (via
+// the eviction callback) when shrinking below the current population. The
+// positional segments are preserved: items keep their relative queue
+// positions and the segment balance target adapts to the new capacity.
+// Capacities below 1 are clamped to 1. It returns the number of evictions.
+func (c *Cache[K, V]) Resize(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.capacity = capacity
+	evicted := 0
+	for len(c.items) > c.capacity {
+		c.evictOne()
+		evicted++
+	}
+	c.rebalance()
+	return evicted
+}
+
 // Remove deletes key from the cache and reports whether it was present. The
 // eviction callback is not invoked.
 func (c *Cache[K, V]) Remove(key K) bool {

@@ -1,0 +1,143 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheResizeShrinkEvictsLRU(t *testing.T) {
+	var evicted []int
+	c := NewSegmented[int, int](8, 4, func(k, _ int) { evicted = append(evicted, k) })
+	for i := 0; i < 8; i++ {
+		c.Add(i, i*10)
+	}
+	if n := c.Resize(3); n != 5 {
+		t.Fatalf("Resize reported %d evictions, want 5", n)
+	}
+	if c.Len() != 3 || c.Cap() != 3 {
+		t.Fatalf("after shrink Len=%d Cap=%d, want 3/3", c.Len(), c.Cap())
+	}
+	if len(evicted) != 5 {
+		t.Fatalf("eviction callback saw %d items, want 5", len(evicted))
+	}
+	// The most recently inserted keys survive; the LRU tail went first.
+	for _, k := range []int{5, 6, 7} {
+		if !c.Contains(k) {
+			t.Fatalf("recent key %d evicted by shrink", k)
+		}
+	}
+	for _, k := range evicted {
+		if k >= 5 {
+			t.Fatalf("shrink evicted recent key %d", k)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheResizeGrowKeepsContents(t *testing.T) {
+	c := New[int, int](4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i)
+	}
+	if n := c.Resize(16); n != 0 {
+		t.Fatalf("grow evicted %d items", n)
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Contains(i) {
+			t.Fatalf("key %d lost on grow", i)
+		}
+	}
+	// The grown cache accepts new items up to the new capacity.
+	for i := 4; i < 16; i++ {
+		c.Add(i, i)
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len after fill = %d, want 16", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheResizeClampsToOne(t *testing.T) {
+	c := New[int, int](4)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Resize(-3)
+	if c.Cap() != 1 || c.Len() != 1 {
+		t.Fatalf("Cap=%d Len=%d, want 1/1", c.Cap(), c.Len())
+	}
+	if !c.Contains(2) {
+		t.Fatal("MRU key should survive a shrink to 1")
+	}
+}
+
+func TestShardedResizeRedistributes(t *testing.T) {
+	s := NewSharded[uint32, int](64, 4, nil)
+	for i := uint32(0); i < 64; i++ {
+		s.AddAt(i, int(i), 0)
+	}
+	if got := s.Resize(20); got != 20 {
+		t.Fatalf("Resize returned %d, want 20", got)
+	}
+	if s.Cap() != 20 {
+		t.Fatalf("Cap = %d, want 20", s.Cap())
+	}
+	if s.Len() > 20 {
+		t.Fatalf("Len %d exceeds new capacity 20", s.Len())
+	}
+	if s.Len() == 0 {
+		t.Fatal("shrink dropped the whole cache; eviction must be incremental")
+	}
+	// Growing back accepts new items again.
+	s.Resize(64)
+	for i := uint32(100); i < 164; i++ {
+		s.AddAt(i, int(i), 0)
+	}
+	if s.Len() > 64 {
+		t.Fatalf("Len %d exceeds capacity 64 after regrow", s.Len())
+	}
+}
+
+func TestShardedResizeClampsToShardCount(t *testing.T) {
+	s := NewSharded[uint32, int](64, 8, nil)
+	if got := s.Resize(3); got != s.NumShards() {
+		t.Fatalf("Resize(3) = %d, want clamp to shard count %d", got, s.NumShards())
+	}
+}
+
+func TestShardedResizeConcurrentWithServing(t *testing.T) {
+	s := NewSharded[uint32, uint32](512, 8, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint32((w*1000 + i) % 900)
+				if v, ok := s.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+				s.Add(k, k)
+			}
+		}(w)
+	}
+	sizes := []int{64, 1024, 16, 512, 128, 2048, 8, 700}
+	for _, n := range sizes {
+		s.Resize(n)
+	}
+	close(stop)
+	wg.Wait()
+	if s.Len() > s.Cap() {
+		t.Fatalf("Len %d over capacity %d after concurrent resizes", s.Len(), s.Cap())
+	}
+}

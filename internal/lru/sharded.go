@@ -3,6 +3,7 @@ package lru
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
 // Sharded is a concurrency-safe LRU cache split into independently locked
@@ -19,9 +20,11 @@ import (
 // (AddAt) applies the position within the key's shard, preserving the
 // paper's queue-position semantics per shard.
 type Sharded[K comparable, V any] struct {
-	hash     func(K) uint64
-	mask     uint64
-	capacity int
+	hash func(K) uint64
+	mask uint64
+	// capacity is atomic because Resize rewrites it while concurrent
+	// readers may call Cap.
+	capacity atomic.Int64
 	shards   []lockedShard[K, V]
 }
 
@@ -58,11 +61,11 @@ func NewSharded[K comparable, V any](capacity, shards int, hash func(K) uint64) 
 		hash = func(k K) uint64 { return maphash.Comparable(seed, k) }
 	}
 	s := &Sharded[K, V]{
-		hash:     hash,
-		mask:     uint64(n - 1),
-		capacity: capacity,
-		shards:   make([]lockedShard[K, V], n),
+		hash:   hash,
+		mask:   uint64(n - 1),
+		shards: make([]lockedShard[K, V], n),
 	}
+	s.capacity.Store(int64(capacity))
 	base, rem := capacity/n, capacity%n
 	for i := range s.shards {
 		c := base
@@ -78,7 +81,7 @@ func NewSharded[K comparable, V any](capacity, shards int, hash func(K) uint64) 
 func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
 
 // Cap returns the total capacity (the sum of the shard capacities).
-func (s *Sharded[K, V]) Cap() int { return s.capacity }
+func (s *Sharded[K, V]) Cap() int { return int(s.capacity.Load()) }
 
 // Len returns the number of cached items across all shards.
 func (s *Sharded[K, V]) Len() int {
@@ -127,6 +130,38 @@ func (s *Sharded[K, V]) AddAt(key K, value V, pos float64) {
 	sh.mu.Lock()
 	sh.c.AddAt(key, value, pos)
 	sh.mu.Unlock()
+}
+
+// Resize changes the total capacity in place, redistributing it across the
+// existing shards with the same exact split as NewSharded and evicting each
+// shard's LRU overflow incrementally — cached items outside the overflow
+// survive, so a live cache can grow or shrink without losing its working
+// set. The shard count is fixed at construction, so the capacity is clamped
+// to at least one item per shard; the actual new capacity is returned.
+//
+// Safe for concurrent use with the other methods: each shard is resized
+// under its own lock, so lookups proceed on other shards while one shard
+// evicts. During the (brief) pass the total capacity is transiently mixed
+// between the old and new splits, which is harmless: every shard is always
+// at or below one of the two targets.
+func (s *Sharded[K, V]) Resize(capacity int) int {
+	n := len(s.shards)
+	if capacity < n {
+		capacity = n
+	}
+	base, rem := capacity/n, capacity%n
+	for i := range s.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.Resize(c)
+		sh.mu.Unlock()
+	}
+	s.capacity.Store(int64(capacity))
+	return capacity
 }
 
 // Remove deletes key and reports whether it was present.

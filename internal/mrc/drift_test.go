@@ -1,0 +1,112 @@
+package mrc
+
+import (
+	"math"
+	"testing"
+
+	"bandana/internal/trace"
+)
+
+func driftAccesses(seed int64, numVectors, queries, rotate int) []uint32 {
+	p := trace.Profile{
+		Name: "d", NumVectors: numVectors, AvgLookups: 20,
+		CompulsoryMissFrac: 0.05, Locality: 0.9, CommunitySize: 64,
+		ReuseSkew: 2, Seed: seed, HotSetRotation: rotate,
+	}
+	tr := trace.GenerateTable(p, queries)
+	var flat []uint32
+	for _, q := range tr.Queries {
+		flat = append(flat, q...)
+	}
+	return flat
+}
+
+// TestSampledStackDistancesDeterministicOnDrift pins determinism for the
+// adaptation engine: the same drifting stream must produce the
+// byte-identical distribution every time (spatial sampling is hash-based,
+// not random).
+func TestSampledStackDistancesDeterministicOnDrift(t *testing.T) {
+	stream := driftAccesses(3, 4096, 400, 120)
+	first := SampledStackDistances(stream, 0.1)
+	for run := 0; run < 3; run++ {
+		again := SampledStackDistances(stream, 0.1)
+		if again.Total != first.Total || again.SampledTotal != first.SampledTotal || again.Infinite != first.Infinite {
+			t.Fatalf("run %d: headline stats differ", run)
+		}
+		if len(again.Histogram) != len(first.Histogram) {
+			t.Fatalf("run %d: histogram length differs", run)
+		}
+		for i := range first.Histogram {
+			if first.Histogram[i] != again.Histogram[i] {
+				t.Fatalf("run %d: histogram[%d] differs", run, i)
+			}
+		}
+	}
+}
+
+// TestSampledHRCTracksExactUnderDrift verifies the SHARDS approximation
+// holds on a drifting (non-stationary) stream: the sampled hit-rate curve
+// stays within tolerance of the exact one across cache sizes.
+func TestSampledHRCTracksExactUnderDrift(t *testing.T) {
+	stream := driftAccesses(7, 8192, 600, 150)
+	exact := StackDistances(stream).HitRateCurve()
+	sampled := SampledStackDistances(stream, 0.1).HitRateCurve()
+	for _, size := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		e, s := exact.HitRate(size), sampled.HitRate(size)
+		if math.Abs(e-s) > 0.08 {
+			t.Errorf("size %d: sampled %.4f vs exact %.4f (drift broke the SHARDS assumption)", size, s, e)
+		}
+	}
+}
+
+// TestStackDistancesAdversarialStreams exercises the degenerate shapes the
+// recorder can hand the analyzer at runtime.
+func TestStackDistancesAdversarialStreams(t *testing.T) {
+	// All-unique stream: every access is compulsory; curve stays at zero.
+	unique := make([]uint32, 5000)
+	for i := range unique {
+		unique[i] = uint32(i)
+	}
+	d := SampledStackDistances(unique, 0.1)
+	if d.Infinite != int64(d.SampledTotal) {
+		t.Fatalf("all-unique stream: %d infinite of %d sampled", d.Infinite, d.SampledTotal)
+	}
+	if hr := d.HitRateCurve().MaxHitRate(); hr != 0 {
+		t.Fatalf("all-unique stream: max hit rate %f, want 0", hr)
+	}
+
+	// Single-vector stream: everything after the first access hits at size 1.
+	same := make([]uint32, 5000)
+	d2 := SampledStackDistances(same, 0.1)
+	hrc := d2.HitRateCurve()
+	if d2.SampledTotal > 0 {
+		// The one hot vector is either sampled (hit rate ~1) or not
+		// (empty curve); both are consistent, torn states are not.
+		if got := hrc.HitRate(64); got != 0 && math.Abs(got-1) > 1e-3 {
+			t.Fatalf("single-vector stream: hit rate %f at size 64", got)
+		}
+	}
+
+	// Phase flip: the second half references a disjoint ID range — the
+	// worst case drift. The curve must stay bounded and monotonic.
+	flip := make([]uint32, 0, 8000)
+	for i := 0; i < 4000; i++ {
+		flip = append(flip, uint32(i%200))
+	}
+	for i := 0; i < 4000; i++ {
+		flip = append(flip, uint32(5000+i%200))
+	}
+	d3 := SampledStackDistances(flip, 0.25)
+	h := d3.HitRateCurve()
+	prev := 0.0
+	for size := 1; size <= 1024; size *= 2 {
+		hr := h.HitRate(size)
+		if hr < prev {
+			t.Fatalf("phase-flip stream: hit rate not monotonic at size %d", size)
+		}
+		if hr > 1 {
+			t.Fatalf("phase-flip stream: hit rate %f > 1", hr)
+		}
+		prev = hr
+	}
+}

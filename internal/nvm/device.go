@@ -160,6 +160,31 @@ func (d *Device) WriteBlockBulk(idx int, src []byte) error {
 	return nil
 }
 
+// WriteBlocksBulk installs len(src)/BlockSize consecutive blocks starting
+// at base through the store's contiguous bulk path when it has one
+// (RangeBulkWriter: a single pwrite on the file backend), falling back to
+// per-block bulk writes otherwise. This is the migration copy-in path; the
+// caller owns the crash-atomicity commit point.
+func (d *Device) WriteBlocksBulk(base int, src []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("nvm: bulk write of %d bytes is not block-aligned", len(src))
+	}
+	n := len(src) / BlockSize
+	if rw, ok := d.store.(RangeBulkWriter); ok {
+		if err := rw.WriteBlocksUnjournaled(base, src); err != nil {
+			return err
+		}
+		d.blocksWritten.Add(int64(n))
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := d.WriteBlockBulk(base+i, src[i*BlockSize:(i+1)*BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush forces buffered writes of the backing store to stable storage; it is
 // a no-op for stores (like MemStore) that do not buffer.
 func (d *Device) Flush() error {

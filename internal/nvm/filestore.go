@@ -552,6 +552,51 @@ func (s *FileStore) WriteBlockUnjournaled(idx int, src []byte) error {
 	return s.releaseQuarantined(idx)
 }
 
+// WriteBlocksUnjournaled implements RangeBulkWriter: a contiguous run of
+// blocks lands in a single pwrite. To exclude concurrent single-block
+// writers it takes every stripe lock the range touches, always in ascending
+// stripe order (single-block writers take exactly one stripe lock, so lock
+// ordering cannot deadlock). Crash-safety contract matches
+// WriteBlockUnjournaled: the caller owns the commit point.
+func (s *FileStore) WriteBlocksUnjournaled(base int, src []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("nvm: bulk write of %d bytes is not block-aligned", len(src))
+	}
+	n := len(src) / BlockSize
+	if n == 0 {
+		return nil
+	}
+	if base < 0 || base+n > s.n {
+		return fmt.Errorf("nvm: bulk write [%d,%d) out of range [0,%d)", base, base+n, s.n)
+	}
+	stripes := n
+	if stripes > blockStripes {
+		stripes = blockStripes
+	}
+	held := make([]int, 0, stripes)
+	for i := 0; i < stripes; i++ {
+		held = append(held, (base+i)%blockStripes)
+	}
+	sort.Ints(held)
+	for _, st := range held {
+		s.locks[st].Lock()
+	}
+	err := s.writeAt(src, s.dataOff+int64(base)*BlockSize)
+	for _, st := range held {
+		s.locks[st].Unlock()
+	}
+	if err != nil {
+		return fmt.Errorf("nvm: bulk write: %w", err)
+	}
+	// The new images supersede any quarantined records for these blocks.
+	for b := base; b < base+n; b++ {
+		if err := s.releaseQuarantined(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // replayJournal scans every journal slot and re-applies valid records to the
 // data region in sequence order. Applying a record whose in-place write had
 // already completed rewrites identical bytes, so replay is idempotent.

@@ -36,6 +36,19 @@ type BulkWriter interface {
 	WriteBlockUnjournaled(idx int, src []byte) error
 }
 
+// RangeBulkWriter is implemented by block stores that can install a
+// contiguous run of blocks in one operation (a single pwrite on the file
+// backend). It is the copy-in path of background layout migration: the
+// staged image of a whole table lands in its block range at device
+// bandwidth instead of block by block. Same crash-safety contract as
+// BulkWriter — the caller owns the commit point and must redo the whole
+// range if interrupted.
+type RangeBulkWriter interface {
+	// WriteBlocksUnjournaled writes len(src)/BlockSize consecutive blocks
+	// starting at block base. len(src) must be a multiple of BlockSize.
+	WriteBlocksUnjournaled(base int, src []byte) error
+}
+
 // BackendStats describes a block store backend for reporting.
 type BackendStats struct {
 	// Backend names the backing medium ("mem" or "file").
@@ -122,6 +135,22 @@ func (s *MemStore) WriteBlock(idx int, src []byte) error {
 	for i := off + len(src); i < off+BlockSize; i++ {
 		s.data[i] = 0
 	}
+	s.mu.Unlock()
+	return nil
+}
+
+// WriteBlocksUnjournaled implements RangeBulkWriter: one copy under one
+// lock acquisition.
+func (s *MemStore) WriteBlocksUnjournaled(base int, src []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("nvm: bulk write of %d bytes is not block-aligned", len(src))
+	}
+	n := len(src) / BlockSize
+	if base < 0 || base+n > s.n {
+		return fmt.Errorf("nvm: bulk write [%d,%d) out of range [0,%d)", base, base+n, s.n)
+	}
+	s.mu.Lock()
+	copy(s.data[base*BlockSize:], src)
 	s.mu.Unlock()
 	return nil
 }

@@ -10,7 +10,8 @@
 //	GET  /v1/lookup?table=T&id=N         single embedding vector
 //	POST /v1/batch                       {"table": "...", "ids": [...]}
 //	POST /v1/request                     {"lookups": [[...], [...], ...]} (one ID list per table)
-//	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats
+//	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats + adaptation stats
+//	POST /v1/adapt                       {"action": "start"|"stop"|"epoch", ...} adaptation control
 //
 // net/http serves each request on its own goroutine; the store's sharded
 // caches let those goroutines proceed in parallel, so the service scales
@@ -21,6 +22,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -54,6 +56,7 @@ func New(store *core.Store) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/request", s.handleRequest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
 	return s
 }
 
@@ -223,11 +226,65 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
 }
 
-// statsResponse bundles per-table, device and server statistics.
+// statsResponse bundles per-table, device, server and adaptation statistics.
 type statsResponse struct {
-	Tables []core.TableStats `json:"tables"`
-	Device deviceStats       `json:"device"`
-	Server serverStats       `json:"server"`
+	Tables     []core.TableStats `json:"tables"`
+	Device     deviceStats       `json:"device"`
+	Server     serverStats       `json:"server"`
+	Adaptation adaptationStats   `json:"adaptation"`
+}
+
+// adaptationStats is the JSON rendering of core.AdaptationStats (documented
+// in the README's /v1/stats schema).
+type adaptationStats struct {
+	Enabled             bool                   `json:"enabled"`
+	Background          bool                   `json:"background"`
+	IntervalMS          int64                  `json:"intervalMS"`
+	EpochsCompleted     int64                  `json:"epochsCompleted"`
+	Relayouts           int64                  `json:"relayouts"`
+	LastEpochDurationMS float64                `json:"lastEpochDurationMS"`
+	LastRelayoutMS      float64                `json:"lastRelayoutDurationMS"`
+	LastError           string                 `json:"lastError,omitempty"`
+	Tables              []tableAdaptationStats `json:"tables,omitempty"`
+}
+
+type tableAdaptationStats struct {
+	Name            string  `json:"name"`
+	EpochLookups    int64   `json:"epochLookups"`
+	EpochHits       int64   `json:"epochHits"`
+	EpochHitRate    float64 `json:"epochHitRate"`
+	CacheVectors    int     `json:"cacheVectors"`
+	Threshold       uint32  `json:"threshold"`
+	Prefetching     bool    `json:"prefetching"`
+	RecordedQueries int     `json:"recordedQueries"`
+	Relayouts       int64   `json:"relayouts"`
+}
+
+func renderAdaptationStats(st core.AdaptationStats) adaptationStats {
+	out := adaptationStats{
+		Enabled:             st.Enabled,
+		Background:          st.Background,
+		IntervalMS:          st.Interval.Milliseconds(),
+		EpochsCompleted:     st.EpochsCompleted,
+		Relayouts:           st.Relayouts,
+		LastEpochDurationMS: float64(st.LastEpochDuration) / 1e6,
+		LastRelayoutMS:      float64(st.LastRelayoutDuration) / 1e6,
+		LastError:           st.LastError,
+	}
+	for _, ts := range st.Tables {
+		out.Tables = append(out.Tables, tableAdaptationStats{
+			Name:            ts.Name,
+			EpochLookups:    ts.EpochLookups,
+			EpochHits:       ts.EpochHits,
+			EpochHitRate:    ts.EpochHitRate,
+			CacheVectors:    ts.CacheVectors,
+			Threshold:       ts.Threshold,
+			Prefetching:     ts.Prefetching,
+			RecordedQueries: ts.RecordedQueries,
+			Relayouts:       ts.Relayouts,
+		})
+	}
+	return out
 }
 
 // serverStats reports the HTTP layer's own counters.
@@ -273,5 +330,70 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InFlight: s.inflight.Value(),
 			Latency:  s.latency.Snapshot(),
 		},
+		Adaptation: renderAdaptationStats(s.store.AdaptationStats()),
 	})
+}
+
+// adaptRequest controls the adaptation engine.
+type adaptRequest struct {
+	// Action: "start" (install recorders and, with IntervalMS > 0, the
+	// background loop), "stop", or "epoch" (run one epoch synchronously and
+	// return its report).
+	Action     string `json:"action"`
+	IntervalMS int64  `json:"intervalMS"`
+	// Optional tuning knobs for "start"; zero values use the engine
+	// defaults.
+	MinQueries          int    `json:"minQueries"`
+	RelayoutEvery       int    `json:"relayoutEvery"`
+	RelayoutBlockBudget int    `json:"relayoutBlockBudget"`
+	RelayoutStrategy    string `json:"relayoutStrategy"`
+	SampleEvery         int    `json:"sampleEvery"`
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	var req adaptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	switch req.Action {
+	case "start":
+		err := s.store.StartAdaptation(core.AdaptOptions{
+			Interval:            time.Duration(req.IntervalMS) * time.Millisecond,
+			MinQueries:          req.MinQueries,
+			RelayoutEvery:       req.RelayoutEvery,
+			RelayoutBlockBudget: req.RelayoutBlockBudget,
+			RelayoutStrategy:    req.RelayoutStrategy,
+			SampleEvery:         req.SampleEvery,
+		})
+		if err != nil {
+			// Engine-already-running is a conflict; anything else is an
+			// options-validation problem the client must fix.
+			status := http.StatusBadRequest
+			if errors.Is(err, core.ErrAdaptationRunning) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, renderAdaptationStats(s.store.AdaptationStats()))
+	case "stop":
+		s.store.StopAdaptation()
+		writeJSON(w, http.StatusOK, renderAdaptationStats(s.store.AdaptationStats()))
+	case "epoch":
+		rep, err := s.store.AdaptNow()
+		if err != nil {
+			// "Not started" is the caller's sequencing problem; anything
+			// else (persist I/O, tuning, migration failures) is ours.
+			status := http.StatusInternalServerError
+			if errors.Is(err, core.ErrAdaptationNotStarted) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown action %q (want start, stop or epoch)", req.Action)
+	}
 }

@@ -40,6 +40,15 @@ type Options struct {
 	// MaxSwapFraction caps the fraction of a side that may be swapped in a
 	// single iteration (guards against oscillation). Defaults to 0.2.
 	MaxSwapFraction float64
+	// InitialOrder warm-starts the partitioner from an existing placement
+	// (e.g. the layout currently on NVM): the working order starts as
+	// InitialOrder and every bisection seeds its split from the incoming
+	// arrangement instead of first-co-access order, so refinement is
+	// incremental — few iterations suffice to adapt a good layout to a
+	// drifted workload, and with zero signal the old layout survives
+	// unchanged. Must be a permutation of [0, numVectors). Nil starts from
+	// scratch (Repartition sets it for you).
+	InitialOrder []uint32
 }
 
 func (o *Options) defaults() {
@@ -86,6 +95,12 @@ func Partition(numVectors int, queries [][]uint32, opts Options) (*Result, error
 		}
 	}
 
+	if opts.InitialOrder != nil {
+		if err := validateOrder(opts.InitialOrder, numVectors); err != nil {
+			return nil, err
+		}
+	}
+
 	p := &partitioner{
 		n:       numVectors,
 		queries: queries,
@@ -94,10 +109,42 @@ func Partition(numVectors int, queries [][]uint32, opts Options) (*Result, error
 	order := p.run()
 
 	res := &Result{Order: order, Levels: p.levels}
-	// Fanout measured against the training hypergraph.
-	res.InitialFanout = averageFanout(identityOrder(numVectors), queries, opts.BlockVectors)
+	// Fanout measured against the training hypergraph. The baseline is the
+	// placement the run started from: identity for a cold start, the
+	// warm-start order for an incremental run — so InitialFanout-FinalFanout
+	// is directly the predicted gain of migrating to the new layout.
+	before := opts.InitialOrder
+	if before == nil {
+		before = identityOrder(numVectors)
+	}
+	res.InitialFanout = averageFanout(before, queries, opts.BlockVectors)
 	res.FinalFanout = averageFanout(order, queries, opts.BlockVectors)
 	return res, nil
+}
+
+// Repartition incrementally re-partitions an existing placement against a
+// fresh set of queries: the run is warm-started from prev (see
+// Options.InitialOrder), making it the entry point for online background
+// re-layout, where the workload has drifted but the current layout is still
+// a far better seed than a random split.
+func Repartition(prev []uint32, queries [][]uint32, opts Options) (*Result, error) {
+	opts.InitialOrder = prev
+	return Partition(len(prev), queries, opts)
+}
+
+// validateOrder checks that order is a permutation of [0, n).
+func validateOrder(order []uint32, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("shp: initial order covers %d vectors, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if int(id) >= n || seen[id] {
+			return fmt.Errorf("shp: initial order is not a permutation (vector %d)", id)
+		}
+		seen[id] = true
+	}
+	return nil
 }
 
 func identityOrder(n int) []uint32 {
@@ -148,26 +195,35 @@ type bucket struct {
 }
 
 func (p *partitioner) run() []uint32 {
-	// Start with all vectors in one bucket. Vectors that appear in queries
-	// come first (they carry signal); untouched vectors are appended at the
-	// end so they fill whatever blocks remain — the paper notes SHP places
-	// rarely-accessed vectors arbitrarily.
-	appears := make([]bool, p.n)
-	for _, q := range p.queries {
-		for _, id := range q {
-			appears[id] = true
+	var all []uint32
+	if p.opts.InitialOrder != nil {
+		// Warm start: begin from the existing placement so refinement is
+		// incremental (the swap iterations only move vectors whose
+		// co-access changed).
+		all = make([]uint32, p.n)
+		copy(all, p.opts.InitialOrder)
+	} else {
+		// Start with all vectors in one bucket. Vectors that appear in
+		// queries come first (they carry signal); untouched vectors are
+		// appended at the end so they fill whatever blocks remain — the
+		// paper notes SHP places rarely-accessed vectors arbitrarily.
+		appears := make([]bool, p.n)
+		for _, q := range p.queries {
+			for _, id := range q {
+				appears[id] = true
+			}
 		}
-	}
-	touched := make([]uint32, 0, p.n)
-	untouched := make([]uint32, 0)
-	for id := 0; id < p.n; id++ {
-		if appears[id] {
-			touched = append(touched, uint32(id))
-		} else {
-			untouched = append(untouched, uint32(id))
+		touched := make([]uint32, 0, p.n)
+		untouched := make([]uint32, 0)
+		for id := 0; id < p.n; id++ {
+			if appears[id] {
+				touched = append(touched, uint32(id))
+			} else {
+				untouched = append(untouched, uint32(id))
+			}
 		}
+		all = append(touched, untouched...)
 	}
-	all := append(touched, untouched...)
 
 	root := &bucket{vertices: all, queries: p.queries, depth: 0}
 	var wg sync.WaitGroup
@@ -219,31 +275,39 @@ func (p *partitioner) bisect(b *bucket) (*bucket, *bucket) {
 		localOf[v] = int32(i)
 	}
 
-	// Initial split: order vertices by the first query (hyperedge) they
-	// appear in, so that vertices co-accessed by the same queries start on
-	// the same side, then assign the first half to side 0. The swap
-	// refinement below polishes this seed; starting from co-access order
-	// rather than a random split converges to far lower fanout.
+	// Initial split. A warm-started run preserves the incoming arrangement
+	// (the first half of the existing order goes left), so the previous
+	// layout's block grouping is the seed at every level and refinement
+	// perturbs it only where the new queries disagree. A cold start orders
+	// vertices by the first query (hyperedge) they appear in, so that
+	// vertices co-accessed by the same queries start on the same side. The
+	// swap refinement below polishes either seed.
 	side := make([]uint8, n)
-	firstSeen := make([]int32, n)
-	for i := range firstSeen {
-		firstSeen[i] = int32(len(b.queries)) + int32(i%2) // unseen vertices alternate sides
-	}
-	for qi, q := range b.queries {
-		for _, id := range q {
-			if li, ok := localOf[id]; ok && firstSeen[li] >= int32(len(b.queries)) {
-				firstSeen[li] = int32(qi)
+	if p.opts.InitialOrder != nil {
+		for i := half; i < n; i++ {
+			side[i] = 1
+		}
+	} else {
+		firstSeen := make([]int32, n)
+		for i := range firstSeen {
+			firstSeen[i] = int32(len(b.queries)) + int32(i%2) // unseen vertices alternate sides
+		}
+		for qi, q := range b.queries {
+			for _, id := range q {
+				if li, ok := localOf[id]; ok && firstSeen[li] >= int32(len(b.queries)) {
+					firstSeen[li] = int32(qi)
+				}
 			}
 		}
-	}
-	byFirst := make([]int32, n)
-	for i := range byFirst {
-		byFirst[i] = int32(i)
-	}
-	sort.SliceStable(byFirst, func(a, b int) bool { return firstSeen[byFirst[a]] < firstSeen[byFirst[b]] })
-	for rank, li := range byFirst {
-		if rank >= half {
-			side[li] = 1
+		byFirst := make([]int32, n)
+		for i := range byFirst {
+			byFirst[i] = int32(i)
+		}
+		sort.SliceStable(byFirst, func(a, b int) bool { return firstSeen[byFirst[a]] < firstSeen[byFirst[b]] })
+		for rank, li := range byFirst {
+			if rank >= half {
+				side[li] = 1
+			}
 		}
 	}
 

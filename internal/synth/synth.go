@@ -10,18 +10,43 @@ import (
 	"bandana/internal/trace"
 )
 
+// Options configures synthetic workload construction beyond the basic
+// Build parameters.
+type Options struct {
+	Scale     float64
+	NumTables int
+	Seed      int64
+	Requests  int
+	// DriftRotateEvery > 0 enables the hot-set-rotation drift workload:
+	// every table's hot communities rotate after that many requests (see
+	// trace.DriftProfiles). 0 keeps the stationary workload.
+	DriftRotateEvery int
+}
+
 // Build generates numTables scaled-down versions of the paper's Table 1
 // profiles plus a shared training workload of the given request count.
 // Table geometry is aligned with the workload's co-access communities so
 // that SHP has signal to find. numTables is clamped to [1, 8].
 func Build(scale float64, numTables int, seed int64, requests int) ([]*table.Table, *trace.Workload) {
+	return BuildWorkload(Options{Scale: scale, NumTables: numTables, Seed: seed, Requests: requests})
+}
+
+// BuildWorkload is Build with the full option set (drift, etc.). Identical
+// options produce bit-identical tables and traces across processes.
+func BuildWorkload(opts Options) ([]*table.Table, *trace.Workload) {
+	numTables := opts.NumTables
 	if numTables < 1 {
 		numTables = 1
 	}
 	if numTables > 8 {
 		numTables = 8
 	}
-	profiles := trace.DefaultProfiles(scale)[:numTables]
+	profiles := trace.DefaultProfiles(opts.Scale)[:numTables]
+	if opts.DriftRotateEvery > 0 {
+		profiles = trace.DriftProfiles(opts.Scale, opts.DriftRotateEvery)[:numTables]
+	}
+	seed := opts.Seed
+	requests := opts.Requests
 	for i := range profiles {
 		profiles[i].Seed += seed * 100
 	}

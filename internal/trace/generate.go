@@ -29,6 +29,13 @@ type Profile struct {
 	// a reuse lookup picks the touched vector at rank floor(n * U^ReuseSkew),
 	// so larger values concentrate accesses on early (hot) vectors.
 	ReuseSkew float64
+	// HotSetRotation > 0 makes the workload drift: every HotSetRotation
+	// requests the community popularity ranking rotates by a fixed stride,
+	// so the communities that were hot in one phase go cold in the next.
+	// Within a phase the stream is stationary; across phases the working
+	// set moves, which is the scenario online adaptation exists for. 0
+	// (the default) keeps the classic stationary workload.
+	HotSetRotation int
 	// Seed makes generation deterministic per table.
 	Seed int64
 }
@@ -85,6 +92,19 @@ func DefaultProfiles(scale float64) []Profile {
 	return profiles
 }
 
+// DriftProfiles returns DefaultProfiles with hot-set rotation enabled on
+// every table: each table's hot communities rotate every rotateEvery
+// requests. This is the drift workload used to exercise online adaptation —
+// a configuration trained (or adapted) on one phase degrades on the next
+// unless the tuning loop keeps running.
+func DriftProfiles(scale float64, rotateEvery int) []Profile {
+	profiles := DefaultProfiles(scale)
+	for i := range profiles {
+		profiles[i].HotSetRotation = rotateEvery
+	}
+	return profiles
+}
+
 // generator holds the evolving state of one table's synthetic stream.
 type generator struct {
 	p   Profile
@@ -105,6 +125,11 @@ type generator struct {
 	globalTouched []uint32
 	communityZipf *rand.Zipf
 	communityOf   []int32
+	// queryCount and rotStride drive hot-set rotation: the Zipf rank of a
+	// theme community is shifted by (phase * rotStride) mod numCommunities,
+	// with the phase advancing every HotSetRotation queries.
+	queryCount int
+	rotStride  int
 }
 
 func newGenerator(p Profile) *generator {
@@ -145,7 +170,21 @@ func newGenerator(p Profile) *generator {
 	// communities are much hotter than others (drives Figure 4's heavy
 	// tails).
 	g.communityZipf = rand.NewZipf(rng, 1.3, 4, uint64(numCommunities-1))
+	// A stride around a third of the community count (and coprime-ish with
+	// it) makes consecutive phases' hot sets nearly disjoint.
+	g.rotStride = numCommunities/3 + 1
 	return g
+}
+
+// rotatedCommunity maps a popularity rank to a concrete community, applying
+// the profile's hot-set rotation so the identity of the hot communities
+// drifts over time while the popularity *distribution* stays the same.
+func (g *generator) rotatedCommunity(rank uint64) int {
+	if g.p.HotSetRotation <= 0 {
+		return int(rank)
+	}
+	phase := g.queryCount / g.p.HotSetRotation
+	return int((rank + uint64(phase)*uint64(g.rotStride)) % uint64(g.numCommunities))
 }
 
 // pickReuse selects an already touched vector from list with the profile's
@@ -201,6 +240,7 @@ func poisson(rng *rand.Rand, mean float64) int {
 
 // nextQuery generates the lookups of one request against this table.
 func (g *generator) nextQuery() Query {
+	g.queryCount++
 	n := poisson(g.rng, g.p.AvgLookups)
 	if n > g.p.NumVectors/2 {
 		n = g.p.NumVectors / 2
@@ -212,7 +252,7 @@ func (g *generator) nextQuery() Query {
 	numThemes := 1 + n/16
 	themes := make([]int, numThemes)
 	for i := range themes {
-		themes[i] = int(g.communityZipf.Uint64())
+		themes[i] = g.rotatedCommunity(g.communityZipf.Uint64())
 	}
 
 	seen := make(map[uint32]struct{}, n)

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderRecordsEverythingAtRate1(t *testing.T) {
+	r := NewRecorder(64, 4, 1)
+	for i := 0; i < 10; i++ {
+		r.Record([]uint32{uint32(i), uint32(i + 100)})
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	tr := r.Snapshot("t", 200)
+	if len(tr.Queries) != 10 {
+		t.Fatalf("snapshot has %d queries, want 10", len(tr.Queries))
+	}
+	// Queries come back in recording order.
+	for i, q := range tr.Queries {
+		if len(q) != 2 || q[0] != uint32(i) || q[1] != uint32(i+100) {
+			t.Fatalf("query %d = %v", i, q)
+		}
+	}
+}
+
+func TestRecorderBoundedAndRecent(t *testing.T) {
+	r := NewRecorder(16, 4, 1)
+	for i := 0; i < 1000; i++ {
+		r.Record([]uint32{uint32(i)})
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want ring capacity 16", r.Len())
+	}
+	tr := r.Snapshot("t", 1000)
+	for _, q := range tr.Queries {
+		if q[0] < 1000-4*16 {
+			t.Fatalf("snapshot kept stale query %d; the ring must favour recent queries", q[0])
+		}
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r := NewRecorder(1024, 2, 10)
+	for i := 0; i < 1000; i++ {
+		r.Record([]uint32{uint32(i)})
+	}
+	if r.Len() != 100 {
+		t.Fatalf("1-in-10 sampling of 1000 queries kept %d, want 100", r.Len())
+	}
+	if r.Offered() != 1000 {
+		t.Fatalf("Offered = %d, want 1000", r.Offered())
+	}
+}
+
+func TestRecorderSnapshotFiltersOutOfRange(t *testing.T) {
+	r := NewRecorder(8, 1, 1)
+	r.Record([]uint32{1, 999})
+	r.Record([]uint32{998})
+	tr := r.Snapshot("t", 100)
+	if len(tr.Queries) != 1 || len(tr.Queries[0]) != 1 || tr.Queries[0][0] != 1 {
+		t.Fatalf("snapshot = %v, want only in-range id 1", tr.Queries)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(8, 2, 1)
+	r.Record([]uint32{1})
+	r.Reset()
+	if r.Len() != 0 || r.Offered() != 0 {
+		t.Fatalf("after Reset Len=%d Offered=%d", r.Len(), r.Offered())
+	}
+	r.Record([]uint32{2})
+	if got := r.Snapshot("t", 10); len(got.Queries) != 1 || got.Queries[0][0] != 2 {
+		t.Fatalf("post-reset snapshot = %v", got.Queries)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(256, 8, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]uint32, 4)
+			for i := 0; i < 2000; i++ {
+				for j := range ids {
+					ids[j] = uint32(w*2000 + i + j)
+				}
+				r.Record(ids)
+				if i%100 == 0 {
+					r.Snapshot("t", 1<<20)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() > 256 {
+		t.Fatalf("recorder exceeded its bound: %d > 256", r.Len())
+	}
+	if r.Offered() != 16000 {
+		t.Fatalf("Offered = %d, want 16000", r.Offered())
+	}
+}
+
+// TestDriftRotatesHotSet verifies the drift workload actually moves the
+// working set: the most-accessed communities of the first phase and a later
+// phase should barely overlap, while a stationary profile keeps them stable.
+func TestDriftRotatesHotSet(t *testing.T) {
+	p := Profile{
+		Name: "drift", NumVectors: 8192, AvgLookups: 30,
+		CompulsoryMissFrac: 0.05, Locality: 0.9, CommunitySize: 64,
+		ReuseSkew: 3, Seed: 42, HotSetRotation: 200,
+	}
+	communityOf := CommunityAssignment(p)
+	tr := GenerateTable(p, 600)
+
+	hotSet := func(qs []Query, topK int) map[int32]bool {
+		counts := map[int32]int{}
+		for _, q := range qs {
+			for _, id := range q {
+				counts[communityOf[id]]++
+			}
+		}
+		type kv struct {
+			c int32
+			n int
+		}
+		all := make([]kv, 0, len(counts))
+		for c, n := range counts {
+			all = append(all, kv{c, n})
+		}
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				if all[j].n > all[i].n {
+					all[i], all[j] = all[j], all[i]
+				}
+			}
+		}
+		if topK > len(all) {
+			topK = len(all)
+		}
+		out := map[int32]bool{}
+		for _, kv := range all[:topK] {
+			out[kv.c] = true
+		}
+		return out
+	}
+
+	first := hotSet(tr.Queries[:200], 8)
+	last := hotSet(tr.Queries[400:], 8)
+	overlap := 0
+	for c := range first {
+		if last[c] {
+			overlap++
+		}
+	}
+	if overlap > 3 {
+		t.Fatalf("hot sets of phase 0 and phase 2 share %d of 8 communities; drift is not rotating", overlap)
+	}
+
+	// Determinism: the same profile generates the same trace.
+	tr2 := GenerateTable(p, 600)
+	if len(tr2.Queries) != len(tr.Queries) {
+		t.Fatal("drift generation is not deterministic")
+	}
+	for i := range tr.Queries {
+		if len(tr.Queries[i]) != len(tr2.Queries[i]) {
+			t.Fatalf("query %d differs between identical runs", i)
+		}
+		for j := range tr.Queries[i] {
+			if tr.Queries[i][j] != tr2.Queries[i][j] {
+				t.Fatalf("query %d id %d differs between identical runs", i, j)
+			}
+		}
+	}
+}
