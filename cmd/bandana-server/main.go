@@ -11,10 +11,18 @@
 // died mid-write — and serve identical vectors without regenerating or
 // retraining anything. (`bandana init` pre-builds such a directory.)
 //
+// With --replica-of=URL the server is a read-only replica: it bootstraps
+// its data dir from the primary's snapshot stream (resumable and
+// CRC-verified, so a killed bootstrap resumes where it left off), serves
+// the snapshot read-only, and re-syncs in the background whenever the
+// primary's snapshot seq advances — each re-sync atomically swaps the
+// served store without dropping in-flight requests.
+//
 // Usage:
 //
 //	bandana-server --addr :8080 --scale 0.001 --train
 //	bandana-server --backend file --data-dir /var/lib/bandana --sync periodic
+//	bandana-server --addr :8081 --replica-of http://primary:8080 --data-dir /var/lib/bandana-replica
 //	curl 'localhost:8080/v1/lookup?table=table1&id=42'
 //	curl -d '{"table":"table2","ids":[1,2,3]}' localhost:8080/v1/batch
 //	curl localhost:8080/v1/stats
@@ -33,11 +41,13 @@ import (
 	"syscall"
 	"time"
 
+	"bandana/internal/cluster"
 	"bandana/internal/core"
 	"bandana/internal/nvm"
 	"bandana/internal/server"
 	"bandana/internal/synth"
 	"bandana/internal/trace"
+	"bandana/internal/version"
 )
 
 func main() {
@@ -61,8 +71,16 @@ func main() {
 		adaptBudget   = flag.Int("adapt-budget", 0, "max NVM blocks migrated per adaptation epoch (0 = unlimited)")
 		adaptStrategy = flag.String("adapt-strategy", core.RelayoutSHP, "re-layout strategy: shp or kmeans")
 		adaptSample   = flag.Int("adapt-sample", 1, "record 1 in N queries for adaptation (higher = cheaper)")
+
+		replicaOf   = flag.String("replica-of", "", "bootstrap from this primary's snapshot stream and serve read-only (requires --data-dir)")
+		replicaPoll = flag.Duration("replica-poll", 2*time.Second, "how often a replica polls the primary's snapshot seq")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if *tables < 1 {
 		*tables = 1
 	}
@@ -72,6 +90,49 @@ func main() {
 	syncMode, err := nvm.ParseSyncMode(*syncStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Replica mode: bootstrap from the primary and follow it. Everything
+	// about local generation/training is irrelevant — the primary's
+	// snapshot is the data.
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			log.Fatal("--replica-of requires --data-dir (snapshots are staged and served from it)")
+		}
+		// A replica serves its primary's snapshot read-only: flags that
+		// would generate, train or adapt local state have nothing to act
+		// on. Reject them loudly rather than silently dropping them.
+		incompatible := map[string]bool{
+			"scale": true, "tables": true, "requests": true, "dram": true,
+			"train": true, "save-state": true, "backend": true, "drift": true,
+			"adapt": true, "adapt-relayout": true, "adapt-budget": true,
+			"adapt-strategy": true, "adapt-sample": true, "seed": true, "shards": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				log.Fatalf("--%s is incompatible with --replica-of (a replica serves its primary's snapshot read-only)", f.Name)
+			}
+		})
+		rep, err := cluster.NewReplica(cluster.ReplicaOptions{
+			PrimaryURL:   *replicaOf,
+			DataDir:      *dataDir,
+			Sync:         syncMode,
+			PollInterval: *replicaPoll,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bootstrapping replica from %s into %s ...", *replicaOf, *dataDir)
+		start := time.Now()
+		store, seq, err := rep.Bootstrap()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := rep.Stats()
+		log.Printf("replica bootstrapped at seq %d in %s (%d bytes streamed, resumed at offset %d)",
+			seq, time.Since(start).Round(time.Millisecond), st.BytesFetched, st.LastResumeOffset)
+		serve(store, *addr, nil, rep)
+		return
 	}
 
 	if *backend != core.BackendFile && *dataDir != "" {
@@ -115,7 +176,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(store, *addr, adaptOpts)
+		serve(store, *addr, adaptOpts, nil)
 		return
 	}
 
@@ -139,7 +200,7 @@ func main() {
 		}
 		log.Printf("trained state written to %s", *stateOut)
 	}
-	serve(store, *addr, adaptOpts)
+	serve(store, *addr, adaptOpts, nil)
 }
 
 // writeStateFile dumps the store's trained state to path.
@@ -193,7 +254,7 @@ func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, re
 	return store, nil
 }
 
-func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions) {
+func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica) {
 	if adaptOpts != nil {
 		if err := store.StartAdaptation(*adaptOpts); err != nil {
 			store.Close()
@@ -203,6 +264,14 @@ func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions) {
 			adaptOpts.Interval, adaptOpts.RelayoutEvery, adaptOpts.RelayoutStrategy)
 	}
 	srv := server.New(store)
+	if rep != nil {
+		// Follow the primary: each re-sync opens the new snapshot and swaps
+		// it in; the server drains and closes the superseded store.
+		go rep.Run(func(next *core.Store) {
+			log.Printf("re-synced to primary snapshot seq %d", rep.ActiveSeq())
+			srv.SwapStore(next)
+		})
+	}
 	httpServer := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),
@@ -232,13 +301,18 @@ func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions) {
 		addr, store.NumTables(), store.Device(), store.DeviceStats().Store.Backend)
 	err := httpServer.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
-		store.Close()
+		srv.CurrentStore().Close()
 		log.Fatal(err)
 	}
 	// ListenAndServe returns as soon as Shutdown starts; wait for the
-	// bounded drain before closing the store.
+	// bounded drain before closing the store. A replica stops following
+	// first so a concurrent re-sync cannot swap a fresh store in under the
+	// final Close (swapped-out stores were already closed by the server).
 	<-drained
-	if err := store.Close(); err != nil {
+	if rep != nil {
+		rep.Stop()
+	}
+	if err := srv.CurrentStore().Close(); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("clean shutdown: store closed")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,6 +11,38 @@ import (
 	"bandana/internal/core"
 	"bandana/internal/synth"
 )
+
+// adaptBenchJSON is the machine-readable form of the drift benchmark,
+// written by --json and uploaded by CI as a BENCH_*.json artifact.
+type adaptBenchJSON struct {
+	Benchmark string  `json:"benchmark"`
+	Tables    int     `json:"tables"`
+	Requests  int     `json:"requests"`
+	Drift     int     `json:"driftRotateEvery"`
+	AdaptEach int     `json:"adaptEvery"`
+	Seed      int64   `json:"seed"`
+	Phases    []phase `json:"phases"`
+	Aggregate struct {
+		AdaptiveHitRatio float64 `json:"adaptiveHitRatio"`
+		StaticHitRatio   float64 `json:"staticHitRatio"`
+		ImprovementPct   float64 `json:"improvementPct"`
+	} `json:"aggregate"`
+	Epochs         int64   `json:"epochs"`
+	Relayouts      int64   `json:"relayouts"`
+	BlockReads     int64   `json:"blockReads"`
+	Lookups        int64   `json:"lookups"`
+	NsPerLookup    float64 `json:"nsPerLookup"`
+	WallClockMS    float64 `json:"wallClockMS"`
+	LastEpochMS    float64 `json:"lastEpochMS"`
+	LastRelayoutMS float64 `json:"lastRelayoutMS"`
+}
+
+type phase struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Adaptive float64 `json:"adaptiveHitRatio"`
+	Static   float64 `json:"staticHitRatio"`
+}
 
 // adaptBenchCmd is the drift benchmark: it serves the identical
 // hot-set-rotation workload to two untrained stores — one with the online
@@ -29,6 +62,7 @@ func adaptBenchCmd(args []string) error {
 		relayout = fs.Int("adapt-relayout", 2, "re-layout every N epochs (0 = never)")
 		dram     = fs.Int("dram", 0, "DRAM budget in vectors (default: 5% of all vectors)")
 		seed     = fs.Int64("seed", 1, "random seed")
+		jsonOut  = fs.String("json", "", "also write machine-readable results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +123,10 @@ func adaptBenchCmd(args []string) error {
 		return float64(hits) / float64(lookups)
 	}
 
+	jout := adaptBenchJSON{
+		Benchmark: "adapt-bench", Tables: adaptive.NumTables(), Requests: *requests,
+		Drift: *drift, AdaptEach: *adapt, Seed: *seed,
+	}
 	var adaptTotal, staticTotal struct{ hits, lookups int64 }
 	start := time.Now()
 	for served := 0; served < *requests; served += *adapt {
@@ -125,13 +163,15 @@ func adaptBenchCmd(args []string) error {
 		}
 		as := adaptive.AdaptationStats()
 		fmt.Fprintf(w, "%d-%d\t%.4f\t%.4f\t%d\t%d\n", served, end, aRate, sRate, as.EpochsCompleted, as.Relayouts)
+		jout.Phases = append(jout.Phases, phase{From: served, To: end, Adaptive: aRate, Static: sRate})
 	}
 	w.Flush()
 
+	elapsed := time.Since(start)
 	aAgg := float64(adaptTotal.hits) / float64(adaptTotal.lookups)
 	sAgg := float64(staticTotal.hits) / float64(staticTotal.lookups)
 	fmt.Printf("\naggregate: adaptive %.4f vs static %.4f (%+.1f%%), wall clock %s\n",
-		aAgg, sAgg, (aAgg/sAgg-1)*100, time.Since(start).Round(time.Millisecond))
+		aAgg, sAgg, (aAgg/sAgg-1)*100, elapsed.Round(time.Millisecond))
 	as := adaptive.AdaptationStats()
 	fmt.Printf("adaptation: %d epochs, %d relayouts, last epoch %s, last relayout %s\n",
 		as.EpochsCompleted, as.Relayouts,
@@ -139,6 +179,35 @@ func adaptBenchCmd(args []string) error {
 	for _, ts := range as.Tables {
 		fmt.Printf("  %-10s cache=%-6d threshold=%-10d prefetch=%-5v relayouts=%d\n",
 			ts.Name, ts.CacheVectors, ts.Threshold, ts.Prefetching, ts.Relayouts)
+	}
+
+	if *jsonOut != "" {
+		jout.Aggregate.AdaptiveHitRatio = aAgg
+		jout.Aggregate.StaticHitRatio = sAgg
+		jout.Aggregate.ImprovementPct = (aAgg/sAgg - 1) * 100
+		jout.Epochs = as.EpochsCompleted
+		jout.Relayouts = as.Relayouts
+		jout.LastEpochMS = float64(as.LastEpochDuration) / 1e6
+		jout.LastRelayoutMS = float64(as.LastRelayoutDuration) / 1e6
+		for _, st := range adaptive.Stats() {
+			jout.BlockReads += st.BlockReads
+		}
+		jout.Lookups = adaptTotal.lookups
+		if jout.Lookups > 0 {
+			// ns/op over the adaptive store's lookups (both stores were
+			// served in the same loop, so this halves the loop's wall
+			// clock per store as an approximation).
+			jout.NsPerLookup = float64(elapsed.Nanoseconds()) / 2 / float64(jout.Lookups)
+		}
+		jout.WallClockMS = float64(elapsed.Nanoseconds()) / 1e6
+		raw, err := json.MarshalIndent(jout, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nresults written to %s\n", *jsonOut)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"bandana/internal/experiments"
+	"bandana/internal/version"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch os.Args[1] {
+	case "version", "--version", "-version":
+		fmt.Println(version.String())
 	case "list":
 		titles := experiments.Titles()
 		for _, id := range experiments.IDs() {
@@ -69,7 +72,8 @@ commands:
   adapt-bench [flags] drift benchmark: online adaptation vs the static
                       even-split baseline on a hot-set-rotation workload
                       (--adapt epoch interval, --adapt-budget migration
-                      budget, --drift rotation period)
+                      budget, --drift rotation period, --json results file)
+  version             print the build version
 
 run flags:
   --exp <id>          experiment to run (repeatable via comma separation)

@@ -1,0 +1,287 @@
+// Command cluster-smoke is the cluster end-to-end smoke test CI runs
+// against the real binaries: it builds bandana-server and bandana-router,
+// launches two nodes and a router, drives batch traffic through the
+// router, kill -9s one node mid-traffic and asserts the router keeps
+// answering with per-id errors confined to the dead node's partitions,
+// then SIGHUPs a membership that pins every partition to the surviving
+// node and asserts the errors disappear without the router restarting.
+//
+//	go run ./cmd/cluster-smoke
+//
+// Exits non-zero (with a diagnostic) on any violated assertion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bandana/internal/cluster"
+)
+
+const (
+	nodeAAddr  = "127.0.0.1:19181"
+	nodeBAddr  = "127.0.0.1:19182"
+	routerAddr = "127.0.0.1:19180"
+	tableName  = "table1"
+	numIDs     = 256
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-smoke FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-smoke PASS")
+}
+
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+}
+
+func start(name, bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	return &proc{name: name, cmd: cmd}, nil
+}
+
+func (p *proc) kill9() {
+	_ = p.cmd.Process.Signal(syscall.SIGKILL)
+	_, _ = p.cmd.Process.Wait()
+}
+
+func (p *proc) stop() {
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _, _ = p.cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		p.kill9()
+	}
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not healthy after %s", url, timeout)
+}
+
+func writeClusterFile(path string, cfg cluster.Config) error {
+	raw, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// routerBatch posts a batch through the router and decodes the response.
+func routerBatch(ids []uint32) (*cluster.BatchResponse, error) {
+	body, _ := json.Marshal(cluster.BatchRequest{Table: tableName, IDs: ids})
+	resp, err := http.Post("http://"+routerAddr+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router /v1/batch: %s", resp.Status)
+	}
+	var out cluster.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "cluster-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Fprintln(os.Stderr, "building binaries...")
+	serverBin := filepath.Join(tmp, "bandana-server")
+	routerBin := filepath.Join(tmp, "bandana-router")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/bandana-server", routerBin: "./cmd/bandana-router"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Two nodes over identical synthetic tables (same seed/scale): any id is
+	// answerable by either node, so partitioning is purely a routing choice.
+	common := []string{"--scale", "0.0005", "--tables", "2", "--train=false", "--seed", "1"}
+	nodeA, err := start("node-a", serverBin, append([]string{"--addr", nodeAAddr}, common...)...)
+	if err != nil {
+		return err
+	}
+	defer nodeA.stop()
+	nodeB, err := start("node-b", serverBin, append([]string{"--addr", nodeBAddr}, common...)...)
+	if err != nil {
+		return err
+	}
+	defer nodeB.stop()
+	if err := waitHealthy("http://"+nodeAAddr, 30*time.Second); err != nil {
+		return err
+	}
+	if err := waitHealthy("http://"+nodeBAddr, 30*time.Second); err != nil {
+		return err
+	}
+
+	cfg := cluster.Config{
+		IDRangeSize: 32,
+		Nodes: []cluster.Node{
+			{ID: "node-a", Addr: "http://" + nodeAAddr, Role: cluster.RolePrimary},
+			{ID: "node-b", Addr: "http://" + nodeBAddr, Role: cluster.RolePrimary},
+		},
+	}
+	clusterPath := filepath.Join(tmp, "cluster.json")
+	if err := writeClusterFile(clusterPath, cfg); err != nil {
+		return err
+	}
+	router, err := start("router", routerBin, "--addr", routerAddr, "--cluster", clusterPath)
+	if err != nil {
+		return err
+	}
+	defer router.stop()
+	if err := waitHealthy("http://"+routerAddr, 30*time.Second); err != nil {
+		return err
+	}
+
+	ids := make([]uint32, numIDs)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+
+	// Healthy cluster: the scatter-gathered batch must come back complete.
+	resp, err := routerBatch(ids)
+	if err != nil {
+		return err
+	}
+	if len(resp.Errors) != 0 {
+		return fmt.Errorf("healthy cluster returned %d per-id errors: %+v", len(resp.Errors), resp.Errors[0])
+	}
+	for i, v := range resp.Vectors {
+		if len(v) == 0 {
+			return fmt.Errorf("healthy cluster returned empty vector for id %d", ids[i])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "healthy scatter-gather: %d ids across 2 nodes OK\n", numIDs)
+
+	// Continuous traffic while we kill node-b: every response must stay
+	// HTTP 200 (failures degrade to per-id errors, never request errors).
+	var trafficErr atomic.Value
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			if _, err := routerBatch(ids); err != nil {
+				trafficErr.Store(err.Error())
+				return
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	fmt.Fprintln(os.Stderr, "kill -9 node-b mid-traffic...")
+	nodeB.kill9()
+	time.Sleep(500 * time.Millisecond)
+
+	// Degraded cluster: per-id errors exactly for node-b's partitions.
+	resp, err = routerBatch(ids)
+	if err != nil {
+		return fmt.Errorf("router stopped answering after node loss: %w", err)
+	}
+	errIDs := map[uint32]bool{}
+	for _, e := range resp.Errors {
+		errIDs[e.ID] = true
+		if e.Node != "node-b" {
+			return fmt.Errorf("per-id error attributed to %s, expected node-b: %+v", e.Node, e)
+		}
+	}
+	if len(errIDs) == 0 {
+		return fmt.Errorf("no per-id errors after killing node-b (expected its partitions to fail)")
+	}
+	for i, id := range ids {
+		owner, err := cfg.Owner(tableName, id)
+		if err != nil {
+			return err
+		}
+		dead := owner == "node-b"
+		if dead != errIDs[id] {
+			return fmt.Errorf("id %d owned by %s: error=%v (want %v)", id, owner, errIDs[id], dead)
+		}
+		if !dead && len(resp.Vectors[i]) == 0 {
+			return fmt.Errorf("id %d owned by surviving node-a came back empty", id)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "node loss isolated: %d/%d ids report per-id errors, rest served\n", len(errIDs), numIDs)
+
+	// close (not send): the traffic goroutine may already have exited on a
+	// failure, and a send would deadlock instead of reporting it.
+	close(stopTraffic)
+	wg.Wait()
+	if msg := trafficErr.Load(); msg != nil {
+		return fmt.Errorf("traffic loop saw a request-level failure: %v", msg)
+	}
+
+	// SIGHUP a membership without node-b: after the reload, every partition
+	// belongs to node-a and the errors must disappear.
+	cfg.Nodes = cfg.Nodes[:1]
+	if err := writeClusterFile(clusterPath, cfg); err != nil {
+		return err
+	}
+	if err := router.cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = routerBatch(ids)
+		if err != nil {
+			return err
+		}
+		if len(resp.Errors) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("errors persist %s after SIGHUP membership reload: %+v", "10s", resp.Errors[0])
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Fprintln(os.Stderr, "SIGHUP reload rerouted the dead node's partitions: full batch served")
+	return nil
+}

@@ -15,18 +15,24 @@ import (
 	"path/filepath"
 
 	"bandana/internal/trace"
+	"bandana/internal/version"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "", "output directory for generated traces")
-		scale    = flag.Float64("scale", 0.004, "table size scale vs the paper's 10-20M vectors")
-		requests = flag.Int("requests", 5000, "number of requests to generate")
-		seed     = flag.Int64("seed", 1, "random seed")
-		drift    = flag.Int("drift", 0, "rotate each table's hot communities every N requests (0 = stationary workload)")
-		stats    = flag.String("stats", "", "print statistics of an existing trace file and exit")
+		out         = flag.String("out", "", "output directory for generated traces")
+		scale       = flag.Float64("scale", 0.004, "table size scale vs the paper's 10-20M vectors")
+		requests    = flag.Int("requests", 5000, "number of requests to generate")
+		seed        = flag.Int64("seed", 1, "random seed")
+		drift       = flag.Int("drift", 0, "rotate each table's hot communities every N requests (0 = stationary workload)")
+		stats       = flag.String("stats", "", "print statistics of an existing trace file and exit")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *stats != "" {
 		if err := printStats(*stats); err != nil {

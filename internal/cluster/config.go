@@ -1,0 +1,271 @@
+// Package cluster is Bandana's distributed serving tier: a membership
+// config, a deterministic placement of (table, id-range) partitions onto
+// nodes, a scatter-gather router that fans batch lookups out to partition
+// owners (with hedged reads to replicas and per-id failure isolation), and
+// a replica client that bootstraps a node from a primary's snapshot stream
+// and keeps it in sync.
+//
+// One Bandana box serves embedding tables from NVM; production
+// recommendation traffic needs many. The tier keeps the single-node engine
+// untouched: nodes are ordinary bandana-server processes, the router is a
+// stateless process in front of them, and membership is a JSON file the
+// router hot-reloads on SIGHUP — no consensus service, no node-side
+// cluster awareness.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"os"
+)
+
+// Role is a node's role in the cluster.
+type Role string
+
+const (
+	// RolePrimary nodes own partitions and serve writes (Train, adaptation).
+	RolePrimary Role = "primary"
+	// RoleReplica nodes mirror a primary's snapshot and serve read traffic:
+	// hedged reads and failover for the primary they follow.
+	RoleReplica Role = "replica"
+)
+
+// DefaultIDRangeSize is the default width of one (table, id-range)
+// partition in vectors.
+const DefaultIDRangeSize = 1024
+
+// Node describes one cluster member in cluster.json.
+type Node struct {
+	// ID is the stable node identity; rendezvous placement hashes it, so
+	// renaming a node moves its partitions.
+	ID string `json:"id"`
+	// Addr is the node's base URL, e.g. "http://10.0.0.5:8080".
+	Addr string `json:"addr"`
+	// Role is "primary" (owns partitions) or "replica" (mirrors ReplicaOf).
+	Role Role `json:"role"`
+	// ReplicaOf names the primary a replica follows. Required for replicas,
+	// forbidden for primaries.
+	ReplicaOf string `json:"replicaOf,omitempty"`
+	// Partitions optionally pins partitions to this node, overriding the
+	// rendezvous placement: table name -> partition indexes. Pinning is how
+	// an operator drains a node (pin its ranges elsewhere, SIGHUP the
+	// router, retire the node).
+	Partitions map[string][]int `json:"partitions,omitempty"`
+}
+
+// Config is the cluster membership file (cluster.json). It is static
+// configuration: the router loads it at start and re-loads it on SIGHUP,
+// atomically swapping the routing state so in-flight requests finish
+// against the membership they started with.
+type Config struct {
+	// IDRangeSize is the width in vectors of one partition: vector id N of
+	// table T belongs to partition (T, N/IDRangeSize). Defaults to
+	// DefaultIDRangeSize.
+	IDRangeSize uint32 `json:"idRangeSize,omitempty"`
+	// Nodes are the cluster members.
+	Nodes []Node `json:"nodes"`
+}
+
+// LoadConfig reads and validates a cluster.json file.
+func LoadConfig(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parse %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// Validate checks the membership for internal consistency.
+func (c *Config) Validate() error {
+	if c.IDRangeSize == 0 {
+		c.IDRangeSize = DefaultIDRangeSize
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("no nodes configured")
+	}
+	byID := make(map[string]*Node, len(c.Nodes))
+	primaries := 0
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.ID == "" {
+			return fmt.Errorf("node %d has no id", i)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return fmt.Errorf("duplicate node id %q", n.ID)
+		}
+		byID[n.ID] = n
+		u, err := url.Parse(n.Addr)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("node %q: invalid addr %q (want e.g. http://host:port)", n.ID, n.Addr)
+		}
+		switch n.Role {
+		case RolePrimary:
+			if n.ReplicaOf != "" {
+				return fmt.Errorf("primary node %q must not set replicaOf", n.ID)
+			}
+			primaries++
+		case RoleReplica:
+			if n.ReplicaOf == "" {
+				return fmt.Errorf("replica node %q must set replicaOf", n.ID)
+			}
+			if len(n.Partitions) != 0 {
+				return fmt.Errorf("replica node %q must not pin partitions (it serves its primary's)", n.ID)
+			}
+		default:
+			return fmt.Errorf("node %q: unknown role %q (want %q or %q)", n.ID, n.Role, RolePrimary, RoleReplica)
+		}
+	}
+	if primaries == 0 {
+		return fmt.Errorf("no primary nodes configured")
+	}
+	// Replica chains must terminate at a primary, and a (table, partition)
+	// may be pinned to at most one node.
+	pinned := make(map[string]map[int]string)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.Role == RoleReplica {
+			target, ok := byID[n.ReplicaOf]
+			if !ok {
+				return fmt.Errorf("replica node %q follows unknown node %q", n.ID, n.ReplicaOf)
+			}
+			if target.Role != RolePrimary {
+				return fmt.Errorf("replica node %q follows %q, which is not a primary", n.ID, n.ReplicaOf)
+			}
+		}
+		for table, parts := range n.Partitions {
+			m := pinned[table]
+			if m == nil {
+				m = make(map[int]string)
+				pinned[table] = m
+			}
+			for _, p := range parts {
+				if p < 0 {
+					return fmt.Errorf("node %q pins negative partition %d of table %q", n.ID, p, table)
+				}
+				if prev, dup := m[p]; dup {
+					return fmt.Errorf("partition %d of table %q pinned to both %q and %q", p, table, prev, n.ID)
+				}
+				m[p] = n.ID
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionOf returns the partition index of a vector id under this
+// config's id-range width.
+func (c *Config) PartitionOf(id uint32) int { return int(id / c.IDRangeSize) }
+
+// Owner resolves the node id of the primary owning a vector's partition — a
+// convenience for tools and tests; the router builds its routing state once
+// instead of per call.
+func (c *Config) Owner(table string, id uint32) (string, error) {
+	st, err := newRoutingState(c)
+	if err != nil {
+		return "", err
+	}
+	return st.ownerOf(table, st.cfg.PartitionOf(id)).ID, nil
+}
+
+// rendezvousScore ranks node candidates for one (table, partition) key. The
+// highest score among the primaries wins the partition — the classic
+// highest-random-weight construction: adding or removing a node only moves
+// the partitions that node wins or held, never reshuffles the rest.
+func rendezvousScore(nodeID, table string, partition int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(nodeID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(table))
+	var pb [8]byte
+	binary.LittleEndian.PutUint64(pb[:], uint64(partition))
+	_, _ = h.Write(pb[:])
+	// One extra round of mixing: FNV's avalanche on short inputs is weak
+	// enough to visibly skew the partition balance between two nodes.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// routingState is an immutable snapshot of the membership, built once per
+// (re)load and read lock-free by every request.
+type routingState struct {
+	cfg        *Config
+	byID       map[string]*Node
+	primaries  []*Node
+	replicasOf map[string][]*Node // primary id -> its replicas
+	// pinnedOwner resolves explicit pins: table -> partition -> node.
+	pinnedOwner map[string]map[int]*Node
+}
+
+func newRoutingState(cfg *Config) (*routingState, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &routingState{
+		cfg:         cfg,
+		byID:        make(map[string]*Node, len(cfg.Nodes)),
+		replicasOf:  make(map[string][]*Node),
+		pinnedOwner: make(map[string]map[int]*Node),
+	}
+	for i := range cfg.Nodes {
+		n := &cfg.Nodes[i]
+		st.byID[n.ID] = n
+		if n.Role == RolePrimary {
+			st.primaries = append(st.primaries, n)
+		}
+	}
+	for i := range cfg.Nodes {
+		n := &cfg.Nodes[i]
+		if n.Role == RoleReplica {
+			st.replicasOf[n.ReplicaOf] = append(st.replicasOf[n.ReplicaOf], n)
+		}
+		for table, parts := range n.Partitions {
+			m := st.pinnedOwner[table]
+			if m == nil {
+				m = make(map[int]*Node)
+				st.pinnedOwner[table] = m
+			}
+			for _, p := range parts {
+				m[p] = n
+			}
+		}
+	}
+	return st, nil
+}
+
+// ownerOf resolves the primary owning (table, partition): an explicit pin
+// wins, otherwise the rendezvous-highest primary.
+func (st *routingState) ownerOf(table string, partition int) *Node {
+	if m := st.pinnedOwner[table]; m != nil {
+		if n := m[partition]; n != nil {
+			return n
+		}
+	}
+	var best *Node
+	var bestScore uint64
+	for _, n := range st.primaries {
+		score := rendezvousScore(n.ID, table, partition)
+		if best == nil || score > bestScore || (score == bestScore && n.ID < best.ID) {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// replicasFor returns the replicas following a primary (hedge and failover
+// targets for its partitions).
+func (st *routingState) replicasFor(primaryID string) []*Node {
+	return st.replicasOf[primaryID]
+}

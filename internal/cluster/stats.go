@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"bandana/internal/metrics"
+)
+
+// NodeStats is one node's row in the router's /v1/stats: the router's own
+// counters for the node plus a live health/hit-ratio probe.
+type NodeStats struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Role Role   `json:"role"`
+	// ReplicaOf is set for replicas.
+	ReplicaOf string `json:"replicaOf,omitempty"`
+
+	// Router-side counters (persist across membership reloads).
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Timeouts  int64 `json:"timeouts"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedgeWins"`
+	InFlight  int64 `json:"inFlight"`
+
+	// Probe results.
+	Alive       bool    `json:"alive"`
+	ProbeError  string  `json:"probeError,omitempty"`
+	ReadOnly    bool    `json:"readOnly,omitempty"`
+	SnapshotSeq uint64  `json:"snapshotSeq,omitempty"`
+	Lookups     int64   `json:"lookups"`
+	HitRate     float64 `json:"hitRate"`
+}
+
+// RouterStats is the router's /v1/stats payload.
+type RouterStats struct {
+	Cluster struct {
+		Nodes       int    `json:"nodes"`
+		Primaries   int    `json:"primaries"`
+		Replicas    int    `json:"replicas"`
+		IDRangeSize uint32 `json:"idRangeSize"`
+		Reloads     int64  `json:"reloads"`
+	} `json:"cluster"`
+	Router struct {
+		Requests int64            `json:"requests"`
+		Errors   int64            `json:"errors"`
+		InFlight int64            `json:"inFlight"`
+		Latency  metrics.Snapshot `json:"latencyUS"`
+	} `json:"router"`
+	Runtime metrics.RuntimeStats `json:"runtime"`
+	Nodes   []NodeStats          `json:"nodes"`
+}
+
+// nodeStatsProbe is the subset of a node's /v1/stats the router reads.
+// core.TableStats marshals with Go field names (no tags), hence the
+// capitalised fields.
+type nodeStatsProbe struct {
+	Tables []struct {
+		Lookups int64
+		Hits    int64
+	} `json:"tables"`
+	Store struct {
+		ReadOnly    bool   `json:"readOnly"`
+		SnapshotSeq uint64 `json:"snapshotSeq"`
+	} `json:"store"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := rt.state.Load()
+	var out RouterStats
+	out.Cluster.Nodes = len(st.cfg.Nodes)
+	out.Cluster.Primaries = len(st.primaries)
+	out.Cluster.Replicas = len(st.cfg.Nodes) - len(st.primaries)
+	out.Cluster.IDRangeSize = st.cfg.IDRangeSize
+	out.Cluster.Reloads = rt.reloads.Value()
+	out.Router.Requests = rt.requests.Value()
+	out.Router.Errors = rt.errors.Value()
+	out.Router.InFlight = rt.inflight.Value()
+	out.Router.Latency = rt.latency.Snapshot()
+	out.Runtime = metrics.ReadRuntime(rt.start)
+
+	// Probe every node concurrently; a dead node just reports !alive.
+	out.Nodes = make([]NodeStats, len(st.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i := range st.cfg.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := &st.cfg.Nodes[i]
+			nc := rt.client(n.ID)
+			ns := NodeStats{
+				ID: n.ID, Addr: n.Addr, Role: n.Role, ReplicaOf: n.ReplicaOf,
+				Requests: nc.requests.Value(), Errors: nc.errors.Value(),
+				Timeouts: nc.timeouts.Value(), Hedges: nc.hedges.Value(),
+				HedgeWins: nc.hedgeWins.Value(), InFlight: nc.inflight.Value(),
+			}
+			rt.probeNode(r.Context(), n, &ns)
+			out.Nodes[i] = ns
+		}(i)
+	}
+	wg.Wait()
+	routerJSON(w, http.StatusOK, out)
+}
+
+// probeNode fills the live fields of one node's stats row.
+func (rt *Router) probeNode(ctx context.Context, n *Node, ns *NodeStats) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Addr+"/v1/stats", nil)
+	if err != nil {
+		ns.ProbeError = err.Error()
+		return
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		ns.ProbeError = err.Error()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ns.ProbeError = resp.Status
+		return
+	}
+	var probe nodeStatsProbe
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		ns.ProbeError = err.Error()
+		return
+	}
+	ns.Alive = true
+	ns.ReadOnly = probe.Store.ReadOnly
+	ns.SnapshotSeq = probe.Store.SnapshotSeq
+	var lookups, hits int64
+	for _, t := range probe.Tables {
+		lookups += t.Lookups
+		hits += t.Hits
+	}
+	ns.Lookups = lookups
+	if lookups > 0 {
+		ns.HitRate = float64(hits) / float64(lookups)
+	}
+}

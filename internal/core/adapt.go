@@ -182,6 +182,12 @@ type adapter struct {
 // 0) starts a background goroutine that runs an adaptation epoch every
 // interval. Returns an error if the engine is already started.
 func (s *Store) StartAdaptation(opts AdaptOptions) error {
+	// A replica's configuration is whatever its next re-sync streams in;
+	// adapting locally would mutate NVM blocks and trained state that the
+	// primary owns.
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	if err := opts.defaults(); err != nil {
 		return err
 	}
@@ -502,6 +508,10 @@ func (s *Store) AdaptNow() (*AdaptEpochReport, error) {
 	a.lastEpochNS.Store(int64(report.Duration))
 	a.epochs.Store(epoch)
 	a.lastErr.Store(nil) // a completed epoch supersedes any earlier failure
+	// An epoch can change cache allocations, thresholds and (via migration)
+	// the physical layout — all part of the image a replica streams, so the
+	// snapshot seq moves once per committed epoch.
+	s.bumpSnapshotSeq()
 	return report, nil
 }
 

@@ -67,6 +67,18 @@ type Config struct {
 	// less lock contention at a small cost in LRU fidelity. Defaults to
 	// DefaultCacheShards (derived from GOMAXPROCS).
 	CacheShards int
+	// ReadOnly opens the store in read-only mode: every mutator of the
+	// servable image (UpdateVector, Train, LoadState, Persist, the
+	// adaptation engine) fails with ErrReadOnly, while serving and cache
+	// fills work normally. This is how a replica serves a snapshot it
+	// bootstrapped from a primary — the next re-sync replaces the whole
+	// store, so local mutations would only be lost or, worse, diverge.
+	ReadOnly bool
+	// InitialSnapshotSeq overrides the store's starting snapshot sequence
+	// number (see Store.SnapshotSeq). Zero uses the boot-stamped default. A
+	// replica sets it to the seq of the snapshot it imported, so the seq it
+	// reports downstream is the primary's, not its own boot time.
+	InitialSnapshotSeq uint64
 }
 
 // DefaultCacheShards returns the default shard count for table caches: the

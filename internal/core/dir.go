@@ -384,6 +384,9 @@ func (s *Store) clearDirMutation() error {
 // it automatically on file-backed stores; call it manually after
 // SetAdmissionPolicy or cache-resize changes that should survive a restart.
 func (s *Store) Persist() error {
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	if s.dataDir == "" {
 		return fmt.Errorf("core: store was not opened with a data dir")
 	}
@@ -397,9 +400,11 @@ func (s *Store) Persist() error {
 // the mem backend).
 func (s *Store) DataDir() string { return s.dataDir }
 
-// writeManifest commits the data dir: geometry of every table plus a CRC,
-// written via temp file + rename so the manifest is all-or-nothing.
-func writeManifest(dir string, s *Store, totalBlocks int) error {
+// manifestBytes renders the store's table geometry in the manifest.bnd
+// format (payload + CRC-32C trailer). Shared by the data-dir commit path and
+// the snapshot export, so a streamed snapshot's manifest is byte-identical
+// to what initDir would have written.
+func manifestBytes(s *Store, totalBlocks int) []byte {
 	var payload bytes.Buffer
 	payload.WriteString(manifestMagic)
 	varint := make([]byte, binary.MaxVarintLen64)
@@ -421,13 +426,17 @@ func writeManifest(dir string, s *Store, totalBlocks int) error {
 	writeUvarint(uint64(totalBlocks))
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), manifestCRCTable))
+	payload.Write(crc[:])
+	return payload.Bytes()
+}
 
+// writeManifest commits the data dir: geometry of every table plus a CRC,
+// written via temp file + rename so the manifest is all-or-nothing.
+func writeManifest(dir string, s *Store, totalBlocks int) error {
+	raw := manifestBytes(s, totalBlocks)
 	err := atomicWriteFile(dir, ManifestFileName, func(w io.Writer) error {
-		if _, err := w.Write(payload.Bytes()); err != nil {
-			return err
-		}
-		_, err := w.Write(crc[:])
-		return err
+		_, werr := w.Write(raw)
+		return werr
 	})
 	if err != nil {
 		return fmt.Errorf("core: write manifest: %w", err)
@@ -441,6 +450,11 @@ func readManifest(dir string) ([]manifestEntry, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: read manifest: %w", err)
 	}
+	return parseManifest(raw)
+}
+
+// parseManifest decodes and verifies a manifest.bnd payload.
+func parseManifest(raw []byte) ([]manifestEntry, int, error) {
 	if len(raw) < len(manifestMagic)+4 {
 		return nil, 0, fmt.Errorf("core: manifest too short (%d bytes)", len(raw))
 	}

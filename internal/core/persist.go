@@ -285,6 +285,9 @@ func savedStateMutator(l *layout.Layout, sv savedTable) func(*tableState) {
 // allocations, and enables prefetching where the saved state had it enabled.
 // A file-backed store persists the restored state to its data dir.
 func (s *Store) LoadState(r io.Reader) error {
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	saved, err := decodeSavedStates(r)
 	if err != nil {
 		return err
@@ -335,7 +338,10 @@ func (s *Store) LoadState(r io.Reader) error {
 		if err := s.Persist(); err != nil {
 			return err
 		}
-		return s.clearDirMutation()
+		if err := s.clearDirMutation(); err != nil {
+			return err
+		}
 	}
+	s.bumpSnapshotSeq()
 	return nil
 }

@@ -74,6 +74,22 @@ func (s *Store) rewriteTable(st *storeTable, mutate func(*tableState)) error {
 // image cannot go stale against concurrent vector updates.
 func buildTableImage(st *storeTable, l *layout.Layout) ([]byte, error) {
 	img := make([]byte, st.numBlocks*nvm.BlockSize)
+	if err := buildTableImageInto(st, l, img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// buildTableImageInto is buildTableImage writing into a caller-supplied
+// zero-filled buffer of st.numBlocks*nvm.BlockSize bytes (the snapshot
+// exporter renders every table into one contiguous device image). Slots
+// without a vector are left as they are, so a dirty buffer would leak its
+// previous contents into the image.
+func buildTableImageInto(st *storeTable, l *layout.Layout, img []byte) error {
+	if len(img) != st.numBlocks*nvm.BlockSize {
+		return fmt.Errorf("core: table %q: image buffer is %d bytes, want %d",
+			st.name, len(img), st.numBlocks*nvm.BlockSize)
+	}
 	var members []uint32
 	for b := 0; b < st.numBlocks; b++ {
 		buf := img[b*nvm.BlockSize : (b+1)*nvm.BlockSize]
@@ -81,12 +97,12 @@ func buildTableImage(st *storeTable, l *layout.Layout) ([]byte, error) {
 		for slot, id := range members {
 			raw, err := st.src.Raw(id)
 			if err != nil {
-				return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+				return fmt.Errorf("core: table %q: %w", st.name, err)
 			}
 			copy(buf[slot*st.vecBytes:], raw)
 		}
 	}
-	return img, nil
+	return nil
 }
 
 // relayoutTable migrates one table to a new physical layout while the store

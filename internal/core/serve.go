@@ -21,6 +21,10 @@ import (
 // batch buffer; rarer, larger batches fall back to a one-off allocation.
 const batchBufBlocks = 8
 
+// dedupeScanThreshold is the batch size up to which duplicate ids are found
+// by linear scan (no allocation); larger batches use a map.
+const dedupeScanThreshold = 32
+
 // batchBufPool recycles the multi-block read buffers of lookupBatch.
 var batchBufPool = sync.Pool{
 	New: func() any {
@@ -91,11 +95,20 @@ func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
 // NVM (read-modify-write of the containing block) and invalidates the cached
 // copy.
 func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	st, err := s.tableAt(tableIdx)
 	if err != nil {
 		return err
 	}
-	return st.update(s.device, id, vec)
+	if err := st.update(s.device, id, vec); err != nil {
+		return err
+	}
+	// The committed image changed: replicas polling the snapshot seq must
+	// see it move so they can re-sync the new bytes.
+	s.bumpSnapshotSeq()
+	return nil
 }
 
 // cacheGet serves a cache hit for id, clearing the prefetched flag and
@@ -232,17 +245,57 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		r.Record(ids)
 	}
 
-	// Pass 1: serve cache hits and collect misses.
+	// Pass 1: serve cache hits and collect misses. Real batches are
+	// power-law — the same hot id often appears many times in one request —
+	// so repeated ids are deduplicated here: each unique id is resolved
+	// (cache probe, block decode) exactly once and the result is fanned back
+	// out to every position. Counter semantics are unchanged: every instance
+	// still counts as a lookup and inherits its unique id's hit/miss
+	// classification, exactly as when each instance probed the cache itself.
 	type missRef struct {
 		pos int
 		id  uint32
 	}
 	var missed []missRef
+	// Duplicate detection stays allocation-free for typical batch sizes (a
+	// linear scan of the ids already seen); only large batches pay for a
+	// map. This keeps the warm all-hit path — which previously allocated
+	// nothing in pass 1 — from picking up a map allocation per call.
+	var firstPos map[uint32]int
+	if len(ids) > dedupeScanThreshold {
+		firstPos = make(map[uint32]int, len(ids))
+	}
+	firstOf := func(i int, id uint32) (int, bool) {
+		if firstPos != nil {
+			j, ok := firstPos[id]
+			return j, ok
+		}
+		for j := 0; j < i; j++ {
+			if ids[j] == id {
+				return j, true
+			}
+		}
+		return 0, false
+	}
+	var dupMisses [][2]int // {duplicate position, first position} to backfill
 	for i, id := range ids {
 		h := hashID(id)
 		st.lookups.Inc(h)
 		if ts.policy != nil {
 			ts.policy.OnAccess(id)
+		}
+		if j, ok := firstOf(i, id); ok {
+			if v := out[j]; v != nil {
+				st.hits.Inc(h)
+				out[i] = v
+			} else {
+				st.misses.Inc(h)
+				dupMisses = append(dupMisses, [2]int{i, j})
+			}
+			continue
+		}
+		if firstPos != nil {
+			firstPos[id] = i
 		}
 		if got := st.cacheGet(ts, id, h); got != nil {
 			out[i] = got
@@ -324,6 +377,10 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 				return ok
 			})
 		}
+	}
+	// Fan the deduplicated miss decodes back out to the repeated positions.
+	for _, d := range dupMisses {
+		out[d[0]] = out[d[1]]
 	}
 	return out, nil
 }

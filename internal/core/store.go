@@ -35,6 +35,13 @@ type Store struct {
 	// recoveredMigration records that this reopen redid a committed
 	// background re-layout that the previous process did not finish.
 	recoveredMigration bool
+	// readOnly rejects every mutator of the servable image (Config.ReadOnly;
+	// how a replica serves a bootstrapped snapshot).
+	readOnly bool
+	// snapSeq identifies the store's current servable image for snapshot
+	// replication; it advances after every committed mutation (see
+	// snapshot.go).
+	snapSeq atomic.Uint64
 	// mutateMu serializes whole-store mutators (Train, LoadState, AdaptNow
 	// and the background migrations it drives) against each other — they
 	// rewrite tables and share the single rewrite-marker / migration /
@@ -266,7 +273,9 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 		byName:     make(map[string]int, len(cfg.Tables)),
 		seed:       cfg.Seed,
 		dataDir:    cfg.DataDir,
+		readOnly:   cfg.ReadOnly,
 	}
+	s.snapSeq.Store(initialSnapshotSeq(cfg.InitialSnapshotSeq))
 	perTable := budget / len(cfg.Tables)
 	if perTable < 1 {
 		perTable = 1

@@ -44,6 +44,9 @@ type TableTrainReport struct {
 // traces. traces[i] corresponds to table i; a nil entry leaves that table
 // untouched (identity layout, even-split cache, no prefetching).
 func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, error) {
+	if err := s.checkWritable(); err != nil {
+		return nil, err
+	}
 	if len(traces) != len(s.tables) {
 		return nil, fmt.Errorf("core: got %d traces for %d tables", len(traces), len(s.tables))
 	}
@@ -179,6 +182,7 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 			return nil, err
 		}
 	}
+	s.bumpSnapshotSeq()
 	return report, nil
 }
 

@@ -17,8 +17,8 @@ func FuzzFP16RoundTrip(f *testing.F) {
 	seeds := []uint16{
 		0x0000, 0x8000, // +0, -0
 		0x0001, 0x8001, // smallest subnormals
-		0x03FF, // largest subnormal
-		0x0400, // smallest normal
+		0x03FF,         // largest subnormal
+		0x0400,         // smallest normal
 		0x3C00, 0xBC00, // +1, -1
 		0x7BFF, 0xFBFF, // largest finite
 		0x7C00, 0xFC00, // +Inf, -Inf

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"time"
+)
+
+// RuntimeStats is a snapshot of Go runtime health, reported by every
+// network-facing binary under the "runtime" section of its stats endpoint.
+type RuntimeStats struct {
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heapBytes"`
+	HeapObjects   uint64  `json:"heapObjects"`
+	GCCycles      uint32  `json:"gcCycles"`
+	GCPauseP99US  float64 `json:"gcPauseP99US"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// ReadRuntime captures the current runtime statistics. start is the process
+// (or server) start time used for the uptime figure. The GC pause p99 comes
+// from the runtime's own /gc/pauses histogram, so it covers the whole
+// process lifetime, not a sliding window.
+func ReadRuntime(start time.Time) RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     ms.HeapAlloc,
+		HeapObjects:   ms.HeapObjects,
+		GCCycles:      ms.NumGC,
+		GCPauseP99US:  gcPauseP99US(),
+		UptimeSeconds: time.Since(start).Seconds(),
+	}
+}
+
+// gcPauseP99US reads the runtime's stop-the-world pause histogram and
+// returns its 99th percentile in microseconds (0 when no GC has run yet).
+func gcPauseP99US() float64 {
+	samples := []rtmetrics.Sample{{Name: "/gc/pauses:seconds"}}
+	rtmetrics.Read(samples)
+	if samples[0].Value.Kind() != rtmetrics.KindFloat64Histogram {
+		return 0
+	}
+	return histogramQuantile(samples[0].Value.Float64Histogram(), 0.99) * 1e6
+}
+
+// histogramQuantile computes quantile q from a runtime/metrics histogram,
+// answering with the upper bound of the bucket holding the quantile (the
+// same convention as the package's own Histogram). Unbounded edge buckets
+// fall back to their finite neighbour.
+func histogramQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) || math.IsNaN(ub) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		return h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}

@@ -5,51 +5,79 @@
 // equivalent so the store can be exercised end to end (and load-tested) as a
 // network service:
 //
-//	GET  /healthz                        liveness probe
+//	GET  /healthz                        liveness probe (+ read-only flag and snapshot seq)
 //	GET  /v1/tables                      table inventory
 //	GET  /v1/lookup?table=T&id=N         single embedding vector
 //	POST /v1/batch                       {"table": "...", "ids": [...]}
 //	POST /v1/request                     {"lookups": [[...], [...], ...]} (one ID list per table)
-//	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats + adaptation stats
+//	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats + runtime + adaptation stats
 //	POST /v1/adapt                       {"action": "start"|"stop"|"epoch", ...} adaptation control
+//	GET  /v1/replica/seq                 snapshot sequence number (replica polling)
+//	GET  /v1/replica/snapshot            chunked, CRC'd snapshot stream (replica bootstrap)
 //
 // net/http serves each request on its own goroutine; the store's sharded
 // caches let those goroutines proceed in parallel, so the service scales
 // with GOMAXPROCS instead of serializing lookups behind a per-table lock.
 // The server tracks request count, error count, in-flight requests and
 // request latency, reported under "server" in /v1/stats.
+//
+// The served store can be replaced at runtime with SwapStore (how a replica
+// follows its primary across re-syncs): each request pins the store it
+// started with, and a swapped-out store is closed only after its last
+// request drains.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bandana/internal/core"
 	"bandana/internal/metrics"
 )
 
+// MaxBatchIDs bounds the ids accepted by one /v1/batch call (and the total
+// lookups of one /v1/request): a single oversized request would otherwise
+// monopolise the block-read path and balloon the response. Clients split
+// larger batches; the router never exceeds it per node because it only
+// subdivides client batches.
+const MaxBatchIDs = 8192
+
 // Server wraps a core.Store with HTTP handlers.
 type Server struct {
-	store *core.Store
+	ref   atomic.Pointer[storeRef]
 	mux   *http.ServeMux
+	start time.Time
 
 	requests metrics.Counter
 	errors   metrics.Counter
 	inflight metrics.Gauge
+	swaps    metrics.Counter
 	latency  *metrics.Histogram
+
+	// export caches the last built snapshot so a replica's chunked download
+	// does not rebuild the image per chunk; invalidated when the store's
+	// snapshot seq moves or the served store itself is swapped
+	// (exportStore pins which store the cache was built from).
+	exportMu    sync.Mutex
+	export      *core.Snapshot
+	exportStore *core.Store
 }
 
 // New creates a Server around an opened (and usually trained) store.
 func New(store *core.Store) *Server {
 	s := &Server{
-		store:   store,
 		mux:     http.NewServeMux(),
+		start:   time.Now(),
 		latency: metrics.NewLatencyHistogram(),
 	}
+	s.ref.Store(&storeRef{store: store})
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
@@ -57,7 +85,19 @@ func New(store *core.Store) *Server {
 	s.mux.HandleFunc("POST /v1/request", s.handleRequest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("GET /v1/replica/seq", s.handleReplicaSeq)
+	s.mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
 	return s
+}
+
+// storeCtxKey carries the request's pinned store through the context.
+type storeCtxKey struct{}
+
+// store returns the store pinned to this request by the instrument
+// middleware. Handlers must use it instead of CurrentStore so a concurrent
+// SwapStore cannot close their store mid-request.
+func (s *Server) store(r *http.Request) *core.Store {
+	return r.Context().Value(storeCtxKey{}).(*core.Store)
 }
 
 // Handler returns the HTTP handler (for use with http.Server or httptest).
@@ -83,16 +123,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.requests.Inc()
 		s.inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		ref := s.acquireRef()
 		// Deferred so a panicking handler (net/http recovers it per
-		// connection) cannot leak the in-flight count or drop the
-		// request from the latency/error metrics.
+		// connection) cannot leak the in-flight count, the store ref or
+		// drop the request from the latency/error metrics.
 		defer func() {
+			ref.release()
 			s.inflight.Add(-1)
 			if rec.status >= 400 {
 				s.errors.Inc()
 			}
 			s.latency.ObserveDuration(time.Since(start))
 		}()
+		r = r.WithContext(context.WithValue(r.Context(), storeCtxKey{}, ref.store))
 		next.ServeHTTP(rec, r)
 	})
 }
@@ -111,8 +154,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	store := s.store(r)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"readOnly":    store.ReadOnly(),
+		"snapshotSeq": store.SnapshotSeq(),
+	})
 }
 
 // tableInfo describes one table in the inventory response.
@@ -124,8 +172,8 @@ type tableInfo struct {
 	Threshold    uint32 `json:"threshold"`
 }
 
-func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
-	stats := s.store.Stats()
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	stats := s.store(r).Stats()
 	out := make([]tableInfo, len(stats))
 	for i, st := range stats {
 		out[i] = tableInfo{
@@ -158,7 +206,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid id %q", idStr)
 		return
 	}
-	vec, err := s.store.LookupByName(tableName, uint32(id))
+	vec, err := s.store(r).LookupByName(tableName, uint32(id))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -188,12 +236,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "'table' and non-empty 'ids' are required")
 		return
 	}
-	idx, err := s.store.TableIndex(req.Table)
+	if len(req.IDs) > MaxBatchIDs {
+		writeError(w, http.StatusBadRequest, "batch of %d ids exceeds the limit of %d (split the request)", len(req.IDs), MaxBatchIDs)
+		return
+	}
+	store := s.store(r)
+	idx, err := store.TableIndex(req.Table)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	vecs, err := s.store.LookupBatch(idx, req.IDs)
+	vecs, err := store.LookupBatch(idx, req.IDs)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -218,7 +271,15 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	out, err := s.store.ServeRequest(core.Request(req.Lookups))
+	total := 0
+	for _, ids := range req.Lookups {
+		total += len(ids)
+	}
+	if total > MaxBatchIDs {
+		writeError(w, http.StatusBadRequest, "request with %d lookups exceeds the limit of %d (split the request)", total, MaxBatchIDs)
+		return
+	}
+	out, err := s.store(r).ServeRequest(core.Request(req.Lookups))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -226,12 +287,30 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
 }
 
-// statsResponse bundles per-table, device, server and adaptation statistics.
+// statsResponse bundles per-table, device, server, store, runtime and
+// adaptation statistics.
 type statsResponse struct {
-	Tables     []core.TableStats `json:"tables"`
-	Device     deviceStats       `json:"device"`
-	Server     serverStats       `json:"server"`
-	Adaptation adaptationStats   `json:"adaptation"`
+	Tables     []core.TableStats    `json:"tables"`
+	Device     deviceStats          `json:"device"`
+	Server     serverStats          `json:"server"`
+	Store      storeStats           `json:"store"`
+	Runtime    metrics.RuntimeStats `json:"runtime"`
+	Adaptation adaptationStats      `json:"adaptation"`
+}
+
+// storeStats describes the served store itself (as opposed to its tables or
+// device): replication observability lives here.
+type storeStats struct {
+	// ReadOnly is true on a replica serving a bootstrapped snapshot.
+	ReadOnly bool `json:"readOnly"`
+	// SnapshotSeq identifies the servable image; replicas re-sync when the
+	// primary's value passes theirs.
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Swaps counts SwapStore calls (replica re-syncs) since the server
+	// started.
+	Swaps int64 `json:"swaps"`
+	// DataDir is the persistence directory ("" for the mem backend).
+	DataDir string `json:"dataDir,omitempty"`
 }
 
 // adaptationStats is the JSON rendering of core.AdaptationStats (documented
@@ -309,10 +388,11 @@ type deviceStats struct {
 	RecoveredRecords int64  `json:"recoveredRecords"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	dev := s.store.DeviceStats()
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	store := s.store(r)
+	dev := store.DeviceStats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Tables: s.store.Stats(),
+		Tables: store.Stats(),
 		Device: deviceStats{
 			BlocksRead:       dev.BlocksRead,
 			BlocksWritten:    dev.BlocksWritten,
@@ -330,7 +410,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InFlight: s.inflight.Value(),
 			Latency:  s.latency.Snapshot(),
 		},
-		Adaptation: renderAdaptationStats(s.store.AdaptationStats()),
+		Store: storeStats{
+			ReadOnly:    store.ReadOnly(),
+			SnapshotSeq: store.SnapshotSeq(),
+			Swaps:       s.swaps.Value(),
+			DataDir:     store.DataDir(),
+		},
+		Runtime:    metrics.ReadRuntime(s.start),
+		Adaptation: renderAdaptationStats(store.AdaptationStats()),
 	})
 }
 
@@ -356,9 +443,10 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
+	store := s.store(r)
 	switch req.Action {
 	case "start":
-		err := s.store.StartAdaptation(core.AdaptOptions{
+		err := store.StartAdaptation(core.AdaptOptions{
 			Interval:            time.Duration(req.IntervalMS) * time.Millisecond,
 			MinQueries:          req.MinQueries,
 			RelayoutEvery:       req.RelayoutEvery,
@@ -367,21 +455,25 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 			SampleEvery:         req.SampleEvery,
 		})
 		if err != nil {
-			// Engine-already-running is a conflict; anything else is an
+			// Engine-already-running is a conflict, a read-only store
+			// (replica) is forbidden; anything else is an
 			// options-validation problem the client must fix.
 			status := http.StatusBadRequest
-			if errors.Is(err, core.ErrAdaptationRunning) {
+			switch {
+			case errors.Is(err, core.ErrAdaptationRunning):
 				status = http.StatusConflict
+			case errors.Is(err, core.ErrReadOnly):
+				status = http.StatusForbidden
 			}
 			writeError(w, status, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, renderAdaptationStats(s.store.AdaptationStats()))
+		writeJSON(w, http.StatusOK, renderAdaptationStats(store.AdaptationStats()))
 	case "stop":
-		s.store.StopAdaptation()
-		writeJSON(w, http.StatusOK, renderAdaptationStats(s.store.AdaptationStats()))
+		store.StopAdaptation()
+		writeJSON(w, http.StatusOK, renderAdaptationStats(store.AdaptationStats()))
 	case "epoch":
-		rep, err := s.store.AdaptNow()
+		rep, err := store.AdaptNow()
 		if err != nil {
 			// "Not started" is the caller's sequencing problem; anything
 			// else (persist I/O, tuning, migration failures) is ours.

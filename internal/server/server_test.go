@@ -74,12 +74,15 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 
 func TestHealthEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
-	var out map[string]string
+	var out map[string]any
 	if code := getJSON(t, ts.URL+"/healthz", &out); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
 	if out["status"] != "ok" {
 		t.Fatalf("health payload %v", out)
+	}
+	if ro, ok := out["readOnly"].(bool); !ok || ro {
+		t.Fatalf("expected readOnly=false in health payload, got %v", out)
 	}
 }
 

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"log"
+	"sync"
+
+	"bandana/internal/core"
+)
+
+// storeRef counts the in-flight requests using one store so that SwapStore
+// can retire a replaced store only after the last of them finishes — a
+// replica re-syncing to a newer snapshot must never close a store out from
+// under a request that is still decoding blocks from it.
+type storeRef struct {
+	store *core.Store
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+}
+
+// acquire registers a request against the ref. It fails once the ref is
+// retired (a newer store has been swapped in); the caller reloads the
+// current ref and tries again.
+func (r *storeRef) acquire() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.retired {
+		return false
+	}
+	r.refs++
+	return true
+}
+
+// release drops one request's hold; the last release of a retired ref
+// closes the store.
+func (r *storeRef) release() {
+	r.mu.Lock()
+	last := false
+	r.refs--
+	if r.retired && r.refs == 0 {
+		last = true
+	}
+	r.mu.Unlock()
+	if last {
+		r.closeStore()
+	}
+}
+
+// retire marks the ref as replaced. New requests stop acquiring it; the
+// store is closed as soon as the in-flight count drains (immediately when
+// idle).
+func (r *storeRef) retire() {
+	r.mu.Lock()
+	r.retired = true
+	idle := r.refs == 0
+	r.mu.Unlock()
+	if idle {
+		r.closeStore()
+	}
+}
+
+func (r *storeRef) closeStore() {
+	if err := r.store.Close(); err != nil {
+		log.Printf("server: closing swapped-out store: %v", err)
+	}
+}
+
+// SwapStore atomically replaces the served store. In-flight requests finish
+// against the store they started with; once they drain, the replaced store
+// is closed. The caller must not use (or close) the old store afterwards —
+// ownership of the final, never-swapped-out store stays with the caller.
+func (s *Server) SwapStore(next *core.Store) {
+	old := s.ref.Swap(&storeRef{store: next})
+	s.swaps.Inc()
+	// The export cache belongs to the outgoing store: drop it so it cannot
+	// pin the (soon-closed) store or serve its image as the successor's.
+	s.exportMu.Lock()
+	s.export, s.exportStore = nil, nil
+	s.exportMu.Unlock()
+	old.retire()
+}
+
+// CurrentStore returns the store currently being served. Meant for
+// shutdown paths (close the final store) and tests; requests in handlers
+// use the per-request snapshot instead.
+func (s *Server) CurrentStore() *core.Store {
+	return s.ref.Load().store
+}
+
+// acquireRef returns a ref on the current store, retrying across a
+// concurrent swap.
+func (s *Server) acquireRef() *storeRef {
+	for {
+		ref := s.ref.Load()
+		if ref.acquire() {
+			return ref
+		}
+		// Lost a race with SwapStore: the ref retired between the load and
+		// the acquire. The pointer already holds the successor.
+	}
+}

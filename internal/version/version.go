@@ -1,0 +1,56 @@
+// Package version derives a human-readable build identity from the Go
+// build metadata, so every binary can answer --version without a linker
+// flag dance: module version when built from a tagged module, VCS revision
+// and commit time when built from a checkout, "devel" otherwise.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the build identity, e.g.
+//
+//	bandana (devel) commit 1a2b3c4d5e6f 2026-07-26T10:00:00Z go1.24.0
+func String() string {
+	var b strings.Builder
+	b.WriteString("bandana ")
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintf(&b, "(unknown) %s", runtime.Version())
+		return b.String()
+	}
+	if v := bi.Main.Version; v != "" {
+		b.WriteString(v)
+	} else {
+		b.WriteString("(devel)")
+	}
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " commit %s", rev)
+		if dirty {
+			b.WriteString("+dirty")
+		}
+	}
+	if at != "" {
+		fmt.Fprintf(&b, " %s", at)
+	}
+	fmt.Fprintf(&b, " %s", runtime.Version())
+	return b.String()
+}
