@@ -77,6 +77,12 @@ type Store = core.Store
 // Config configures Open.
 type Config = core.Config
 
+// IOSchedOptions configures the asynchronous block I/O scheduler
+// (Config.IOSched): miss-path reads are coalesced per block and batched
+// toward a target NVM queue depth, with demand reads always dispatched
+// before background ones.
+type IOSchedOptions = core.IOSchedOptions
+
 // TrainOptions configures Store.Train.
 type TrainOptions = core.TrainOptions
 

@@ -43,12 +43,33 @@ import (
 
 	"bandana/internal/cluster"
 	"bandana/internal/core"
+	"bandana/internal/iosched"
 	"bandana/internal/nvm"
 	"bandana/internal/server"
 	"bandana/internal/synth"
 	"bandana/internal/trace"
 	"bandana/internal/version"
 )
+
+// validateIOFlags checks the --io-* flag combination before a store is
+// opened. qdSet/coalesceSet/windowSet report whether the operator passed
+// the corresponding flag explicitly (flag.Visit); replica reports
+// --replica-of mode.
+func validateIOFlags(qd int, window time.Duration, qdSet, coalesceSet, windowSet, replica bool) error {
+	if replica && (qdSet || coalesceSet || windowSet) {
+		return fmt.Errorf("--io-qd/--io-coalesce/--io-window are incompatible with --replica-of: a replica bootstraps read-only snapshots and swaps the served store wholesale on every re-sync, so a per-store scheduler configuration cannot be honored")
+	}
+	if qd < 0 || qd > iosched.MaxTargetQueueDepth {
+		return fmt.Errorf("--io-qd %d out of range [0,%d]", qd, iosched.MaxTargetQueueDepth)
+	}
+	if window < 0 {
+		return fmt.Errorf("--io-window %s is negative", window)
+	}
+	if qd == 0 && (coalesceSet || windowSet) {
+		return fmt.Errorf("--io-coalesce/--io-window have no effect without --io-qd > 0 (the I/O scheduler is off)")
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -72,6 +93,10 @@ func main() {
 		adaptStrategy = flag.String("adapt-strategy", core.RelayoutSHP, "re-layout strategy: shp or kmeans")
 		adaptSample   = flag.Int("adapt-sample", 1, "record 1 in N queries for adaptation (higher = cheaper)")
 
+		ioQD       = flag.Int("io-qd", 0, "target NVM queue depth for the async I/O scheduler: miss-path reads are coalesced and batched toward this depth (0 = scheduler off, reads issue inline)")
+		ioCoalesce = flag.Bool("io-coalesce", true, "coalesce concurrent reads of the same NVM block into one device read (requires --io-qd > 0)")
+		ioWindow   = flag.Duration("io-window", 0, "max time a queued read waits for its batch to fill toward --io-qd (requires --io-qd > 0; 0 dispatches immediately)")
+
 		replicaOf   = flag.String("replica-of", "", "bootstrap from this primary's snapshot stream and serve read-only (requires --data-dir)")
 		replicaPoll = flag.Duration("replica-poll", 2*time.Second, "how often a replica polls the primary's snapshot seq")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -80,6 +105,12 @@ func main() {
 	if *showVersion {
 		fmt.Println(version.String())
 		return
+	}
+	ioFlagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { ioFlagSet[f.Name] = true })
+	if err := validateIOFlags(*ioQD, *ioWindow,
+		ioFlagSet["io-qd"], ioFlagSet["io-coalesce"], ioFlagSet["io-window"], *replicaOf != ""); err != nil {
+		log.Fatal(err)
 	}
 	if *tables < 1 {
 		*tables = 1
@@ -145,6 +176,16 @@ func main() {
 		Backend:           *backend,
 		DataDir:           *dataDir,
 		Sync:              syncMode,
+		IOSched: core.IOSchedOptions{
+			Enabled:    *ioQD > 0,
+			QueueDepth: *ioQD,
+			Window:     *ioWindow,
+			NoCoalesce: !*ioCoalesce,
+		},
+	}
+	if *ioQD > 0 {
+		log.Printf("I/O scheduler enabled: target queue depth %d, coalescing %v, accumulation window %s",
+			*ioQD, *ioCoalesce, *ioWindow)
 	}
 
 	// Online adaptation: with --adapt the server records a sampled window of

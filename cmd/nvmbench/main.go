@@ -1,13 +1,17 @@
 // Command nvmbench runs Fio-style micro-benchmarks against the simulated NVM
-// device: a queue-depth sweep of 4 KB random reads (the paper's Figure 2)
-// and a latency-vs-throughput curve for the baseline 128 B-per-block policy
-// versus full 4 KB reads (Figure 5).
+// device: a queue-depth sweep of 4 KB random reads (the paper's Figure 2),
+// a latency-vs-throughput curve for the baseline 128 B-per-block policy
+// versus full 4 KB reads (Figure 5), and a miss-path sweep that drives the
+// async I/O scheduler (internal/iosched) at a range of target queue depths
+// to show what batching buys the serving path.
 //
 // Usage:
 //
-//	nvmbench --mode qd                  # queue depth sweep (Figure 2)
+//	nvmbench --mode qd                  # raw-device queue depth sweep (Figure 2)
 //	nvmbench --mode load --vector 128   # latency vs load (Figure 5)
-//	nvmbench --mode qd --backend file --data-dir /tmp/bench --sync always
+//	nvmbench --mode qd-sweep            # scheduler miss-path sweep at QD 1/4/8/16/32
+//	nvmbench --mode qd-sweep --io-qd 8  # single depth instead of the sweep
+//	nvmbench --mode qd-sweep --io-coalesce=false --backend file
 //	nvmbench --mode qd --json out.json  # machine-readable results (CI artifacts)
 package main
 
@@ -19,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"bandana/internal/iosched"
 	"bandana/internal/nvm"
 	"bandana/internal/version"
 )
@@ -35,9 +40,31 @@ type jsonOutput struct {
 	Ops        int                          `json:"opsPerWorker,omitempty"`
 	VectorSize int                          `json:"vectorBytes,omitempty"`
 	Seed       int64                        `json:"seed"`
+	Coalesce   bool                         `json:"coalesce"`
 	QueueDepth []nvm.FioResult              `json:"queueDepthSweep,omitempty"`
 	Baseline   []nvm.ThroughputLatencyPoint `json:"baselineCurve,omitempty"`
 	FullBlock  []nvm.ThroughputLatencyPoint `json:"fullBlockCurve,omitempty"`
+	// MissPathQDSweep is the scheduler-mediated sweep of --mode qd-sweep:
+	// miss-path throughput (in simulated device time) per target queue
+	// depth.
+	MissPathQDSweep []iosched.SweepResult `json:"missPathQDSweep,omitempty"`
+}
+
+// validateFlags rejects flag combinations before any backing store is
+// created. ioQDSet/ioCoalesceSet report explicitly passed flags.
+func validateFlags(mode string, ioQD int, ioQDSet, ioCoalesceSet bool) error {
+	switch mode {
+	case "qd", "load", "qd-sweep":
+	default:
+		return fmt.Errorf("unknown mode %q (want qd, load or qd-sweep)", mode)
+	}
+	if mode != "qd-sweep" && (ioQDSet || ioCoalesceSet) {
+		return fmt.Errorf("--io-qd/--io-coalesce configure the I/O scheduler and are only meaningful with --mode qd-sweep (mode %q drives the device directly)", mode)
+	}
+	if ioQD < 0 || ioQD > iosched.MaxTargetQueueDepth {
+		return fmt.Errorf("--io-qd %d out of range [0,%d]", ioQD, iosched.MaxTargetQueueDepth)
+	}
+	return nil
 }
 
 // sanitizeCurve replaces non-finite latencies (saturated points) with -1 so
@@ -66,15 +93,17 @@ func writeJSONFile(path string, v any) error {
 
 func main() {
 	var (
-		mode        = flag.String("mode", "qd", "benchmark mode: qd (queue depth sweep) or load (latency vs throughput)")
+		mode        = flag.String("mode", "qd", "benchmark mode: qd (raw-device queue depth sweep), load (latency vs throughput) or qd-sweep (scheduler miss-path sweep)")
 		jobs        = flag.Int("jobs", 4, "concurrent jobs (qd mode)")
-		ops         = flag.Int("ops", 500, "reads per worker (qd mode)")
+		ops         = flag.Int("ops", 500, "reads per worker (qd and qd-sweep modes)")
 		blocks      = flag.Int("blocks", 8192, "device size in 4 KB blocks")
 		vectorSize  = flag.Int("vector", 128, "vector size in bytes (load mode baseline)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		backend     = flag.String("backend", "mem", "block store backend: mem or file")
 		dataDir     = flag.String("data-dir", "", "directory for the file backend's block file (default: temp dir)")
 		syncStr     = flag.String("sync", "none", "file backend durability: none, periodic or always")
+		ioQD        = flag.Int("io-qd", 0, "qd-sweep: measure this single target queue depth instead of the 1/4/8/16/32 sweep")
+		ioCoalesce  = flag.Bool("io-coalesce", true, "qd-sweep: coalesce concurrent reads of the same block")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -83,10 +112,12 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	// Validate the mode before creating any backing store, so a typo does
-	// not leave a file store opened (and its temp dir leaked via os.Exit).
-	if *mode != "qd" && *mode != "load" {
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	// Validate flags before creating any backing store, so a typo does not
+	// leave a file store opened (and its temp dir leaked via os.Exit).
+	flagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+	if err := validateFlags(*mode, *ioQD, flagSet["io-qd"], flagSet["io-coalesce"]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -132,6 +163,31 @@ func main() {
 		Blocks: *blocks, Seed: *seed,
 	}
 	switch *mode {
+	case "qd-sweep":
+		depths := iosched.DefaultSweepDepths
+		if *ioQD > 0 {
+			depths = []int{*ioQD}
+		}
+		sweepOpts := iosched.SweepOptions{
+			Depths:       depths,
+			OpsPerWorker: *ops,
+			NoCoalesce:   !*ioCoalesce,
+			Seed:         *seed,
+		}
+		results, err := iosched.MissPathSweep(device, sweepOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out.Ops, out.Coalesce = *ops, *ioCoalesce
+		out.MissPathQDSweep = results
+		fmt.Printf("scheduler miss-path sweep, %s backend, coalesce=%v, device %s\n\n", *backend, *ioCoalesce, device)
+		fmt.Printf("%-12s %-10s %-12s %-12s %-20s %-18s\n",
+			"target qd", "workers", "reads", "avg batch", "mean batch lat (us)", "sim throughput (GB/s)")
+		for _, r := range results {
+			fmt.Printf("%-12d %-10d %-12d %-12.2f %-20.1f %-18.2f\n",
+				r.TargetQueueDepth, r.Workers, r.Ops, r.AvgBatchSize, r.MeanBatchLatencyUS, r.SimThroughputGBs)
+		}
 	case "qd":
 		fmt.Printf("4 KB random reads, %d jobs, device %s\n\n", *jobs, device)
 		fmt.Printf("%-12s %-18s %-18s %-16s\n", "queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)")

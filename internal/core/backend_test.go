@@ -14,13 +14,25 @@ import (
 // BANDANA_TEST_BACKEND environment variable, which CI uses to run the core
 // suite against both backends. Default (unset or "mem") leaves cfg alone;
 // "file" switches to the durable backend over a per-test temp dir.
+// BANDANA_TEST_IOSCHED=on additionally routes the suite's miss paths
+// through the async I/O scheduler (the CI matrix's scheduler-on leg), which
+// must be behaviorally invisible to every test that passes with it off.
 func testBackendConfig(t *testing.T, cfg Config) Config {
 	t.Helper()
 	if os.Getenv("BANDANA_TEST_BACKEND") == BackendFile {
 		cfg.Backend = BackendFile
 		cfg.DataDir = filepath.Join(t.TempDir(), "store")
 	}
+	if testIOSchedEnabled() {
+		cfg.IOSched.Enabled = true
+	}
 	return cfg
+}
+
+// testIOSchedEnabled reports whether the suite runs its scheduler-on leg.
+func testIOSchedEnabled() bool {
+	v := os.Getenv("BANDANA_TEST_IOSCHED")
+	return v == "on" || v == "1"
 }
 
 func vecsEqual(a, b []float32) bool {
@@ -277,6 +289,17 @@ func TestFileBackendValidation(t *testing.T) {
 	s.Close()
 	if _, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: dir, Seed: 1}); err == nil {
 		t.Fatal("reopening an initialized dir with Tables set must error")
+	}
+
+	// A failure inside the init sequence (here: the baseline Persist, which
+	// a read-only store refuses) must propagate — not be swallowed leaving
+	// a manifest-less dir that claims to be an initialized store.
+	roDir := filepath.Join(t.TempDir(), "ro")
+	if _, err := Open(Config{Tables: tables, Backend: BackendFile, DataDir: roDir, Seed: 1, ReadOnly: true}); err == nil {
+		t.Fatal("initializing a fresh dir read-only must error (baseline persist cannot run)")
+	}
+	if DirInitialized(roDir) {
+		t.Fatal("failed init left a committed manifest behind")
 	}
 }
 

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"bandana/internal/nvm"
 	"bandana/internal/table"
@@ -79,6 +80,31 @@ type Config struct {
 	// replica sets it to the seq of the snapshot it imported, so the seq it
 	// reports downstream is the primary's, not its own boot time.
 	InitialSnapshotSeq uint64
+	// IOSched configures the unified asynchronous block I/O scheduler
+	// (internal/iosched) on the store's read path. Disabled by default:
+	// misses then read the device inline, exactly as before.
+	IOSched IOSchedOptions
+}
+
+// IOSchedOptions configures the store's block I/O scheduler. When enabled,
+// demand misses, batched misses and background read-modify-write reads are
+// submitted to a per-device queue that coalesces concurrent reads of the
+// same block into one device read and accumulates independent reads into
+// batches sized toward QueueDepth — the queue depth at which NVM delivers
+// its bandwidth — while always dispatching demand reads before background
+// ones.
+type IOSchedOptions struct {
+	// Enabled turns the scheduler on.
+	Enabled bool
+	// QueueDepth is the target dispatch batch size; 0 uses the iosched
+	// default (8, the paper's device saturation depth).
+	QueueDepth int
+	// Window bounds how long a queued read may wait for its batch to fill
+	// toward QueueDepth; 0 dispatches whatever is queued immediately, so
+	// isolated reads at low load pay no added latency.
+	Window time.Duration
+	// NoCoalesce disables same-block coalescing (for A/B measurement).
+	NoCoalesce bool
 }
 
 // DefaultCacheShards returns the default shard count for table caches: the

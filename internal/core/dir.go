@@ -104,9 +104,11 @@ func initDir(cfg Config) (*Store, error) {
 	}
 	device := nvm.NewDevice(nvm.DeviceConfig{Store: fs, Seed: cfg.Seed})
 	s, err := buildStore(cfg, device, true, spans)
-	if err == nil {
-		err = s.writeAllTables()
+	if err != nil {
+		device.Close()
+		return nil, err
 	}
+	err = s.writeAllTables()
 	if err == nil {
 		err = s.Persist() // baseline state: identity layout, no prefetching
 	}
@@ -114,7 +116,7 @@ func initDir(cfg Config) (*Store, error) {
 		err = writeManifest(cfg.DataDir, s, totalBlocks)
 	}
 	if err != nil {
-		device.Close()
+		s.Close() // stops the I/O scheduler and closes the owned device
 		return nil, err
 	}
 	return s, nil
@@ -262,6 +264,9 @@ func reopenDir(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The store owns fs (via the device) from here on: later error paths
+	// must close it through s.Close so the I/O scheduler stops too.
+	closeOnErr = nil
 	// Install the persisted trained state WITHOUT rewriting: the block image
 	// on disk already matches the persisted layouts.
 	for i, st := range s.tables {
@@ -286,14 +291,15 @@ func reopenDir(cfg Config) (*Store, error) {
 			s.tables[idx].mutateState(func(ts *tableState) { ts.layout = layouts[idx] })
 		}
 		if err := s.Persist(); err != nil {
+			s.Close()
 			return nil, fmt.Errorf("core: persist recovered migration: %w", err)
 		}
 		if err := removeMigrationFiles(cfg.DataDir); err != nil {
+			s.Close()
 			return nil, err
 		}
 		s.recoveredMigration = true
 	}
-	closeOnErr = nil
 	return s, nil
 }
 

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bandana/internal/nvm"
+)
+
+// readCountingStore wraps a MemStore and counts reads that actually reach
+// the backing store — the ground truth for the coalescing invariant.
+type readCountingStore struct {
+	*nvm.MemStore
+	blocksRead atomic.Int64
+}
+
+func (s *readCountingStore) ReadBlock(idx int, dst []byte) error {
+	s.blocksRead.Add(1)
+	return s.MemStore.ReadBlock(idx, dst)
+}
+
+func (s *readCountingStore) ReadBlocks(idxs []int, dst []byte) error {
+	s.blocksRead.Add(int64(len(idxs)))
+	return s.MemStore.ReadBlocks(idxs, dst)
+}
+
+// TestMissStormCoalescesToOneDeviceRead pins the end-to-end coalescing
+// invariant through the full store: K goroutines missing the same vector
+// concurrently cause exactly one device block read, and every caller gets
+// the identical vector. The generous accumulation window makes the overlap
+// deterministic: the first miss parks in the submission queue while the
+// rest of the storm coalesces onto it.
+func TestMissStormCoalescesToOneDeviceRead(t *testing.T) {
+	const storm = 24
+	tables, _ := buildTestTables(t, 1, 512, 10)
+	cs := &readCountingStore{MemStore: nvm.NewMemStore(64)}
+	dev := nvm.NewDevice(nvm.DeviceConfig{NumBlocks: 64, Store: cs, Seed: 1})
+	s, err := Open(Config{
+		Tables: tables,
+		Device: dev,
+		Seed:   1,
+		IOSched: IOSchedOptions{
+			Enabled:    true,
+			QueueDepth: 64,
+			Window:     300 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		s.Close()
+		dev.Close()
+	}()
+
+	const id = 137
+	cs.blocksRead.Store(0) // ignore reads issued while writing tables (none) / warmup
+
+	start := make(chan struct{})
+	vecs := make([][]float32, storm)
+	errs := make([]error, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			vecs[i], errs[i] = s.Lookup(0, id)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < storm; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !vecsEqual(vecs[i], vecs[0]) {
+			t.Fatalf("caller %d received a different vector", i)
+		}
+	}
+	if got := cs.blocksRead.Load(); got != 1 {
+		t.Fatalf("storm of %d misses caused %d device reads, want exactly 1", storm, got)
+	}
+
+	st := s.Stats()[0]
+	if st.Lookups != storm || st.Misses != storm || st.Hits != 0 {
+		t.Fatalf("counters lookups=%d misses=%d hits=%d, want %d/%d/0", st.Lookups, st.Misses, st.Hits, storm, storm)
+	}
+	if st.BlockReads != 1 || st.CoalescedReads != storm-1 {
+		t.Fatalf("blockReads=%d coalescedReads=%d, want 1/%d", st.BlockReads, st.CoalescedReads, storm-1)
+	}
+	if ds := s.DeviceStats(); ds.CoalescedReads != storm-1 {
+		t.Fatalf("device coalesced=%d, want %d", ds.CoalescedReads, storm-1)
+	}
+	ios, ok := s.IOSchedStats()
+	if !ok {
+		t.Fatal("IOSchedStats reports scheduler off")
+	}
+	if ios.DeviceReads != 1 || ios.Coalesced != storm-1 {
+		t.Fatalf("iosched stats %+v", ios)
+	}
+
+	// The storm resolved, the vector is cached: the next lookup is a plain
+	// hit and touches neither the scheduler nor the device.
+	if _, err := s.Lookup(0, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.blocksRead.Load(); got != 1 {
+		t.Fatalf("cache hit read the device (%d reads)", got)
+	}
+}
+
+// TestSchedulerOnOffEquivalence trains and serves the identical workload on
+// four stores — {mem, file} x {scheduler on, scheduler off} — and asserts
+// they are indistinguishable: same vectors, same hit ratios, same counters.
+// Single-threaded serving never coalesces, so the scheduler must be a pure
+// transport change.
+func TestSchedulerOnOffEquivalence(t *testing.T) {
+	tables, traces := buildTestTables(t, 2, 2048, 150)
+
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	variants := []variant{
+		{"mem-off", Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 7}},
+		{"mem-on", Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 7,
+			IOSched: IOSchedOptions{Enabled: true, QueueDepth: 8, Window: time.Millisecond}}},
+		{"file-off", Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 7,
+			Backend: BackendFile, DataDir: filepath.Join(t.TempDir(), "off")}},
+		{"file-on", Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 7,
+			Backend: BackendFile, DataDir: filepath.Join(t.TempDir(), "on"),
+			IOSched: IOSchedOptions{Enabled: true, QueueDepth: 8, Window: time.Millisecond}}},
+	}
+
+	stores := make([]*Store, len(variants))
+	for i, v := range variants {
+		s, err := Open(v.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		defer s.Close()
+		if _, err := s.Train(traces, TrainOptions{}); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		stores[i] = s
+	}
+
+	for ti, tr := range traces {
+		for qi, q := range tr.Queries {
+			if qi >= 60 {
+				break
+			}
+			ref, err := stores[0].LookupBatch(ti, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vi := 1; vi < len(stores); vi++ {
+				got, err := stores[vi].LookupBatch(ti, q)
+				if err != nil {
+					t.Fatalf("%s: %v", variants[vi].name, err)
+				}
+				for k := range ref {
+					if !vecsEqual(ref[k], got[k]) {
+						t.Fatalf("table %d query %d: %s returns different vector for id %d",
+							ti, qi, variants[vi].name, q[k])
+					}
+				}
+			}
+		}
+	}
+
+	ref := stores[0].Stats()
+	for vi := 1; vi < len(stores); vi++ {
+		got := stores[vi].Stats()
+		for i := range ref {
+			if ref[i].Lookups != got[i].Lookups || ref[i].Hits != got[i].Hits ||
+				ref[i].Misses != got[i].Misses || ref[i].BlockReads != got[i].BlockReads {
+				t.Fatalf("table %s: %s counters diverge: %+v vs %+v",
+					ref[i].Name, variants[vi].name, ref[i], got[i])
+			}
+			if ref[i].HitRate != got[i].HitRate {
+				t.Fatalf("table %s: %s hit ratio %v != %v",
+					ref[i].Name, variants[vi].name, got[i].HitRate, ref[i].HitRate)
+			}
+			if got[i].CoalescedReads != 0 {
+				t.Fatalf("table %s: %s coalesced %d reads in single-threaded serving",
+					ref[i].Name, variants[vi].name, got[i].CoalescedReads)
+			}
+		}
+	}
+}
+
+// TestUpdateVectorVisibleWithScheduler: updates flow through the scheduler's
+// background class and must stay immediately visible to subsequent lookups,
+// including under concurrent miss traffic on the same table.
+func TestUpdateVectorVisibleWithScheduler(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 1024, 10)
+	s, err := Open(testBackendConfig(t, Config{
+		Tables: tables,
+		Seed:   3,
+		IOSched: IOSchedOptions{
+			Enabled:    true,
+			QueueDepth: 8,
+			Window:     200 * time.Microsecond,
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			id := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id = (id*1664525 + 1013904223) % 1024
+				if _, err := s.Lookup(0, id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint32(w * 31))
+	}
+
+	vec := make([]float32, tables[0].Dim)
+	for round := 0; round < 20; round++ {
+		for i := range vec {
+			vec[i] = float32(round*8+i) / 4 // fp16-exact
+		}
+		if err := s.UpdateVector(0, 500, vec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Lookup(0, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecsEqual(got, vec) {
+			t.Fatalf("round %d: update not visible: got %v want %v", round, got[:4], vec[:4])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestIOSchedConfigValidation: Open must reject nonsensical scheduler
+// options instead of silently normalizing them.
+func TestIOSchedConfigValidation(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	for _, opts := range []IOSchedOptions{
+		{Enabled: true, QueueDepth: -4},
+		{Enabled: true, QueueDepth: 100000},
+		{Enabled: true, Window: -time.Second},
+	} {
+		if _, err := Open(Config{Tables: tables, Seed: 1, IOSched: opts}); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}
+
+// TestStatsReportSchedulerOff: stores without a scheduler report it.
+func TestStatsReportSchedulerOff(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 256, 5)
+	s, err := Open(Config{Tables: tables, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.IOSchedStats(); ok {
+		t.Fatal("scheduler reported on for a plain store")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bandana/internal/fp16"
+	"bandana/internal/iosched"
 	"bandana/internal/lru"
 	"bandana/internal/nvm"
 	"bandana/internal/table"
@@ -176,6 +177,85 @@ func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, membe
 	}
 }
 
+// readBlockMiss reads one absolute device block on the miss path: through
+// the I/O scheduler as a demand read when the store has one (coalescing
+// with concurrent misses for the same block, batching with independent
+// ones), inline otherwise. The caller must hold st.rewriteMu shared and
+// must have loaded epoch from st.epoch BEFORE calling.
+//
+// Freshness: the epoch rides along as the read's tag. A read that attached
+// to an already-issued device read (Late) may receive bytes snapshotted
+// arbitrarily earlier — in particular before this caller's own epoch load —
+// so comparing the *caller's* epoch to the current one cannot detect the
+// staleness. Comparing the *leader's* tag can, exactly: the epoch is
+// monotonic, so leaderTag == current epoch proves no NVM write to this
+// table landed anywhere between the leader's epoch load (which precedes
+// the device read) and now, making the bytes current; any write in between
+// leaves leaderTag behind the current epoch and forces a re-read. Returns
+// the epoch the bytes are consistent with.
+func (st *storeTable) readBlockMiss(device *nvm.Device, abs int, buf []byte, epoch uint64) (lat float64, coalesced bool, outEpoch uint64, err error) {
+	if st.sched == nil {
+		lat, err = device.ReadBlock(abs, buf)
+		return lat, false, epoch, err
+	}
+	for {
+		res, err := st.sched.ReadBlock(abs, buf, iosched.Demand, epoch)
+		if err != nil {
+			return 0, false, epoch, err
+		}
+		if res.Late && res.LeaderTag != st.epoch.Load() {
+			epoch = st.epoch.Load()
+			continue
+		}
+		return res.LatencyUS, res.Coalesced, epoch, nil
+	}
+}
+
+// readBlocksMiss is readBlockMiss for a set of distinct absolute blocks
+// (the batched miss path). It returns the slowest read's latency and, when
+// the scheduler served any block from someone else's device read, a
+// per-block coalesced mask (nil otherwise). The same leader-tag freshness
+// contract applies (see readBlockMiss): if any block was served Late by a
+// leader whose tag no longer matches the current epoch, the whole set is
+// re-submitted.
+func (st *storeTable) readBlocksMiss(device *nvm.Device, abs []int, dst []byte, epoch uint64) (lat float64, coalesced []bool, outEpoch uint64, err error) {
+	if st.sched == nil {
+		lat, err = device.ReadBlocks(abs, dst)
+		return lat, nil, epoch, err
+	}
+	for {
+		results, err := st.sched.ReadBlocks(abs, dst, iosched.Demand, epoch)
+		if err != nil {
+			return 0, nil, epoch, err
+		}
+		stale := false
+		for _, r := range results {
+			if r.Late && r.LeaderTag != st.epoch.Load() {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			epoch = st.epoch.Load()
+			continue
+		}
+		var anyCoalesced bool
+		for _, r := range results {
+			if r.LatencyUS > lat {
+				lat = r.LatencyUS
+			}
+			anyCoalesced = anyCoalesced || r.Coalesced
+		}
+		if anyCoalesced {
+			coalesced = make([]bool, len(results))
+			for i, r := range results {
+				coalesced[i] = r.Coalesced
+			}
+		}
+		return lat, coalesced, epoch, nil
+	}
+}
+
 // lookup serves one vector read for this table.
 func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	if int(id) >= st.src.NumVectors() {
@@ -197,7 +277,9 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 
 	// Hold the rewrite lock shared for the block read + decode: under it,
 	// the published layout is guaranteed to match the bytes on NVM.
-	// Independent misses still overlap at the device (shared mode).
+	// Independent misses still overlap at the device (shared mode), and a
+	// goroutine waiting on the I/O scheduler still holds its read lock, so
+	// in-flight reads drain before a rewrite's exclusive acquisition.
 	st.rewriteMu.RLock()
 	defer st.rewriteMu.RUnlock()
 	ts = st.loadState()
@@ -206,11 +288,29 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	bufp := getBlockBuf()
 	defer putBlockBuf(bufp)
 	buf := *bufp
-	lat, err := device.ReadBlock(st.blockBase+block, buf)
+	lat, coalesced, epoch, err := st.readBlockMiss(device, st.blockBase+block, buf, epoch)
 	if err != nil {
 		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	st.blockReads.Inc(h)
+	if coalesced {
+		// This miss shared another miss's device read. The leader has
+		// usually decoded and cached the vector already: reuse it (one
+		// device read, one decode, fan-out to all waiters). Counters are
+		// final at this point — the lookup was already classified a miss.
+		st.coalescedReads.Inc(h)
+		var got []float32
+		ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+			if e, ok := c.Get(id); ok && !e.prefetched {
+				got = e.vec
+			}
+		})
+		if got != nil {
+			st.lookupLatency.Observe(lat)
+			return got, nil
+		}
+	} else {
+		st.blockReads.Inc(h)
+	}
 	st.lookupLatency.Observe(lat)
 
 	// Decode the requested vector once; the cache and the caller share the
@@ -349,7 +449,7 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		abs[i] = st.blockBase + block
 	}
 	epoch := st.epoch.Load()
-	lat, err := device.ReadBlocks(abs, batch)
+	lat, coalesced, epoch, err := st.readBlocksMiss(device, abs, batch, epoch)
 	if err != nil {
 		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
 	}
@@ -359,7 +459,11 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 	for bi, block := range blocks {
 		refs := missesByBlock[block]
 		buf := batch[bi*nvm.BlockSize : (bi+1)*nvm.BlockSize]
-		st.blockReads.Inc(uint64(block))
+		if coalesced != nil && coalesced[bi] {
+			st.coalescedReads.Inc(uint64(block))
+		} else {
+			st.blockReads.Inc(uint64(block))
+		}
 
 		requested := make(map[uint32]struct{}, len(refs))
 		for _, ref := range refs {
@@ -400,12 +504,38 @@ func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error
 	}
 	ts := st.loadState()
 
-	// Read-modify-write the containing block.
+	// Read-modify-write the containing block. The read goes through the
+	// I/O scheduler at background (prefetch-class) priority: periodic
+	// model-refresh writes must never starve foreground lookups of device
+	// bandwidth.
+	//
+	// Freshness is load-bearing here: patching one slot into a STALE block
+	// image and writing it back would silently revert every other slot to
+	// its pre-image — a lost update. updateMu excludes concurrent writers,
+	// but a coalesced read can attach to a demand miss's device read whose
+	// bytes were snapshotted before the PREVIOUS update's write completed
+	// (the op lingers in the coalescing window until its batch fans out).
+	// The leader-tag check detects exactly that: epoch cannot move while
+	// we hold updateMu, so a Late result whose leader tag differs from our
+	// epoch was read before some committed write and must be retried (see
+	// readBlockMiss for the monotonicity argument).
 	block := ts.layout.BlockOf(id)
 	bufp := getBlockBuf()
 	defer putBlockBuf(bufp)
 	buf := *bufp
-	if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
+	if st.sched != nil {
+		epoch := st.epoch.Load()
+		for {
+			res, err := st.sched.ReadBlock(st.blockBase+block, buf, iosched.Prefetch, epoch)
+			if err != nil {
+				return fmt.Errorf("core: table %q: %w", st.name, err)
+			}
+			if res.Late && res.LeaderTag != epoch {
+				continue
+			}
+			break
+		}
+	} else if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	slot := ts.layout.SlotOf(id)

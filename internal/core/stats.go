@@ -7,19 +7,23 @@ import (
 
 // TableStats is a snapshot of one table's serving counters.
 type TableStats struct {
-	Name         string
-	Lookups      int64
-	Hits         int64
-	Misses       int64
-	HitRate      float64
-	BlockReads   int64
-	PrefetchAdds int64
-	PrefetchHits int64
-	CacheVectors int
-	CacheUsed    int
-	CacheShards  int
-	Threshold    uint32
-	Prefetching  bool
+	Name       string
+	Lookups    int64
+	Hits       int64
+	Misses     int64
+	HitRate    float64
+	BlockReads int64
+	// CoalescedReads counts misses served by another miss's device read
+	// (I/O scheduler singleflight): the lookup paid a miss but the device
+	// did not pay a block read. Always 0 with the scheduler off.
+	CoalescedReads int64
+	PrefetchAdds   int64
+	PrefetchHits   int64
+	CacheVectors   int
+	CacheUsed      int
+	CacheShards    int
+	Threshold      uint32
+	Prefetching    bool
 	// Policy names the admission policy currently serving prefetches
 	// (empty when prefetching is off).
 	Policy string
@@ -38,19 +42,20 @@ func (s *Store) Stats() []TableStats {
 	for i, st := range s.tables {
 		state := st.loadState()
 		ts := TableStats{
-			Name:         st.name,
-			Lookups:      st.lookups.Value(),
-			Hits:         st.hits.Value(),
-			Misses:       st.misses.Value(),
-			BlockReads:   st.blockReads.Value(),
-			PrefetchAdds: st.prefetchAdds.Value(),
-			PrefetchHits: st.prefetchHits.Value(),
-			CacheVectors: state.cacheCap,
-			CacheUsed:    state.cache.Len(),
-			CacheShards:  state.cache.NumShards(),
-			Threshold:    state.threshold,
-			Prefetching:  state.prefetch,
-			Latency:      st.lookupLatency.Snapshot(),
+			Name:           st.name,
+			Lookups:        st.lookups.Value(),
+			Hits:           st.hits.Value(),
+			Misses:         st.misses.Value(),
+			BlockReads:     st.blockReads.Value(),
+			CoalescedReads: st.coalescedReads.Value(),
+			PrefetchAdds:   st.prefetchAdds.Value(),
+			PrefetchHits:   st.prefetchHits.Value(),
+			CacheVectors:   state.cacheCap,
+			CacheUsed:      state.cache.Len(),
+			CacheShards:    state.cache.NumShards(),
+			Threshold:      state.threshold,
+			Prefetching:    state.prefetch,
+			Latency:        st.lookupLatency.Snapshot(),
 		}
 		if state.policy != nil {
 			ts.Policy = state.policy.Name()
@@ -77,6 +82,7 @@ func (s *Store) ResetStats() {
 		st.hits.Reset()
 		st.misses.Reset()
 		st.blockReads.Reset()
+		st.coalescedReads.Reset()
 		st.prefetchAdds.Reset()
 		st.prefetchHits.Reset()
 		st.lookupLatency.Reset()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"bandana/internal/cache"
+	"bandana/internal/iosched"
 	"bandana/internal/layout"
 	"bandana/internal/lru"
 	"bandana/internal/metrics"
@@ -26,9 +27,13 @@ import (
 type Store struct {
 	device     *nvm.Device
 	ownsDevice bool
-	tables     []*storeTable
-	byName     map[string]int
-	seed       int64
+	// sched is the unified async block I/O scheduler all miss-path and
+	// background reads are submitted to; nil when Config.IOSched is
+	// disabled (reads then go to the device inline).
+	sched  *iosched.Scheduler
+	tables []*storeTable
+	byName map[string]int
+	seed   int64
 	// dataDir is the persistence directory of a file-backed store ("" for
 	// the mem backend); Persist writes the trained state there.
 	dataDir string
@@ -149,16 +154,21 @@ type storeTable struct {
 	// adaptation is off.
 	recorder atomic.Pointer[trace.Recorder]
 
+	// sched mirrors Store.sched (nil = scheduler off) so the per-table
+	// serving paths can submit reads without reaching back to the store.
+	sched *iosched.Scheduler
+
 	// Serving counters, striped across cache lines so concurrent lookups
 	// on different vectors do not contend; the stripe is chosen by the
 	// same hash that picks the cache shard.
-	lookups       *metrics.StripedCounter
-	hits          *metrics.StripedCounter
-	misses        *metrics.StripedCounter
-	blockReads    *metrics.StripedCounter
-	prefetchAdds  *metrics.StripedCounter
-	prefetchHits  *metrics.StripedCounter
-	lookupLatency *metrics.Histogram
+	lookups        *metrics.StripedCounter
+	hits           *metrics.StripedCounter
+	misses         *metrics.StripedCounter
+	blockReads     *metrics.StripedCounter
+	coalescedReads *metrics.StripedCounter
+	prefetchAdds   *metrics.StripedCounter
+	prefetchHits   *metrics.StripedCounter
+	lookupLatency  *metrics.Histogram
 }
 
 // loadState returns the current trained-state snapshot.
@@ -234,13 +244,17 @@ func openMem(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("core: device has %d blocks, need %d", device.NumBlocks(), totalBlocks)
 	}
 	s, err := buildStore(cfg, device, owns, spans)
-	if err == nil {
-		err = s.writeAllTables()
-	}
 	if err != nil {
 		if owns {
 			device.Close()
 		}
+		return nil, err
+	}
+	if err := s.writeAllTables(); err != nil {
+		// Close the store, not just the device: the I/O scheduler's
+		// dispatcher must stop too. A caller-supplied device stays open
+		// (Close only closes owned devices), matching the old behaviour.
+		s.Close()
 		return nil, err
 	}
 	return s, nil
@@ -275,6 +289,17 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 		dataDir:    cfg.DataDir,
 		readOnly:   cfg.ReadOnly,
 	}
+	if cfg.IOSched.Enabled {
+		sched, err := iosched.New(device, iosched.Config{
+			QueueDepth: cfg.IOSched.QueueDepth,
+			Window:     cfg.IOSched.Window,
+			NoCoalesce: cfg.IOSched.NoCoalesce,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sched = sched
+	}
 	s.snapSeq.Store(initialSnapshotSeq(cfg.InitialSnapshotSeq))
 	perTable := budget / len(cfg.Tables)
 	if perTable < 1 {
@@ -282,22 +307,24 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 	}
 	for i, t := range cfg.Tables {
 		st := &storeTable{
-			index:         i,
-			name:          t.Name,
-			src:           t,
-			dim:           t.Dim,
-			vecBytes:      t.VectorBytes(),
-			blockVectors:  spans[i].blockVectors,
-			blockBase:     spans[i].base,
-			numBlocks:     spans[i].blocks,
-			shards:        shards,
-			lookups:       metrics.NewStripedCounter(counterStripes),
-			hits:          metrics.NewStripedCounter(counterStripes),
-			misses:        metrics.NewStripedCounter(counterStripes),
-			blockReads:    metrics.NewStripedCounter(counterStripes),
-			prefetchAdds:  metrics.NewStripedCounter(counterStripes),
-			prefetchHits:  metrics.NewStripedCounter(counterStripes),
-			lookupLatency: metrics.NewLatencyHistogram(),
+			index:          i,
+			name:           t.Name,
+			src:            t,
+			dim:            t.Dim,
+			vecBytes:       t.VectorBytes(),
+			blockVectors:   spans[i].blockVectors,
+			blockBase:      spans[i].base,
+			numBlocks:      spans[i].blocks,
+			shards:         shards,
+			lookups:        metrics.NewStripedCounter(counterStripes),
+			hits:           metrics.NewStripedCounter(counterStripes),
+			misses:         metrics.NewStripedCounter(counterStripes),
+			blockReads:     metrics.NewStripedCounter(counterStripes),
+			coalescedReads: metrics.NewStripedCounter(counterStripes),
+			prefetchAdds:   metrics.NewStripedCounter(counterStripes),
+			prefetchHits:   metrics.NewStripedCounter(counterStripes),
+			lookupLatency:  metrics.NewLatencyHistogram(),
+			sched:          s.sched,
 		}
 		st.state.Store(&tableState{
 			layout:   layout.Identity(t.NumVectors(), spans[i].blockVectors),
@@ -310,10 +337,16 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 	return s, nil
 }
 
-// Close stops the adaptation engine (if running) and releases the store's
-// resources (and the device if the store created it).
+// Close stops the adaptation engine (if running), drains and stops the I/O
+// scheduler, and releases the store's resources (and the device if the
+// store created it).
 func (s *Store) Close() error {
 	s.StopAdaptation()
+	if s.sched != nil {
+		// Drain before the device goes away: queued reads complete, late
+		// submitters get ErrClosed instead of racing a closed device.
+		s.sched.Close()
+	}
 	if s.ownsDevice {
 		return s.device.Close()
 	}
@@ -322,6 +355,15 @@ func (s *Store) Close() error {
 
 // Device exposes the underlying NVM device (for stats and experiments).
 func (s *Store) Device() *nvm.Device { return s.device }
+
+// IOSchedStats returns a snapshot of the I/O scheduler's counters; ok is
+// false when the store runs without a scheduler.
+func (s *Store) IOSchedStats() (st iosched.Stats, ok bool) {
+	if s.sched == nil {
+		return iosched.Stats{}, false
+	}
+	return s.sched.Stats(), true
+}
 
 // NumTables returns the number of tables in the store.
 func (s *Store) NumTables() int { return len(s.tables) }

@@ -1,0 +1,9 @@
+package iosched
+
+// WithGate installs a test-only dispatch gate: fn runs after each batch is
+// assembled (ops marked issued, still coalescable) and before it is issued
+// to the device. Tests use it to hold a batch in flight deterministically.
+func (c Config) WithGate(fn func(batchBlocks []int)) Config {
+	c.gate = fn
+	return c
+}

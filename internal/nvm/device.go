@@ -35,11 +35,14 @@ type Device struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	inflight atomic.Int64
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
 
-	blocksRead    metrics.Counter
-	blocksWritten metrics.Counter
-	readLatency   *metrics.Histogram
+	blocksRead     metrics.Counter
+	blocksWritten  metrics.Counter
+	readBatches    metrics.Counter
+	coalescedReads metrics.Counter
+	readLatency    *metrics.Histogram
 
 	enduranceDWPD float64
 }
@@ -94,6 +97,7 @@ func (d *Device) ReadBlockQD(idx int, dst []byte, queueDepth int) (latencyUS flo
 	if queueDepth > inflight {
 		inflight = queueDepth
 	}
+	d.noteQueueDepth(int64(inflight))
 
 	if err := d.store.ReadBlock(idx, dst); err != nil {
 		return 0, err
@@ -103,9 +107,25 @@ func (d *Device) ReadBlockQD(idx int, dst []byte, queueDepth int) (latencyUS flo
 	d.mu.Unlock()
 
 	d.blocksRead.Inc()
+	d.readBatches.Inc()
 	d.readLatency.Observe(latencyUS)
 	return latencyUS, nil
 }
+
+// noteQueueDepth tracks the high-water read queue depth for Stats.
+func (d *Device) noteQueueDepth(depth int64) {
+	for {
+		cur := d.maxInflight.Load()
+		if depth <= cur || d.maxInflight.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// NoteCoalescedRead records a read that was served from another read's
+// device I/O without reaching the device (reported by the I/O scheduler, so
+// the device stats section shows coalescing next to the batch counters).
+func (d *Device) NoteCoalescedRead() { d.coalescedReads.Inc() }
 
 // ReadBlocks reads len(idxs) blocks into dst (>= len(idxs)*BlockSize bytes)
 // as one batch dispatched at queue depth len(idxs): the blocks overlap at the
@@ -117,6 +137,7 @@ func (d *Device) ReadBlocks(idxs []int, dst []byte) (latencyUS float64, err erro
 	}
 	inflight := int(d.inflight.Add(int64(len(idxs))))
 	defer d.inflight.Add(int64(-len(idxs)))
+	d.noteQueueDepth(int64(inflight))
 
 	if err := d.store.ReadBlocks(idxs, dst); err != nil {
 		return 0, err
@@ -130,8 +151,36 @@ func (d *Device) ReadBlocks(idxs []int, dst []byte) (latencyUS float64, err erro
 	d.mu.Unlock()
 
 	d.blocksRead.Add(int64(len(idxs)))
+	d.readBatches.Inc()
 	d.readLatency.Observe(latencyUS)
 	return latencyUS, nil
+}
+
+// BatchResult carries the completion of an asynchronously submitted batch
+// read.
+type BatchResult struct {
+	// LatencyUS is the simulated completion time of the batch's slowest
+	// read.
+	LatencyUS float64
+	Err       error
+}
+
+// ReadBlocksAsync is the device's asynchronous submission API: it starts a
+// batched read of idxs into dst and returns immediately; the completion
+// arrives on the returned channel (buffered, so the device never blocks on
+// a slow receiver). dst must stay untouched until the result is received.
+// It exists for callers that overlap a batch read with other work —
+// notably a future multi-batch-in-flight I/O scheduler dispatcher; the
+// current single-batch dispatcher (internal/iosched) uses the synchronous
+// ReadBlocks, which is equivalent and cheaper when the completion is
+// awaited immediately.
+func (d *Device) ReadBlocksAsync(idxs []int, dst []byte) <-chan BatchResult {
+	ch := make(chan BatchResult, 1)
+	go func() {
+		lat, err := d.ReadBlocks(idxs, dst)
+		ch <- BatchResult{LatencyUS: lat, Err: err}
+	}()
+	return ch
 }
 
 // WriteBlock writes src as block idx.
@@ -204,6 +253,20 @@ type Stats struct {
 	BytesRead     int64
 	BytesWritten  int64
 	ReadLatency   metrics.Snapshot
+	// ReadsSubmitted is the total read intents served: blocks actually
+	// read from the device plus reads coalesced onto another read's I/O.
+	ReadsSubmitted int64
+	// ReadBatches counts read dispatches (a single ReadBlock is a batch of
+	// one); AvgReadBatch = BlocksRead / ReadBatches — the realized device
+	// queue depth of the read path.
+	ReadBatches  int64
+	AvgReadBatch float64
+	// MaxQueueDepth is the high-water number of concurrently outstanding
+	// reads (including declared benchmark depths) since the last reset.
+	MaxQueueDepth int64
+	// CoalescedReads counts reads served without device I/O by the I/O
+	// scheduler's same-block coalescing (see NoteCoalescedRead).
+	CoalescedReads int64
 	// DriveWrites is the number of full-device overwrites performed so far.
 	DriveWrites float64
 	// EnduranceDWPD is the configured endurance budget (writes/day).
@@ -217,13 +280,21 @@ type Stats struct {
 func (d *Device) Stats() Stats {
 	br := d.blocksRead.Value()
 	bw := d.blocksWritten.Value()
+	coalesced := d.coalescedReads.Value()
 	s := Stats{
-		BlocksRead:    br,
-		BlocksWritten: bw,
-		BytesRead:     br * BlockSize,
-		BytesWritten:  bw * BlockSize,
-		ReadLatency:   d.readLatency.Snapshot(),
-		EnduranceDWPD: d.enduranceDWPD,
+		BlocksRead:     br,
+		BlocksWritten:  bw,
+		BytesRead:      br * BlockSize,
+		BytesWritten:   bw * BlockSize,
+		ReadLatency:    d.readLatency.Snapshot(),
+		ReadsSubmitted: br + coalesced,
+		ReadBatches:    d.readBatches.Value(),
+		MaxQueueDepth:  d.maxInflight.Load(),
+		CoalescedReads: coalesced,
+		EnduranceDWPD:  d.enduranceDWPD,
+	}
+	if s.ReadBatches > 0 {
+		s.AvgReadBatch = float64(s.BlocksRead) / float64(s.ReadBatches)
 	}
 	if bs, ok := d.store.(BackendStatser); ok {
 		s.Store = bs.BackendStats()
@@ -238,8 +309,36 @@ func (d *Device) Stats() Stats {
 func (d *Device) ResetStats() {
 	d.blocksRead.Reset()
 	d.blocksWritten.Reset()
+	d.readBatches.Reset()
+	d.coalescedReads.Reset()
+	d.maxInflight.Store(0)
 	d.readLatency.Reset()
 }
+
+// batchBufPool recycles multi-block read buffers for batched dispatches
+// (see GetBatchBuf).
+var batchBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 8*BlockSize)
+		return &b
+	},
+}
+
+// GetBatchBuf returns a pooled buffer of blocks*BlockSize bytes for a
+// batched read; release it with PutBatchBuf. Contents are undefined.
+func GetBatchBuf(blocks int) *[]byte {
+	bp := batchBufPool.Get().(*[]byte)
+	need := blocks * BlockSize
+	if cap(*bp) < need {
+		*bp = make([]byte, need)
+	} else {
+		*bp = (*bp)[:need]
+	}
+	return bp
+}
+
+// PutBatchBuf returns a buffer obtained from GetBatchBuf to the pool.
+func PutBatchBuf(b *[]byte) { batchBufPool.Put(b) }
 
 // String describes the device.
 func (d *Device) String() string {

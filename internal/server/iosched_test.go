@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bandana/internal/core"
+	"bandana/internal/table"
+)
+
+// TestStatsIOSchedSection: a store with the I/O scheduler enabled reports
+// its configuration and counters under the "iosched" stats section, and the
+// device section carries the batching counters.
+func TestStatsIOSchedSection(t *testing.T) {
+	g := table.Generate("tA", table.GenerateOptions{NumVectors: 512, Dim: 16, NumClusters: 8, Seed: 1})
+	store, err := core.Open(core.Config{
+		Tables: []*table.Table{g.Table},
+		Seed:   1,
+		IOSched: core.IOSchedOptions{
+			Enabled:    true,
+			QueueDepth: 16,
+			Window:     500 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(New(store).Handler())
+	t.Cleanup(ts.Close)
+
+	// Miss traffic (fresh store, nothing cached) flows through the
+	// scheduler; a repeated id is a cache hit and must not.
+	for _, id := range []string{"1", "2", "3", "1"} {
+		if code := getJSON(t, ts.URL+"/v1/lookup?table=tA&id="+id, nil); code != http.StatusOK {
+			t.Fatalf("lookup status %d", code)
+		}
+	}
+
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	io := out.IOSched
+	if !io.Enabled {
+		t.Fatalf("iosched section reports disabled: %+v", io)
+	}
+	if io.TargetQueueDepth != 16 || io.AccumulationWindowUS != 500 || !io.Coalesce {
+		t.Fatalf("iosched config not echoed: %+v", io)
+	}
+	if io.DemandReads != 3 || io.DeviceReads != 3 || io.Batches == 0 {
+		t.Fatalf("iosched counters: %+v, want 3 demand reads", io)
+	}
+	if io.SimBusyUS <= 0 {
+		t.Fatalf("simulated busy time not tracked: %+v", io)
+	}
+	if out.Device.ReadBatches == 0 || out.Device.ReadsSubmitted != out.Device.BlocksRead {
+		t.Fatalf("device batching counters: %+v", out.Device)
+	}
+	if out.Device.AvgReadBatch <= 0 || out.Device.MaxQueueDepth <= 0 {
+		t.Fatalf("device queue-depth counters: %+v", out.Device)
+	}
+
+	// The background class has seen no traffic yet; an update routes its
+	// read-modify-write through it.
+	if err := store.UpdateVector(0, 9, make([]float32, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if out.IOSched.PrefetchReads != 1 {
+		t.Fatalf("update's RMW read not counted in the background class: %+v", out.IOSched)
+	}
+}
+
+// TestStatsIOSchedDisabled: the section is present but reports disabled for
+// a plain store.
+func TestStatsIOSchedDisabled(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.IOSched.Enabled || out.IOSched.DemandReads != 0 {
+		t.Fatalf("iosched section for a scheduler-less store: %+v", out.IOSched)
+	}
+}

@@ -287,15 +287,72 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
 }
 
-// statsResponse bundles per-table, device, server, store, runtime and
-// adaptation statistics.
+// statsResponse bundles per-table, device, I/O scheduler, server, store,
+// runtime and adaptation statistics.
 type statsResponse struct {
 	Tables     []core.TableStats    `json:"tables"`
 	Device     deviceStats          `json:"device"`
+	IOSched    ioschedStats         `json:"iosched"`
 	Server     serverStats          `json:"server"`
 	Store      storeStats           `json:"store"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
 	Adaptation adaptationStats      `json:"adaptation"`
+}
+
+// ioschedStats is the JSON rendering of the async block I/O scheduler's
+// counters (documented in the README's /v1/stats schema). All counters are
+// zero when the scheduler is disabled.
+type ioschedStats struct {
+	// Enabled is false when the store reads the device inline (no
+	// scheduler was configured).
+	Enabled bool `json:"enabled"`
+	// TargetQueueDepth, AccumulationWindowUS and Coalesce echo the
+	// configuration; they are always emitted (no omitempty) because their
+	// zero values — window 0, coalescing off — are meaningful settings an
+	// operator A/B-testing the scheduler must be able to read back.
+	TargetQueueDepth     int     `json:"targetQueueDepth"`
+	AccumulationWindowUS float64 `json:"accumulationWindowUS"`
+	Coalesce             bool    `json:"coalesce"`
+	// DemandReads/PrefetchReads count submitted reads per priority class.
+	DemandReads   int64 `json:"demandReads"`
+	PrefetchReads int64 `json:"prefetchReads"`
+	// DeviceReads counts reads that reached the device; Batches counts
+	// device dispatches (AvgBatchSize = DeviceReads / Batches).
+	DeviceReads  int64   `json:"deviceReads"`
+	Batches      int64   `json:"batches"`
+	AvgBatchSize float64 `json:"avgBatchSize"`
+	MaxBatchSize int64   `json:"maxBatchSize"`
+	// Coalesced counts reads served from another read's device I/O;
+	// CoalescedLate is the subset that attached after issue.
+	Coalesced     int64 `json:"coalesced"`
+	CoalescedLate int64 `json:"coalescedLate"`
+	// QueuedNow is the instantaneous submission-queue length; SimBusyUS the
+	// accumulated simulated device busy time.
+	QueuedNow int     `json:"queuedNow"`
+	SimBusyUS float64 `json:"simBusyUS"`
+}
+
+func renderIOSchedStats(store *core.Store) ioschedStats {
+	st, ok := store.IOSchedStats()
+	if !ok {
+		return ioschedStats{}
+	}
+	return ioschedStats{
+		Enabled:              true,
+		TargetQueueDepth:     st.TargetQueueDepth,
+		AccumulationWindowUS: st.WindowUS,
+		Coalesce:             st.Coalesce,
+		DemandReads:          st.DemandReads,
+		PrefetchReads:        st.PrefetchReads,
+		DeviceReads:          st.DeviceReads,
+		Batches:              st.Batches,
+		AvgBatchSize:         st.AvgBatchSize,
+		MaxBatchSize:         st.MaxBatchSize,
+		Coalesced:            st.Coalesced,
+		CoalescedLate:        st.CoalescedLate,
+		QueuedNow:            st.QueuedNow,
+		SimBusyUS:            st.SimBusyUS,
+	}
 }
 
 // storeStats describes the served store itself (as opposed to its tables or
@@ -380,6 +437,15 @@ type deviceStats struct {
 	BytesRead     int64   `json:"bytesRead"`
 	DriveWrites   float64 `json:"driveWrites"`
 	EnduranceDWPD float64 `json:"enduranceDWPD"`
+	// ReadsSubmitted/ReadBatches/AvgReadBatch/MaxQueueDepth/CoalescedReads
+	// describe the read path's batching: how many read intents were served,
+	// in how many device dispatches, at what realized queue depth, and how
+	// many reads the I/O scheduler coalesced away entirely.
+	ReadsSubmitted int64   `json:"readsSubmitted"`
+	ReadBatches    int64   `json:"readBatches"`
+	AvgReadBatch   float64 `json:"avgReadBatch"`
+	MaxQueueDepth  int64   `json:"maxQueueDepth"`
+	CoalescedReads int64   `json:"coalescedReads"`
 	// Backend names the block store behind the device ("mem" or "file");
 	// the journal/flush counters are non-zero for the file backend only.
 	Backend          string `json:"backend"`
@@ -399,11 +465,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BytesRead:        dev.BytesRead,
 			DriveWrites:      dev.DriveWrites,
 			EnduranceDWPD:    dev.EnduranceDWPD,
+			ReadsSubmitted:   dev.ReadsSubmitted,
+			ReadBatches:      dev.ReadBatches,
+			AvgReadBatch:     dev.AvgReadBatch,
+			MaxQueueDepth:    dev.MaxQueueDepth,
+			CoalescedReads:   dev.CoalescedReads,
 			Backend:          dev.Store.Backend,
 			JournalWrites:    dev.Store.JournalWrites,
 			Flushes:          dev.Store.Flushes,
 			RecoveredRecords: dev.Store.RecoveredRecords,
 		},
+		IOSched: renderIOSchedStats(store),
 		Server: serverStats{
 			Requests: s.requests.Value(),
 			Errors:   s.errors.Value(),
