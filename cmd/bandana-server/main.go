@@ -21,6 +21,7 @@
 // Usage:
 //
 //	bandana-server --addr :8080 --scale 0.001 --train
+//	bandana-server --addr :8080 --wire-addr :8090   # also serve the binary wire protocol (bwp)
 //	bandana-server --backend file --data-dir /var/lib/bandana --sync periodic
 //	bandana-server --addr :8081 --replica-of http://primary:8080 --data-dir /var/lib/bandana-replica
 //	curl 'localhost:8080/v1/lookup?table=table1&id=42'
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,6 +76,7 @@ func validateIOFlags(qd int, window time.Duration, qdSet, coalesceSet, windowSet
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		wireAddr = flag.String("wire-addr", "", "also serve the binary wire protocol (bwp) on this address, e.g. :8090 (empty = HTTP only)")
 		scale    = flag.Float64("scale", 0.001, "table size scale vs the paper's 10-20M vectors")
 		tables   = flag.Int("tables", 3, "number of embedding tables to serve (max 8)")
 		requests = flag.Int("requests", 1500, "synthetic requests used for training")
@@ -162,7 +165,7 @@ func main() {
 		st := rep.Stats()
 		log.Printf("replica bootstrapped at seq %d in %s (%d bytes streamed, resumed at offset %d)",
 			seq, time.Since(start).Round(time.Millisecond), st.BytesFetched, st.LastResumeOffset)
-		serve(store, *addr, nil, rep)
+		serve(store, *addr, *wireAddr, nil, rep)
 		return
 	}
 
@@ -217,7 +220,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(store, *addr, adaptOpts, nil)
+		serve(store, *addr, *wireAddr, adaptOpts, nil)
 		return
 	}
 
@@ -241,7 +244,7 @@ func main() {
 		}
 		log.Printf("trained state written to %s", *stateOut)
 	}
-	serve(store, *addr, adaptOpts, nil)
+	serve(store, *addr, *wireAddr, adaptOpts, nil)
 }
 
 // writeStateFile dumps the store's trained state to path.
@@ -295,7 +298,7 @@ func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, re
 	return store, nil
 }
 
-func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica) {
+func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica) {
 	if adaptOpts != nil {
 		if err := store.StartAdaptation(*adaptOpts); err != nil {
 			store.Close()
@@ -317,6 +320,24 @@ func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions, rep *cl
 		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// The wire listener serves bwp alongside HTTP; it shares the server's
+	// store-swap discipline, so a replica re-sync is safe under wire load.
+	var wireLn net.Listener
+	if wireAddr != "" {
+		var err error
+		wireLn, err = net.Listen("tcp", wireAddr)
+		if err != nil {
+			store.Close()
+			log.Fatalf("wire listener: %v", err)
+		}
+		go func() {
+			if err := srv.ServeWire(wireLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("wire listener failed: %v", err)
+			}
+		}()
+		log.Printf("bwp wire protocol listening on %s", wireLn.Addr())
 	}
 
 	// SIGINT/SIGTERM drain the listener and then Close the store: on the
@@ -350,6 +371,9 @@ func serve(store *core.Store, addr string, adaptOpts *core.AdaptOptions, rep *cl
 	// first so a concurrent re-sync cannot swap a fresh store in under the
 	// final Close (swapped-out stores were already closed by the server).
 	<-drained
+	if wireLn != nil {
+		wireLn.Close()
+	}
 	if rep != nil {
 		rep.Stop()
 	}

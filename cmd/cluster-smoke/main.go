@@ -1,7 +1,8 @@
 // Command cluster-smoke is the cluster end-to-end smoke test CI runs
 // against the real binaries: it builds bandana-server and bandana-router,
-// launches two nodes and a router, drives batch traffic through the
-// router, kill -9s one node mid-traffic and asserts the router keeps
+// launches two nodes (both also serving the bwp binary wire protocol) and
+// a router, drives batch traffic through the router and asserts it flows
+// over bwp, kill -9s one node mid-stream and asserts the router keeps
 // answering with per-id errors confined to the dead node's partitions,
 // then SIGHUPs a membership that pins every partition to the surviving
 // node and asserts the errors disappear without the router restarting.
@@ -28,11 +29,13 @@ import (
 )
 
 const (
-	nodeAAddr  = "127.0.0.1:19181"
-	nodeBAddr  = "127.0.0.1:19182"
-	routerAddr = "127.0.0.1:19180"
-	tableName  = "table1"
-	numIDs     = 256
+	nodeAAddr     = "127.0.0.1:19181"
+	nodeBAddr     = "127.0.0.1:19182"
+	routerAddr    = "127.0.0.1:19180"
+	nodeAWireAddr = "127.0.0.1:19183"
+	nodeBWireAddr = "127.0.0.1:19184"
+	tableName     = "table1"
+	numIDs        = 256
 )
 
 func main() {
@@ -118,6 +121,32 @@ func routerBatch(ids []uint32) (*cluster.BatchResponse, error) {
 	return &out, nil
 }
 
+// routerStats fetches the router's per-node counters.
+func routerStats() (*cluster.RouterStats, error) {
+	resp, err := http.Get("http://" + routerAddr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router /v1/stats: %s", resp.Status)
+	}
+	var out cluster.RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func nodeStat(st *cluster.RouterStats, id string) (*cluster.NodeStats, error) {
+	for i := range st.Nodes {
+		if st.Nodes[i].ID == id {
+			return &st.Nodes[i], nil
+		}
+	}
+	return nil, fmt.Errorf("node %s missing from router stats", id)
+}
+
 func run() error {
 	tmp, err := os.MkdirTemp("", "cluster-smoke-*")
 	if err != nil {
@@ -138,12 +167,12 @@ func run() error {
 	// Two nodes over identical synthetic tables (same seed/scale): any id is
 	// answerable by either node, so partitioning is purely a routing choice.
 	common := []string{"--scale", "0.0005", "--tables", "2", "--train=false", "--seed", "1"}
-	nodeA, err := start("node-a", serverBin, append([]string{"--addr", nodeAAddr}, common...)...)
+	nodeA, err := start("node-a", serverBin, append([]string{"--addr", nodeAAddr, "--wire-addr", nodeAWireAddr}, common...)...)
 	if err != nil {
 		return err
 	}
 	defer nodeA.stop()
-	nodeB, err := start("node-b", serverBin, append([]string{"--addr", nodeBAddr}, common...)...)
+	nodeB, err := start("node-b", serverBin, append([]string{"--addr", nodeBAddr, "--wire-addr", nodeBWireAddr}, common...)...)
 	if err != nil {
 		return err
 	}
@@ -158,8 +187,8 @@ func run() error {
 	cfg := cluster.Config{
 		IDRangeSize: 32,
 		Nodes: []cluster.Node{
-			{ID: "node-a", Addr: "http://" + nodeAAddr, Role: cluster.RolePrimary},
-			{ID: "node-b", Addr: "http://" + nodeBAddr, Role: cluster.RolePrimary},
+			{ID: "node-a", Addr: "http://" + nodeAAddr, WireAddr: nodeAWireAddr, Role: cluster.RolePrimary},
+			{ID: "node-b", Addr: "http://" + nodeBAddr, WireAddr: nodeBWireAddr, Role: cluster.RolePrimary},
 		},
 	}
 	clusterPath := filepath.Join(tmp, "cluster.json")
@@ -195,6 +224,26 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "healthy scatter-gather: %d ids across 2 nodes OK\n", numIDs)
 
+	// The healthy batch must have travelled over bwp to both nodes — the
+	// router prefers the binary protocol whenever a node advertises it.
+	st, err := routerStats()
+	if err != nil {
+		return err
+	}
+	for _, id := range []string{"node-a", "node-b"} {
+		ns, err := nodeStat(st, id)
+		if err != nil {
+			return err
+		}
+		if ns.WireRequests == 0 {
+			return fmt.Errorf("%s advertises bwp but served no wire requests: %+v", id, ns)
+		}
+		if ns.WireFallbacks != 0 {
+			return fmt.Errorf("%s fell back to HTTP on a healthy cluster: %+v", id, ns)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "router-node traffic confirmed on bwp for both nodes")
+
 	// Continuous traffic while we kill node-b: every response must stay
 	// HTTP 200 (failures degrade to per-id errors, never request errors).
 	var trafficErr atomic.Value
@@ -217,11 +266,14 @@ func run() error {
 	}()
 
 	time.Sleep(300 * time.Millisecond)
-	fmt.Fprintln(os.Stderr, "kill -9 node-b mid-traffic...")
+	fmt.Fprintln(os.Stderr, "kill -9 node-b mid-stream...")
 	nodeB.kill9()
 	time.Sleep(500 * time.Millisecond)
 
-	// Degraded cluster: per-id errors exactly for node-b's partitions.
+	// Degraded cluster: the kill -9 severed node-b's bwp connection
+	// mid-stream, so the router must degrade to per-id errors exactly for
+	// node-b's partitions (bwp drop -> HTTP fallback -> dead -> per-id
+	// error), never a request-level failure.
 	resp, err = routerBatch(ids)
 	if err != nil {
 		return fmt.Errorf("router stopped answering after node loss: %w", err)
@@ -250,6 +302,28 @@ func run() error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "node loss isolated: %d/%d ids report per-id errors, rest served\n", len(errIDs), numIDs)
+
+	// The dead node's wire transport must have registered the loss: the
+	// router tried bwp, saw the dropped connection, and fell back.
+	st, err = routerStats()
+	if err != nil {
+		return err
+	}
+	nsB, err := nodeStat(st, "node-b")
+	if err != nil {
+		return err
+	}
+	if nsB.WireFallbacks == 0 {
+		return fmt.Errorf("node-b's severed bwp stream produced no wire fallbacks: %+v", nsB)
+	}
+	nsA, err := nodeStat(st, "node-a")
+	if err != nil {
+		return err
+	}
+	if nsA.WireFallbacks != 0 {
+		return fmt.Errorf("surviving node-a fell back to HTTP: %+v", nsA)
+	}
+	fmt.Fprintf(os.Stderr, "severed bwp stream degraded cleanly: %d wire fallbacks on node-b, 0 on node-a\n", nsB.WireFallbacks)
 
 	// close (not send): the traffic goroutine may already have exited on a
 	// failure, and a send would deadlock instead of reporting it.

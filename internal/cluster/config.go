@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"net"
 	"net/url"
 	"os"
 )
@@ -44,6 +45,11 @@ type Node struct {
 	ID string `json:"id"`
 	// Addr is the node's base URL, e.g. "http://10.0.0.5:8080".
 	Addr string `json:"addr"`
+	// WireAddr optionally advertises the node's binary wire protocol (bwp)
+	// listener as "host:port". When set, the router sends this node its
+	// batch lookups over bwp (fp16 payloads, no JSON) and falls back to
+	// Addr's HTTP API if the wire transport fails. Empty means HTTP only.
+	WireAddr string `json:"wireAddr,omitempty"`
 	// Role is "primary" (owns partitions) or "replica" (mirrors ReplicaOf).
 	Role Role `json:"role"`
 	// ReplicaOf names the primary a replica follows. Required for replicas,
@@ -107,6 +113,11 @@ func (c *Config) Validate() error {
 		u, err := url.Parse(n.Addr)
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return fmt.Errorf("node %q: invalid addr %q (want e.g. http://host:port)", n.ID, n.Addr)
+		}
+		if n.WireAddr != "" {
+			if _, _, err := net.SplitHostPort(n.WireAddr); err != nil {
+				return fmt.Errorf("node %q: invalid wireAddr %q (want host:port): %v", n.ID, n.WireAddr, err)
+			}
 		}
 		switch n.Role {
 		case RolePrimary:

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bandana/internal/metrics"
+	"bandana/internal/wire"
 )
 
 // nodeHTTPError is a node's own HTTP rejection (as opposed to a transport
@@ -86,6 +87,36 @@ type nodeClient struct {
 	hedges    metrics.Counter
 	hedgeWins metrics.Counter
 	inflight  metrics.Gauge
+
+	// Wire path state: one persistent multiplexed bwp connection per node,
+	// re-dialed lazily after it dies. wireRequests counts batches served
+	// over bwp; wireFallbacks counts wire transport failures that degraded
+	// a request to the node's HTTP API.
+	wireMu        sync.Mutex
+	wireC         *wire.Client
+	wireAddr      string
+	wireRequests  metrics.Counter
+	wireFallbacks metrics.Counter
+}
+
+// wireConn returns the node's persistent wire client, dialing (or
+// re-dialing after a transport failure) as needed.
+func (nc *nodeClient) wireConn(addr string, dialTimeout time.Duration) (*wire.Client, error) {
+	nc.wireMu.Lock()
+	defer nc.wireMu.Unlock()
+	if nc.wireC != nil && nc.wireAddr == addr && nc.wireC.Err() == nil {
+		return nc.wireC, nil
+	}
+	if nc.wireC != nil {
+		nc.wireC.Close()
+		nc.wireC = nil
+	}
+	c, err := wire.Dial(addr, wire.Options{DialTimeout: dialTimeout})
+	if err != nil {
+		return nil, err
+	}
+	nc.wireC, nc.wireAddr = c, addr
+	return c, nil
 }
 
 // Router scatter-gathers client requests across the cluster. All methods
@@ -425,7 +456,10 @@ type nodeBatchResponse struct {
 	Vectors [][]float32 `json:"vectors"`
 }
 
-// postBatch issues one bounded, counted request to one node.
+// postBatch issues one bounded, counted request to one node, over bwp when
+// the node advertises a wire address (falling back to HTTP on wire
+// transport failure), over HTTP otherwise. The in-flight bound covers both
+// transports.
 func (rt *Router) postBatch(ctx context.Context, n *Node, table string, ids []uint32) ([][]float32, error) {
 	nc := rt.client(n.ID)
 	select {
@@ -439,6 +473,57 @@ func (rt *Router) postBatch(ctx context.Context, n *Node, table string, ids []ui
 	nc.inflight.Add(1)
 	defer nc.inflight.Add(-1)
 
+	if n.WireAddr != "" {
+		vecs, err := rt.wireBatch(ctx, nc, n, table, ids)
+		if err == nil {
+			nc.wireRequests.Inc()
+			return vecs, nil
+		}
+		var werr *wire.Error
+		if errors.As(err, &werr) {
+			// The node answered over bwp; its rejection maps onto the HTTP
+			// statuses the rest of the router understands. Re-asking over
+			// HTTP would only repeat the answer.
+			switch werr.Code {
+			case wire.CodeNotFound:
+				return nil, &nodeHTTPError{status: http.StatusNotFound, msg: werr.Msg}
+			case wire.CodeBadRequest, wire.CodeTooLarge:
+				return nil, &nodeHTTPError{status: http.StatusBadRequest, msg: werr.Msg}
+			default:
+				nc.errors.Inc()
+				return nil, fmt.Errorf("wire: %s", werr.Msg)
+			}
+		}
+		if ctx.Err() != nil {
+			nc.errors.Inc()
+			nc.timeouts.Inc()
+			return nil, err
+		}
+		// Wire transport failure (refused, dropped mid-stream): degrade to
+		// the node's HTTP API for this request. The next wire call re-dials.
+		nc.wireFallbacks.Inc()
+	}
+	return rt.httpBatch(ctx, nc, n, table, ids)
+}
+
+// wireBatch sends one batch over the node's persistent bwp connection.
+func (rt *Router) wireBatch(ctx context.Context, nc *nodeClient, n *Node, table string, ids []uint32) ([][]float32, error) {
+	c, err := nc.wireConn(n.WireAddr, rt.opts.NodeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	vecs, err := c.LookupBatchF32(ctx, table, ids)
+	if err != nil {
+		return nil, err
+	}
+	if len(vecs) != len(ids) {
+		return nil, fmt.Errorf("node returned %d vectors for %d ids", len(vecs), len(ids))
+	}
+	return vecs, nil
+}
+
+// httpBatch is the JSON transport: one POST /v1/batch to one node.
+func (rt *Router) httpBatch(ctx context.Context, nc *nodeClient, n *Node, table string, ids []uint32) ([][]float32, error) {
 	body, err := json.Marshal(BatchRequest{Table: table, IDs: ids})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,9 @@ type NodeStats struct {
 	// ReplicaOf is set for replicas.
 	ReplicaOf string `json:"replicaOf,omitempty"`
 
+	// WireAddr is the node's advertised bwp listener ("" = HTTP only).
+	WireAddr string `json:"wireAddr,omitempty"`
+
 	// Router-side counters (persist across membership reloads).
 	Requests  int64 `json:"requests"`
 	Errors    int64 `json:"errors"`
@@ -25,6 +28,10 @@ type NodeStats struct {
 	Hedges    int64 `json:"hedges"`
 	HedgeWins int64 `json:"hedgeWins"`
 	InFlight  int64 `json:"inFlight"`
+	// WireRequests counts batches served over bwp; WireFallbacks counts
+	// wire transport failures that degraded a request to HTTP.
+	WireRequests  int64 `json:"wireRequests"`
+	WireFallbacks int64 `json:"wireFallbacks"`
 
 	// Probe results.
 	Alive       bool    `json:"alive"`
@@ -93,9 +100,12 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			nc := rt.client(n.ID)
 			ns := NodeStats{
 				ID: n.ID, Addr: n.Addr, Role: n.Role, ReplicaOf: n.ReplicaOf,
+				WireAddr: n.WireAddr,
 				Requests: nc.requests.Value(), Errors: nc.errors.Value(),
 				Timeouts: nc.timeouts.Value(), Hedges: nc.hedges.Value(),
 				HedgeWins: nc.hedgeWins.Value(), InFlight: nc.inflight.Value(),
+				WireRequests:  nc.wireRequests.Value(),
+				WireFallbacks: nc.wireFallbacks.Value(),
 			}
 			rt.probeNode(r.Context(), n, &ns)
 			out.Nodes[i] = ns

@@ -64,7 +64,51 @@ func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.lookupBatch(s.device, ids)
+	out := make([][]float32, len(ids))
+	if err := st.serveBatch(s.device, ids, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LookupBatchRaw is LookupBatch without the decode: each returned slice is
+// the vector's fp16 encoding, handed straight off the cached copy or the
+// block image — the zero-copy read path of the binary wire protocol. It
+// runs the full serving machinery (counters, admission, prefetch, cache
+// fill), so a raw lookup warms the cache for float lookups and vice versa.
+// Returned slices are read-only views with Lookup's lifetime contract.
+//
+// Raw views are the canonical fp16 encoding of the served value: NaN
+// payloads come back quieted, exactly as the float path would re-encode
+// them; every other bit pattern is byte-identical to the block image.
+func (s *Store) LookupBatchRaw(tableIdx int, ids []uint32) ([][]byte, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(ids))
+	if err := st.serveBatch(s.device, ids, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LookupBatchRawByName is LookupBatchRaw with a table name.
+func (s *Store) LookupBatchRawByName(name string, ids []uint32) ([][]byte, error) {
+	i, err := s.TableIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.LookupBatchRaw(i, ids)
+}
+
+// TableDim returns the per-vector element count of table tableIdx.
+func (s *Store) TableDim(tableIdx int) (int, error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return 0, err
+	}
+	return st.dim, nil
 }
 
 // Request is one recommendation request: for each table (by index), the
@@ -112,6 +156,27 @@ func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
 	return nil
 }
 
+// UpdateVectorRaw is UpdateVector with an already-encoded fp16 payload
+// (exactly VectorBytes long) — the binary wire protocol's write path, which
+// carries fp16 end to end and never decodes.
+func (s *Store) UpdateVectorRaw(tableIdx int, id uint32, raw []byte) error {
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return err
+	}
+	if len(raw) != st.vecBytes {
+		return fmt.Errorf("core: table %q: raw vector has %d bytes, want %d", st.name, len(raw), st.vecBytes)
+	}
+	if err := st.updateRaw(s.device, id, raw); err != nil {
+		return err
+	}
+	s.bumpSnapshotSeq()
+	return nil
+}
+
 // cacheGet serves a cache hit for id, clearing the prefetched flag and
 // updating counters. It returns the cached vector or nil on a miss. h is
 // hashID(id), shared between shard routing and counter striping.
@@ -135,11 +200,40 @@ func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
 	return out
 }
 
+// cacheGetRaw is cacheGet for the raw-fp16 read path: it returns the
+// entry's fp16 view, re-encoding the decoded vector once (under the shard
+// lock) if the entry was cached by the float path and has never been served
+// raw before.
+func (st *storeTable) cacheGetRaw(ts *tableState, id uint32, h uint64) []byte {
+	var out []byte
+	var wasPrefetch bool
+	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
+		if e, ok := c.Get(id); ok {
+			if e.raw == nil {
+				e.raw = fp16.EncodeSlice(make([]byte, 0, len(e.vec)*fp16.ByteSize), e.vec)
+			}
+			out = e.raw
+			wasPrefetch = e.prefetched
+			e.prefetched = false
+		}
+	})
+	if out == nil {
+		return nil
+	}
+	st.hits.Inc(h)
+	if wasPrefetch {
+		st.prefetchHits.Inc(h)
+	}
+	return out
+}
+
 // cacheInsert caches a decoded vector at queue position pos unless the table
 // was rewritten since epoch was read (in which case the decode may be
 // stale). Requested vectors pass pos 0 and prefetched=false; admitted
-// prefetches carry the policy's position.
-func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, pos float64, prefetched bool, epoch uint64) bool {
+// prefetches carry the policy's position. raw optionally carries the
+// vector's fp16 encoding (a raw miss has it at hand); nil leaves the raw
+// view to be built lazily on the first raw hit.
+func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, raw []byte, pos float64, prefetched bool, epoch uint64) bool {
 	inserted := false
 	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
 		if st.epoch.Load() != epoch {
@@ -150,7 +244,7 @@ func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, pos 
 			// requested one; do not demote it to a prefetch.
 			return
 		}
-		c.AddAt(id, &cachedVec{vec: vec, prefetched: prefetched}, pos)
+		c.AddAt(id, &cachedVec{vec: vec, raw: raw, prefetched: prefetched}, pos)
 		inserted = true
 	})
 	return inserted
@@ -171,7 +265,7 @@ func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, membe
 		}
 		dec := make([]float32, st.dim)
 		fp16.DecodeSlice(dec, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
-		if st.cacheInsert(ts, other, dec, pos, true, epoch) {
+		if st.cacheInsert(ts, other, dec, nil, pos, true, epoch) {
 			st.prefetchAdds.Inc(hashID(other))
 		}
 	}
@@ -318,7 +412,7 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	slot := ts.layout.SlotOf(id)
 	want := make([]float32, st.dim)
 	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-	st.cacheInsert(ts, id, want, 0, false, epoch)
+	st.cacheInsert(ts, id, want, nil, 0, false, epoch)
 
 	// Prefetch co-located vectors that pass the admission policy.
 	if ts.prefetch && ts.policy != nil {
@@ -328,15 +422,33 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	return want, nil
 }
 
-// lookupBatch serves a set of vector reads, grouping cache misses by NVM
-// block so that each distinct block is read only once per batch.
-func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32, error) {
+// serveBatch serves a set of vector reads, grouping cache misses by NVM
+// block so that each distinct block is read only once per batch. Exactly
+// one of out (decoded float32 views) and outRaw (fp16 views, the wire
+// protocol's zero-decode read path) is non-nil; both modes share the full
+// serving machinery — counters, dedupe, admission, prefetch, cache fill —
+// and differ only in what they hand back.
+func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float32, outRaw [][]byte) error {
 	for _, id := range ids {
 		if int(id) >= st.src.NumVectors() {
-			return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
+			return fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
 		}
 	}
-	out := make([][]float32, len(ids))
+	// have/copyPos abstract over the two output modes so the dedupe and
+	// backfill logic below stays single-sourced.
+	have := func(i int) bool {
+		if outRaw != nil {
+			return outRaw[i] != nil
+		}
+		return out[i] != nil
+	}
+	copyPos := func(dst, src int) {
+		if outRaw != nil {
+			outRaw[dst] = outRaw[src]
+		} else {
+			out[dst] = out[src]
+		}
+	}
 	ts := st.loadState()
 	// One batch is one co-access set ("query" in the paper's terms): record
 	// it whole so the adaptation engine sees the hypergraph SHP needs, not
@@ -385,9 +497,9 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 			ts.policy.OnAccess(id)
 		}
 		if j, ok := firstOf(i, id); ok {
-			if v := out[j]; v != nil {
+			if have(j) {
 				st.hits.Inc(h)
-				out[i] = v
+				copyPos(i, j)
 			} else {
 				st.misses.Inc(h)
 				dupMisses = append(dupMisses, [2]int{i, j})
@@ -397,7 +509,12 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		if firstPos != nil {
 			firstPos[id] = i
 		}
-		if got := st.cacheGet(ts, id, h); got != nil {
+		if outRaw != nil {
+			if got := st.cacheGetRaw(ts, id, h); got != nil {
+				outRaw[i] = got
+				continue
+			}
+		} else if got := st.cacheGet(ts, id, h); got != nil {
 			out[i] = got
 			continue
 		}
@@ -405,7 +522,7 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		missed = append(missed, missRef{pos: i, id: id})
 	}
 	if len(missed) == 0 {
-		return out, nil
+		return nil
 	}
 
 	// Pass 2: one NVM read per distinct block; decode all requested vectors
@@ -451,7 +568,7 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 	epoch := st.epoch.Load()
 	lat, coalesced, epoch, err := st.readBlocksMiss(device, abs, batch, epoch)
 	if err != nil {
-		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
+		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	st.lookupLatency.Observe(lat)
 
@@ -468,10 +585,21 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 		requested := make(map[uint32]struct{}, len(refs))
 		for _, ref := range refs {
 			slot := ts.layout.SlotOf(ref.id)
+			rawSlot := buf[slot*st.vecBytes : (slot+1)*st.vecBytes]
+			// The cache entry always carries the decoded vector (float
+			// lookups must be able to hit it); a raw request additionally
+			// copies the fp16 bytes straight off the block image — no
+			// decode-encode round trip on what it returns.
 			dec := make([]float32, st.dim)
-			fp16.DecodeSlice(dec, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
-			st.cacheInsert(ts, ref.id, dec, 0, false, epoch)
-			out[ref.pos] = dec
+			fp16.DecodeSlice(dec, rawSlot)
+			var rawCopy []byte
+			if outRaw != nil {
+				rawCopy = append(make([]byte, 0, st.vecBytes), rawSlot...)
+				outRaw[ref.pos] = rawCopy
+			} else {
+				out[ref.pos] = dec
+			}
+			st.cacheInsert(ts, ref.id, dec, rawCopy, 0, false, epoch)
 			requested[ref.id] = struct{}{}
 		}
 		if ts.prefetch && ts.policy != nil {
@@ -484,9 +612,9 @@ func (st *storeTable) lookupBatch(device *nvm.Device, ids []uint32) ([][]float32
 	}
 	// Fan the deduplicated miss decodes back out to the repeated positions.
 	for _, d := range dupMisses {
-		out[d[0]] = out[d[1]]
+		copyPos(d[0], d[1])
 	}
-	return out, nil
+	return nil
 }
 
 // update rewrites one vector on NVM and in the source table, and drops any
@@ -495,11 +623,18 @@ func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error
 	if len(vec) != st.dim {
 		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
 	}
+	return st.updateRaw(device, id, fp16.EncodeSlice(make([]byte, 0, st.vecBytes), vec))
+}
+
+// updateRaw is the encoding-level update path shared by UpdateVector and
+// the wire protocol's fp16-native UpdateVectorRaw. raw must be exactly
+// vecBytes long (callers validate).
+func (st *storeTable) updateRaw(device *nvm.Device, id uint32, raw []byte) error {
 	// Serialize concurrent updates: the read-modify-write below would lose
 	// one of two concurrent writes to the same block.
 	st.updateMu.Lock()
 	defer st.updateMu.Unlock()
-	if err := st.src.SetVector(id, vec); err != nil {
+	if err := st.src.SetRaw(id, raw); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	ts := st.loadState()
@@ -539,10 +674,6 @@ func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	slot := ts.layout.SlotOf(id)
-	raw, err := st.src.Raw(id)
-	if err != nil {
-		return err
-	}
 	copy(buf[slot*st.vecBytes:], raw)
 	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)

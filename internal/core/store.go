@@ -74,8 +74,15 @@ func putBlockBuf(b *[]byte) { nvm.PutBlockBuf(b) }
 // the cache via prefetch and has not been requested yet (used to attribute
 // hits to prefetching). The flag is mutated in place under the owning
 // shard's lock; the vector itself is immutable once cached.
+//
+// raw is the vector's fp16 encoding, served zero-decode by the binary wire
+// protocol's read path. It is filled from the block image when a raw lookup
+// misses, or built lazily (one re-encode, under the shard lock) when a raw
+// lookup hits an entry cached by the float path; entries never served raw
+// pay nothing. Once set it is immutable, like vec.
 type cachedVec struct {
 	vec        []float32
+	raw        []byte
 	prefetched bool
 }
 

@@ -1,0 +1,206 @@
+package fp16
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// decodeSliceScalar is the pre-unrolling reference implementation: one
+// ToFloat32 per element. The bulk path must match it bit for bit.
+func decodeSliceScalar(dst []float32, src []byte) int {
+	n := len(src) / 2
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint16(src[2*i:])
+		dst[i] = Float16(bits).ToFloat32()
+	}
+	return n
+}
+
+// TestDecodeSliceExhaustive pins the bulk conversion to the scalar one over
+// every one of the 65536 binary16 bit patterns — normals, subnormals,
+// signed zeros, infinities and every NaN payload — through the unrolled
+// loop itself.
+func TestDecodeSliceExhaustive(t *testing.T) {
+	src := make([]byte, 2<<16)
+	for b := 0; b <= 0xFFFF; b++ {
+		binary.LittleEndian.PutUint16(src[2*b:], uint16(b))
+	}
+	got := make([]float32, 1<<16)
+	if n := DecodeSlice(got, src); n != 1<<16 {
+		t.Fatalf("decoded %d elements, want %d", n, 1<<16)
+	}
+	for b := 0; b <= 0xFFFF; b++ {
+		want := Float16(b).ToFloat32()
+		if math.Float32bits(got[b]) != math.Float32bits(want) {
+			t.Fatalf("DecodeSlice(%#04x) = %g (bits %#08x), want %g (bits %#08x)",
+				b, got[b], math.Float32bits(got[b]), want, math.Float32bits(want))
+		}
+	}
+}
+
+// TestDecodeSliceSpecialValues drives the unrolled path (slices long enough
+// to exercise the 8-wide loop) through the encodings that take the slow
+// branch, at every lane position.
+func TestDecodeSliceSpecialValues(t *testing.T) {
+	cases := []struct {
+		name string
+		bits uint16
+	}{
+		{"positive zero", 0x0000},
+		{"negative zero", 0x8000},
+		{"smallest subnormal", 0x0001},
+		{"largest subnormal", 0x03FF},
+		{"negative subnormal", 0x83FF},
+		{"smallest normal", 0x0400},
+		{"largest normal", 0x7BFF},
+		{"one", 0x3C00},
+		{"+Inf", 0x7C00},
+		{"-Inf", 0xFC00},
+		{"quiet NaN", 0x7E00},
+		{"signaling NaN payload", 0x7C01},
+		{"negative NaN payload", 0xFDAB},
+	}
+	const n = 19 // odd and > 16: both unrolled iterations plus a tail
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for lane := 0; lane < n; lane++ {
+				src := make([]byte, 2*n)
+				for i := 0; i < n; i++ {
+					fill := uint16(0x3C00 + i) // distinct ordinary normals
+					if i == lane {
+						fill = tc.bits
+					}
+					binary.LittleEndian.PutUint16(src[2*i:], fill)
+				}
+				got := make([]float32, n)
+				want := make([]float32, n)
+				if DecodeSlice(got, src) != n || decodeSliceScalar(want, src) != n {
+					t.Fatalf("lane %d: short decode", lane)
+				}
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("lane %d elem %d: got bits %#08x, want %#08x",
+							lane, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeSliceLengths covers the ragged edges of the unrolled loop: every
+// length from 0 to 33 with random payloads, plus dst shorter than src and
+// src shorter than dst.
+func TestDecodeSliceLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 33; n++ {
+		src := make([]byte, 2*n)
+		rng.Read(src)
+		got := make([]float32, n)
+		want := make([]float32, n)
+		if DecodeSlice(got, src) != n || decodeSliceScalar(want, src) != n {
+			t.Fatalf("n=%d: short decode", n)
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d elem %d: got bits %#08x, want %#08x",
+					n, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
+
+	src := make([]byte, 2*16)
+	rng.Read(src)
+	short := make([]float32, 5)
+	if n := DecodeSlice(short, src); n != 5 {
+		t.Fatalf("short dst decoded %d elements, want 5", n)
+	}
+	long := make([]float32, 32)
+	if n := DecodeSlice(long, src[:2*7]); n != 7 {
+		t.Fatalf("short src decoded %d elements, want 7", n)
+	}
+}
+
+func TestDecodeAppendMatchesDecodeSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]byte, 2*21)
+	rng.Read(src)
+	prefix := []float32{1, 2, 3}
+	got := DecodeAppend(append([]float32(nil), prefix...), src)
+	if len(got) != len(prefix)+21 {
+		t.Fatalf("DecodeAppend length %d, want %d", len(got), len(prefix)+21)
+	}
+	want := make([]float32, 21)
+	decodeSliceScalar(want, src)
+	for i, f := range prefix {
+		if got[i] != f {
+			t.Fatalf("prefix clobbered at %d", i)
+		}
+	}
+	for i := range want {
+		if math.Float32bits(got[len(prefix)+i]) != math.Float32bits(want[i]) {
+			t.Fatalf("elem %d: got bits %#08x, want %#08x",
+				i, math.Float32bits(got[len(prefix)+i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// benchSrc builds one encoded vector of dim elements: mostly normals with a
+// sprinkle of zeros, matching real embedding payloads.
+func benchSrc(dim int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float32, dim)
+	for i := range vals {
+		if i%16 == 15 {
+			vals[i] = 0
+		} else {
+			vals[i] = float32(rng.NormFloat64())
+		}
+	}
+	return EncodeSlice(nil, vals)
+}
+
+func BenchmarkDecodeSlice(b *testing.B) {
+	for _, dim := range []int{16, 64, 256} {
+		src := benchSrc(dim)
+		dst := make([]float32, dim)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				DecodeSlice(dst, src)
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeSliceScalar is the pre-unrolling baseline, kept so the
+// speedup stays measurable in one `go test -bench DecodeSlice` run.
+func BenchmarkDecodeSliceScalar(b *testing.B) {
+	for _, dim := range []int{16, 64, 256} {
+		src := benchSrc(dim)
+		dst := make([]float32, dim)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				decodeSliceScalar(dst, src)
+			}
+		})
+	}
+}
+
+func sizeName(dim int) string {
+	switch dim {
+	case 16:
+		return "dim16"
+	case 64:
+		return "dim64"
+	case 256:
+		return "dim256"
+	}
+	return "dim?"
+}

@@ -139,17 +139,50 @@ func EncodeSlice(dst []byte, src []float32) []byte {
 	return dst
 }
 
+// decodeTable maps every binary16 bit pattern to the bits of its binary32
+// value. 256 KiB buys a branchless one-load-per-element bulk decode that is
+// bit-identical to ToFloat32 by construction (including signed zeros,
+// subnormals, infinities and NaN payload quieting). Embedding payloads
+// cluster on a few exponents, so the hot entries stay cache-resident.
+var decodeTable = func() *[1 << 16]uint32 {
+	var t [1 << 16]uint32
+	for i := range t {
+		t[i] = math.Float32bits(Float16(i).ToFloat32())
+	}
+	return &t
+}()
+
 // DecodeSlice decodes a packed little-endian binary16 buffer into dst
 // (float32). It decodes min(len(dst), len(src)/2) elements and returns the
 // number decoded.
+//
+// This is the serving path's bulk decode (one call per vector on every
+// cache fill, and the client-side decode of the binary wire protocol), so
+// it is unrolled 8 wide over 64-bit loads with table-driven lane
+// conversion instead of converting element-at-a-time through ToFloat32.
 func DecodeSlice(dst []float32, src []byte) int {
 	n := len(src) / 2
 	if n > len(dst) {
 		n = len(dst)
 	}
-	for i := 0; i < n; i++ {
-		bits := binary.LittleEndian.Uint16(src[2*i:])
-		dst[i] = Float16(bits).ToFloat32()
+	t := decodeTable
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[2*i : 2*i+16 : 2*i+16]
+		lo := binary.LittleEndian.Uint64(s)
+		hi := binary.LittleEndian.Uint64(s[8:])
+		d := dst[i : i+8 : i+8]
+		d[0] = math.Float32frombits(t[uint16(lo)])
+		d[1] = math.Float32frombits(t[uint16(lo>>16)])
+		d[2] = math.Float32frombits(t[uint16(lo>>32)])
+		d[3] = math.Float32frombits(t[lo>>48])
+		d[4] = math.Float32frombits(t[uint16(hi)])
+		d[5] = math.Float32frombits(t[uint16(hi>>16)])
+		d[6] = math.Float32frombits(t[uint16(hi>>32)])
+		d[7] = math.Float32frombits(t[hi>>48])
+	}
+	for ; i < n; i++ {
+		dst[i] = math.Float32frombits(t[binary.LittleEndian.Uint16(src[2*i:])])
 	}
 	return n
 }
@@ -157,11 +190,14 @@ func DecodeSlice(dst []float32, src []byte) int {
 // DecodeAppend decodes every element of src and appends them to dst.
 func DecodeAppend(dst []float32, src []byte) []float32 {
 	n := len(src) / 2
-	for i := 0; i < n; i++ {
-		bits := binary.LittleEndian.Uint16(src[2*i:])
-		dst = append(dst, Float16(bits).ToFloat32())
+	if free := cap(dst) - len(dst); free < n {
+		grown := make([]float32, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
 	}
-	return dst
+	out := dst[:len(dst)+n]
+	DecodeSlice(out[len(dst):], src)
+	return out
 }
 
 // Quantize rounds every element of v through binary16 and back, in place,

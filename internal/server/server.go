@@ -28,6 +28,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -40,6 +41,7 @@ import (
 
 	"bandana/internal/core"
 	"bandana/internal/metrics"
+	"bandana/internal/wire"
 )
 
 // MaxBatchIDs bounds the ids accepted by one /v1/batch call (and the total
@@ -49,11 +51,15 @@ import (
 // subdivides client batches.
 const MaxBatchIDs = 8192
 
-// Server wraps a core.Store with HTTP handlers.
+// Server wraps a core.Store with HTTP handlers and an optional binary wire
+// protocol (bwp) listener, see ServeWire.
 type Server struct {
 	ref   atomic.Pointer[storeRef]
 	mux   *http.ServeMux
 	start time.Time
+
+	wire        *wire.Server
+	wireEnabled atomic.Bool
 
 	requests metrics.Counter
 	errors   metrics.Counter
@@ -78,6 +84,7 @@ func New(store *core.Store) *Server {
 		latency: metrics.NewLatencyHistogram(),
 	}
 	s.ref.Store(&storeRef{store: store})
+	s.wire = &wire.Server{Backend: wireBackend{s}, MaxBatch: MaxBatchIDs}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
@@ -140,10 +147,29 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
+// jsonBufPool recycles response-encoding buffers across requests: the hot
+// lookup/batch handlers would otherwise allocate a fresh buffer (growing
+// through several sizes for large batches) per response. Buffers that grew
+// beyond maxPooledJSONBuf are dropped instead of pinned in the pool forever.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledJSONBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 type errorResponse struct {
@@ -293,6 +319,7 @@ type statsResponse struct {
 	Tables     []core.TableStats    `json:"tables"`
 	Device     deviceStats          `json:"device"`
 	IOSched    ioschedStats         `json:"iosched"`
+	Wire       wireStats            `json:"wire"`
 	Server     serverStats          `json:"server"`
 	Store      storeStats           `json:"store"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
@@ -476,6 +503,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoveredRecords: dev.Store.RecoveredRecords,
 		},
 		IOSched: renderIOSchedStats(store),
+		Wire:    s.renderWireStats(),
 		Server: serverStats{
 			Requests: s.requests.Value(),
 			Errors:   s.errors.Value(),

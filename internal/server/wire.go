@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"net"
+
+	"bandana/internal/core"
+	"bandana/internal/wire"
+)
+
+// ServeWire serves the store over bwp/1 (the binary wire protocol) on ln,
+// alongside the HTTP API. Lookups travel as raw fp16 — no JSON, no float64
+// round-trip — straight from the store's raw read view. It blocks until ln
+// fails (net.ErrClosed after the caller closes it).
+//
+// The wire path shares the HTTP path's store-swap discipline: every request
+// pins the store it started with, so a concurrent SwapStore cannot close a
+// store out from under a frame being served.
+func (s *Server) ServeWire(ln net.Listener) error {
+	s.wireEnabled.Store(true)
+	return s.wire.Serve(ln)
+}
+
+// WireServer exposes the underlying wire server (for tests and for serving
+// an already-accepted connection).
+func (s *Server) WireServer() *wire.Server { return s.wire }
+
+// wireBackend adapts the Server (with its storeRef pinning) to wire.Backend.
+type wireBackend struct{ s *Server }
+
+func (b wireBackend) LookupBatchRaw(table string, ids []uint32) (int, [][]byte, error) {
+	ref := b.s.acquireRef()
+	defer ref.release()
+	store := ref.store
+	idx, err := store.TableIndex(table)
+	if err != nil {
+		return 0, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+	}
+	dim, err := store.TableDim(idx)
+	if err != nil {
+		return 0, nil, &wire.Error{Code: wire.CodeInternal, Msg: err.Error()}
+	}
+	vecs, err := store.LookupBatchRaw(idx, ids)
+	if err != nil {
+		// Lookup failures are id-range problems: the client asked for
+		// something the table does not hold.
+		return 0, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+	}
+	return dim, vecs, nil
+}
+
+func (b wireBackend) UpdateRaw(table string, id uint32, raw []byte) error {
+	ref := b.s.acquireRef()
+	defer ref.release()
+	store := ref.store
+	idx, err := store.TableIndex(table)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+	}
+	if err := store.UpdateVectorRaw(idx, id, raw); err != nil {
+		code := wire.CodeBadRequest
+		if errors.Is(err, core.ErrReadOnly) {
+			code = wire.CodeInternal
+		}
+		return &wire.Error{Code: code, Msg: err.Error()}
+	}
+	return nil
+}
+
+// wireStats is the JSON rendering of the wire listener's counters under
+// "wire" in /v1/stats. Enabled is false until ServeWire is called.
+type wireStats struct {
+	Enabled     bool  `json:"enabled"`
+	ConnsTotal  int64 `json:"connsTotal"`
+	ConnsActive int64 `json:"connsActive"`
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"`
+}
+
+func (s *Server) renderWireStats() wireStats {
+	st := s.wire.Stats()
+	return wireStats{
+		Enabled:     s.wireEnabled.Load(),
+		ConnsTotal:  st.ConnsTotal,
+		ConnsActive: st.ConnsActive,
+		Requests:    st.Requests,
+		Errors:      st.Errors,
+	}
+}

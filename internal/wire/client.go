@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bandana/internal/fp16"
+)
+
+// Options configure a Client.
+type Options struct {
+	// DialTimeout bounds connection establishment in Dial. Zero means no
+	// timeout.
+	DialTimeout time.Duration
+	// CRC requests CRC32-C payload trailers on every frame in both
+	// directions: the client appends them to requests and the server
+	// mirrors the flag on responses, which the client then verifies.
+	CRC bool
+}
+
+// Client is a bwp/1 client over one persistent connection. Calls from any
+// number of goroutines are multiplexed by request id: writes from
+// concurrent callers coalesce into shared flushes, and a single reader
+// goroutine routes responses back by id, so slow requests never block fast
+// ones. After a transport error the client is dead (Err reports why) and
+// every pending and future call fails; the caller reconnects with Dial.
+type Client struct {
+	conn net.Conn
+	crc  bool
+
+	wmu  sync.Mutex // guards bw, werr
+	bw   *bufio.Writer
+	werr error
+	wq   atomic.Int32 // senders queued for wmu (flush coalescing)
+
+	mu      sync.Mutex
+	pending map[uint64]chan delivered
+	closed  bool
+	err     error
+
+	nextID   atomic.Uint64
+	readerWG sync.WaitGroup
+}
+
+type delivered struct {
+	flags   byte
+	payload []byte
+}
+
+// Dial connects to a bwp server.
+func Dial(addr string, opts Options) (*Client, error) {
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, opts), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, e.g. net.Pipe in
+// tests) in a Client and starts its reader.
+func NewClient(conn net.Conn, opts Options) *Client {
+	c := &Client{
+		conn:    conn,
+		crc:     opts.CRC,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan delivered),
+	}
+	c.readerWG.Add(1)
+	go func() {
+		defer c.readerWG.Done()
+		c.readLoop()
+	}()
+	return c
+}
+
+// Close tears the connection down. Pending calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	c.readerWG.Wait()
+	return nil
+}
+
+// Err returns the error that killed the client, or nil while it is usable.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// fail marks the client dead, wakes every pending call and closes the
+// connection. The first cause wins; later calls are no-ops.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = cause
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var hdr [HeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		h, err := parseHeader(hdr[:])
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		payload := make([]byte, h.Len)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		if h.Flags&FlagCRC != 0 {
+			var tr [4]byte
+			if _, err := io.ReadFull(br, tr[:]); err != nil {
+				c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+				return
+			}
+			if binary.LittleEndian.Uint32(tr[:]) != Checksum(payload) {
+				c.fail(ErrBadCRC)
+				return
+			}
+		}
+		c.mu.Lock()
+		ch := c.pending[h.ReqID]
+		delete(c.pending, h.ReqID)
+		c.mu.Unlock()
+		if ch != nil {
+			// Buffered (cap 1) and delivered at most once: never blocks.
+			ch <- delivered{flags: h.Flags, payload: payload}
+		}
+		// Unknown request id: a response to a call the caller abandoned
+		// (context cancelled). Dropped on the floor by design.
+	}
+}
+
+// send writes one frame. Concurrent senders coalesce: a sender skips the
+// flush when another sender is already queued for the lock, because that
+// sender is committed to writing and will flush (or defer to yet another).
+// The last writer in a burst always flushes, so nothing sits in the buffer
+// while the line is idle.
+func (c *Client) send(frame []byte) error {
+	c.wq.Add(1)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		c.wq.Add(-1)
+		return c.werr
+	}
+	_, err := c.bw.Write(frame)
+	if c.wq.Add(-1) == 0 && err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.werr = err
+		c.fail(err)
+	}
+	return err
+}
+
+// roundTrip sends one request and waits for its response payload.
+func (c *Client) roundTrip(ctx context.Context, opcode byte, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan delivered, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	h := Header{Opcode: opcode, ReqID: id}
+	if c.crc {
+		h.Flags = FlagCRC
+	}
+	frame := appendFrame(make([]byte, 0, HeaderLen+len(payload)+4), h, payload)
+	if err := c.send(frame); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			return nil, c.Err()
+		}
+		if d.flags&FlagError != 0 {
+			return nil, parseError(d.payload)
+		}
+		return d.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// LookupBatchRaw resolves ids to their fp16 encodings. The returned views
+// share one contiguous response buffer owned by the caller.
+func (c *Client) LookupBatchRaw(ctx context.Context, table string, ids []uint32) (dim int, vecs [][]byte, err error) {
+	req := appendLookupRequest(make([]byte, 0, 2+len(table)+4+4*len(ids)), table, ids)
+	resp, err := c.roundTrip(ctx, OpLookup, req)
+	if err != nil {
+		return 0, nil, err
+	}
+	return parseLookupResponse(resp, len(ids))
+}
+
+// LookupBatchF32 resolves ids and decodes the fp16 response to float32.
+// All vectors share one backing array, decoded with a single bulk
+// fp16.DecodeSlice pass over the contiguous response payload.
+func (c *Client) LookupBatchF32(ctx context.Context, table string, ids []uint32) ([][]float32, error) {
+	req := appendLookupRequest(make([]byte, 0, 2+len(table)+4+4*len(ids)), table, ids)
+	resp, err := c.roundTrip(ctx, OpLookup, req)
+	if err != nil {
+		return nil, err
+	}
+	dim, _, err := parseLookupResponse(resp, len(ids))
+	if err != nil {
+		return nil, err
+	}
+	flat := make([]float32, len(ids)*dim)
+	fp16.DecodeSlice(flat, resp[lookupResponseHeaderLen:])
+	out := make([][]float32, len(ids))
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return out, nil
+}
+
+// Update overwrites id in table with raw fp16 bytes.
+func (c *Client) Update(ctx context.Context, table string, id uint32, raw []byte) error {
+	req := appendUpdateRequest(make([]byte, 0, 2+len(table)+4+len(raw)), table, id, raw)
+	_, err := c.roundTrip(ctx, OpUpdate, req)
+	return err
+}
+
+// UpdateF32 encodes vec to fp16 and updates id in table.
+func (c *Client) UpdateF32(ctx context.Context, table string, id uint32, vec []float32) error {
+	return c.Update(ctx, table, id, fp16.EncodeSlice(make([]byte, 0, len(vec)*fp16.ByteSize), vec))
+}
+
+// Ping round-trips an empty frame, verifying liveness and protocol accord.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, OpPing, nil)
+	return err
+}

@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend serves bwp requests. Implementations return raw fp16 vector bytes
+// (the store's canonical encoding) so the wire path never widens to float.
+//
+// A Backend may return *Error to pick the error code sent to the client;
+// any other error is reported as CodeInternal.
+type Backend interface {
+	// LookupBatchRaw resolves ids in table to their fp16 encodings. All
+	// returned vectors are dim elements (2*dim bytes) long.
+	LookupBatchRaw(table string, ids []uint32) (dim int, vecs [][]byte, err error)
+	// UpdateRaw overwrites id in table with the given fp16 encoding.
+	UpdateRaw(table string, id uint32, raw []byte) error
+}
+
+// ServerStats are cumulative counters for one Server.
+type ServerStats struct {
+	ConnsTotal  int64 `json:"conns_total"`
+	ConnsActive int64 `json:"conns_active"`
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"` // error frames sent
+}
+
+// Server accepts bwp/1 connections and dispatches frames to a Backend.
+// Requests multiplexed on one connection are handled concurrently and
+// responses are written back as they finish, coalescing queued frames into
+// single flushes.
+type Server struct {
+	Backend Backend
+	// MaxBatch caps ids per lookup request; 0 means DefaultMaxBatch.
+	MaxBatch int
+
+	connsTotal  atomic.Int64
+	connsActive atomic.Int64
+	requests    atomic.Int64
+	errorFrames atomic.Int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsTotal:  s.connsTotal.Load(),
+		ConnsActive: s.connsActive.Load(),
+		Requests:    s.requests.Load(),
+		Errors:      s.errorFrames.Load(),
+	}
+}
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatch > 0 {
+		return s.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+// Serve accepts connections until ln fails (returning net.ErrClosed after
+// ln.Close). Each connection is served on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveTracked(conn)
+	}
+}
+
+func (s *Server) serveTracked(conn net.Conn) {
+	s.connsTotal.Add(1)
+	s.connsActive.Add(1)
+	defer s.connsActive.Add(-1)
+	s.ServeConn(conn)
+}
+
+// ServeConn handles one connection and returns when it is closed or the
+// stream breaks. Unframeable input (bad magic, unsupported version,
+// oversized frame, CRC mismatch) tears the connection down, answering with
+// an error frame first when the request id is still trustworthy;
+// well-framed but invalid requests get per-id error frames and the
+// connection stays open.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+
+	out := make(chan []byte, 64)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(conn, out)
+	}()
+
+	var handlers sync.WaitGroup
+	s.readLoop(conn, out, &handlers)
+
+	// Let in-flight handlers finish and queue their responses, then shut
+	// the writer down once everything queued has been written (or the
+	// writer has failed and is draining).
+	handlers.Wait()
+	close(out)
+	writerWG.Wait()
+}
+
+func (s *Server) readLoop(conn net.Conn, out chan<- []byte, handlers *sync.WaitGroup) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [HeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		h, err := parseHeader(hdr[:])
+		if err != nil {
+			// The magic validated but the frame is unusable. The request
+			// id is still meaningful, so answer before closing; with a bad
+			// magic the stream is garbage and there is nothing to say.
+			if !errors.Is(err, ErrBadMagic) {
+				reqID := binary.LittleEndian.Uint64(hdr[8:])
+				s.sendError(out, reqID, false, CodeBadRequest, err.Error())
+			}
+			return
+		}
+		payload := make([]byte, h.Len)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		if h.Flags&FlagCRC != 0 {
+			var tr [4]byte
+			if _, err := io.ReadFull(br, tr[:]); err != nil {
+				return
+			}
+			if binary.LittleEndian.Uint32(tr[:]) != Checksum(payload) {
+				// Corruption in transit: nothing later on this stream can
+				// be trusted either.
+				s.sendError(out, h.ReqID, false, CodeBadRequest, ErrBadCRC.Error())
+				return
+			}
+		}
+		if h.Flags&^knownFlags != 0 || h.Flags&FlagError != 0 {
+			s.sendError(out, h.ReqID, h.Flags&FlagCRC != 0, CodeBadRequest, "unsupported flags")
+			continue
+		}
+		s.requests.Add(1)
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			s.handle(h, payload, out)
+		}()
+	}
+}
+
+// handle services one request frame and queues the response.
+func (s *Server) handle(h Header, payload []byte, out chan<- []byte) {
+	withCRC := h.Flags&FlagCRC != 0
+	resp := Header{Opcode: h.Opcode, ReqID: h.ReqID}
+	if withCRC {
+		resp.Flags = FlagCRC
+	}
+	switch h.Opcode {
+	case OpLookup:
+		table, ids, err := parseLookupRequest(payload)
+		if err != nil {
+			s.sendError(out, h.ReqID, withCRC, CodeBadRequest, err.Error())
+			return
+		}
+		if len(ids) > s.maxBatch() {
+			s.sendError(out, h.ReqID, withCRC, CodeTooLarge, "batch exceeds server limit")
+			return
+		}
+		dim, vecs, err := s.Backend.LookupBatchRaw(table, ids)
+		if err != nil {
+			s.sendBackendError(out, h.ReqID, withCRC, err)
+			return
+		}
+		pay := appendLookupResponse(make([]byte, 0, lookupResponseHeaderLen+len(vecs)*dim*2), dim, vecs)
+		out <- appendFrame(make([]byte, 0, HeaderLen+len(pay)+4), resp, pay)
+	case OpUpdate:
+		table, id, raw, err := parseUpdateRequest(payload)
+		if err != nil {
+			s.sendError(out, h.ReqID, withCRC, CodeBadRequest, err.Error())
+			return
+		}
+		if err := s.Backend.UpdateRaw(table, id, raw); err != nil {
+			s.sendBackendError(out, h.ReqID, withCRC, err)
+			return
+		}
+		out <- appendFrame(nil, resp, nil)
+	case OpPing:
+		out <- appendFrame(nil, resp, nil)
+	default:
+		s.sendError(out, h.ReqID, withCRC, CodeBadRequest, "unknown opcode")
+	}
+}
+
+func (s *Server) sendBackendError(out chan<- []byte, reqID uint64, withCRC bool, err error) {
+	var werr *Error
+	if errors.As(err, &werr) {
+		s.sendError(out, reqID, withCRC, werr.Code, werr.Msg)
+		return
+	}
+	s.sendError(out, reqID, withCRC, CodeInternal, err.Error())
+}
+
+func (s *Server) sendError(out chan<- []byte, reqID uint64, withCRC bool, code uint16, msg string) {
+	s.errorFrames.Add(1)
+	out <- appendErrorFrame(nil, reqID, withCRC, code, msg)
+}
+
+// writeLoop drains queued response frames into the connection. Frames that
+// pile up while a write is in progress are coalesced into the same flush,
+// so a burst of multiplexed responses costs one syscall, while an isolated
+// response is flushed immediately. After a write error it keeps draining
+// (discarding) so handlers never block, and closes the conn so the read
+// loop unblocks too.
+func (s *Server) writeLoop(conn net.Conn, out <-chan []byte) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var err error
+	for frame := range out {
+		for {
+			if err == nil {
+				_, err = bw.Write(frame)
+			}
+			select {
+			case next, ok := <-out:
+				if !ok {
+					if err == nil {
+						bw.Flush()
+					}
+					return
+				}
+				frame = next
+				continue
+			default:
+			}
+			break
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			conn.Close()
+		}
+	}
+}
