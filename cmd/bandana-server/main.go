@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -100,6 +101,8 @@ func main() {
 		ioCoalesce = flag.Bool("io-coalesce", true, "coalesce concurrent reads of the same NVM block into one device read (requires --io-qd > 0)")
 		ioWindow   = flag.Duration("io-window", 0, "max time a queued read waits for its batch to fill toward --io-qd (requires --io-qd > 0; 0 dispatches immediately)")
 
+		updateLog = flag.Bool("update-log", true, "write-optimized update path: vector updates append to an in-DRAM delta log (one log write per update) that replicas tail incrementally; off = every update read-modify-writes its 4KB block through the journal")
+
 		replicaOf   = flag.String("replica-of", "", "bootstrap from this primary's snapshot stream and serve read-only (requires --data-dir)")
 		replicaPoll = flag.Duration("replica-poll", 2*time.Second, "how often a replica polls the primary's snapshot seq")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -136,11 +139,15 @@ func main() {
 		// A replica serves its primary's snapshot read-only: flags that
 		// would generate, train or adapt local state have nothing to act
 		// on. Reject them loudly rather than silently dropping them.
+		// --update-log is also rejected: the replica path enables its own
+		// update log unconditionally (it is how replicated records are
+		// re-logged and replayed).
 		incompatible := map[string]bool{
 			"scale": true, "tables": true, "requests": true, "dram": true,
 			"train": true, "save-state": true, "backend": true, "drift": true,
 			"adapt": true, "adapt-relayout": true, "adapt-budget": true,
 			"adapt-strategy": true, "adapt-sample": true, "seed": true, "shards": true,
+			"update-log": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if incompatible[f.Name] {
@@ -185,6 +192,7 @@ func main() {
 			Window:     *ioWindow,
 			NoCoalesce: !*ioCoalesce,
 		},
+		UpdateLog: core.UpdateLogOptions{Enabled: *updateLog},
 	}
 	if *ioQD > 0 {
 		log.Printf("I/O scheduler enabled: target queue depth %d, coalescing %v, accumulation window %s",
@@ -308,17 +316,30 @@ func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOption
 			adaptOpts.Interval, adaptOpts.RelayoutEvery, adaptOpts.RelayoutStrategy)
 	}
 	srv := server.New(store)
+	handler := http.Handler(srv.Handler())
 	if rep != nil {
 		// Follow the primary: each re-sync opens the new snapshot and swaps
-		// it in; the server drains and closes the superseded store.
+		// it in; the server drains and closes the superseded store. Most seq
+		// advances never reach this callback — they are absorbed by tailing
+		// the primary's update log into the open store.
 		go rep.Run(func(next *core.Store) {
 			log.Printf("re-synced to primary snapshot seq %d", rep.ActiveSeq())
 			srv.SwapStore(next)
 		})
+		// Expose how the replica is following (incremental batches vs full
+		// re-syncs, restart backoff, stall flag) for operators and the
+		// cluster smoke test.
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/replica/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rep.Stats())
+		})
+		mux.Handle("/", handler)
+		handler = mux
 	}
 	httpServer := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -7,6 +7,13 @@
 // then SIGHUPs a membership that pins every partition to the surviving
 // node and asserts the errors disappear without the router restarting.
 //
+// A second phase exercises replication under updates: a file-backed primary
+// and a --replica-of follower, a continuous POST /v1/update stream, and the
+// assertions that the replica converges by tailing the primary's update log
+// (one bootstrap sync, zero store swaps, every record applied incrementally),
+// that it serves the updated bytes, and that its lag stays bounded across a
+// kill -9 and restart of the primary.
+//
 //	go run ./cmd/cluster-smoke
 //
 // Exits non-zero (with a diagnostic) on any violated assertion.
@@ -34,6 +41,8 @@ const (
 	routerAddr    = "127.0.0.1:19180"
 	nodeAWireAddr = "127.0.0.1:19183"
 	nodeBWireAddr = "127.0.0.1:19184"
+	primaryAddr   = "127.0.0.1:19185"
+	replicaAddr   = "127.0.0.1:19186"
 	tableName     = "table1"
 	numIDs        = 256
 )
@@ -145,6 +154,110 @@ func nodeStat(st *cluster.RouterStats, id string) (*cluster.NodeStats, error) {
 		}
 	}
 	return nil, fmt.Errorf("node %s missing from router stats", id)
+}
+
+// postUpdate writes one vector through a node's JSON update endpoint and
+// returns the store seq the update committed at.
+func postUpdate(base string, id uint32, vec []float32) (uint64, error) {
+	body, _ := json.Marshal(struct {
+		Table  string    `json:"table"`
+		ID     uint32    `json:"id"`
+		Vector []float32 `json:"vector"`
+	}{tableName, id, vec})
+	resp, err := http.Post(base+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s/v1/update: %s", base, resp.Status)
+	}
+	var out struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Seq, nil
+}
+
+// getVector fetches one vector from a node's JSON lookup endpoint.
+func getVector(base string, id uint32) ([]float32, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/lookup?table=%s&id=%d", base, tableName, id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/v1/lookup: %s", base, resp.Status)
+	}
+	var out struct {
+		Vector []float32 `json:"vector"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Vector, nil
+}
+
+// replicaStats fetches the replica's sync-state counters.
+func replicaStats() (*cluster.ReplicaStats, error) {
+	resp, err := http.Get("http://" + replicaAddr + "/v1/replica/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica /v1/replica/stats: %s", resp.Status)
+	}
+	var out cluster.ReplicaStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// waitReplicaSeq polls the replica until its active seq reaches want —
+// bounded lag is the property under test, so a miss is a failure.
+func waitReplicaSeq(want uint64, timeout time.Duration) (*cluster.ReplicaStats, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := replicaStats()
+		if err == nil && st.ActiveSeq >= want {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return nil, fmt.Errorf("replica stats unreachable after %s: %w", timeout, err)
+			}
+			return nil, fmt.Errorf("replica lag unbounded: stuck at seq %d (want >= %d) after %s: %+v",
+				st.ActiveSeq, want, timeout, *st)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// updateVec is the deterministic payload for (id, phase): duplicate writes
+// of the same (id, phase) are idempotent, so the retrying streamer in the
+// kill -9 window cannot perturb the final image.
+func updateVec(id uint32, dim, phase int) []float32 {
+	v := make([]float32, dim)
+	for d := range v {
+		v[d] = float32(phase*100) + float32(id%31) + float32(d%13)*0.5
+	}
+	return v
+}
+
+func sameVec(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func run() error {
@@ -357,5 +470,167 @@ func run() error {
 		time.Sleep(200 * time.Millisecond)
 	}
 	fmt.Fprintln(os.Stderr, "SIGHUP reload rerouted the dead node's partitions: full batch served")
+
+	return runReplicationPhase(tmp, serverBin)
+}
+
+// runReplicationPhase exercises the incremental replication path end to end:
+// a file-backed primary, a --replica-of follower, and a POST /v1/update
+// stream. The replica must converge by tailing the primary's update log
+// (one bootstrap sync, zero snapshot re-syncs, every record applied as a
+// delta), serve the updated bytes, and re-converge with bounded lag after
+// the primary is kill -9ed mid-stream and restarted from its data dir.
+func runReplicationPhase(tmp, serverBin string) error {
+	fmt.Fprintln(os.Stderr, "replication: starting file-backed primary and incremental replica...")
+	primaryURL := "http://" + primaryAddr
+	replicaURL := "http://" + replicaAddr
+	// --sync always: the kill -9 below must not lose committed update-log
+	// records, or the restarted primary's seq would fall behind the replica.
+	primaryArgs := []string{
+		"--addr", primaryAddr, "--backend", "file",
+		"--data-dir", filepath.Join(tmp, "primary-data"), "--sync", "always",
+		"--scale", "0.0005", "--tables", "2", "--train=false", "--seed", "1",
+	}
+	primary, err := start("primary", serverBin, primaryArgs...)
+	if err != nil {
+		return err
+	}
+	defer func() { primary.stop() }()
+	if err := waitHealthy(primaryURL, 30*time.Second); err != nil {
+		return err
+	}
+	replica, err := start("replica", serverBin,
+		"--addr", replicaAddr, "--replica-of", primaryURL,
+		"--data-dir", filepath.Join(tmp, "replica-data"), "--replica-poll", "200ms")
+	if err != nil {
+		return err
+	}
+	defer replica.stop()
+	// Healthy implies the snapshot bootstrap finished: the replica only
+	// serves after Bootstrap returns.
+	if err := waitHealthy(replicaURL, 30*time.Second); err != nil {
+		return err
+	}
+
+	probe, err := getVector(primaryURL, 0)
+	if err != nil {
+		return err
+	}
+	dim := len(probe)
+
+	// Stream one update per id and require the replica to catch up by
+	// tailing the update log: exactly one sync (the bootstrap), zero 409
+	// restarts, and every streamed record applied as an incremental delta
+	// rather than via a full-image re-sync.
+	const updates1 = numIDs
+	var lastSeq uint64
+	for i := 0; i < updates1; i++ {
+		id := uint32(i % numIDs)
+		if lastSeq, err = postUpdate(primaryURL, id, updateVec(id, dim, 1)); err != nil {
+			return err
+		}
+	}
+	st, err := waitReplicaSeq(lastSeq, 20*time.Second)
+	if err != nil {
+		return err
+	}
+	if st.Syncs != 1 {
+		return fmt.Errorf("replica re-synced the full image under an update stream (%d syncs, want 1 bootstrap): %+v", st.Syncs, *st)
+	}
+	if st.SyncRestarts != 0 || st.SyncStalled {
+		return fmt.Errorf("replica hit the 409 restart path on a quiet primary: %+v", *st)
+	}
+	if st.DeltaRecords != updates1 {
+		return fmt.Errorf("replica applied %d delta records, want %d (one per streamed update): %+v", st.DeltaRecords, updates1, *st)
+	}
+	for _, id := range []uint32{0, 1, 131, numIDs - 1} {
+		p, err := getVector(primaryURL, id)
+		if err != nil {
+			return err
+		}
+		r, err := getVector(replicaURL, id)
+		if err != nil {
+			return err
+		}
+		if !sameVec(p, r) {
+			return fmt.Errorf("id %d diverged after incremental catch-up: primary %v != replica %v", id, p[:4], r[:4])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replication: replica caught up to seq %d via %d delta records in %d batches, 1 sync, 0 restarts\n",
+		st.ActiveSeq, st.DeltaRecords, st.DeltaBatches)
+
+	// Continuous stream across a primary crash: a streamer retries each
+	// update through the outage while the primary is kill -9ed and
+	// restarted from the same data dir. The replica must re-converge to the
+	// final seq within a bounded window and serve the new bytes. (A full
+	// re-sync is permitted here — crash recovery may invalidate the
+	// replica's tail position — but stalling is not.)
+	const updates2 = 2 * numIDs
+	var finalSeq atomic.Uint64
+	var streamErr atomic.Value
+	streamDone := make(chan struct{})
+	streamHalf := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		deadline := time.Now().Add(60 * time.Second)
+		for i := 0; i < updates2; i++ {
+			if i == updates2/2 {
+				close(streamHalf)
+			}
+			id := uint32(i % numIDs)
+			for {
+				seq, err := postUpdate(primaryURL, id, updateVec(id, dim, 2))
+				if err == nil {
+					finalSeq.Store(seq)
+					break
+				}
+				if time.Now().After(deadline) {
+					streamErr.Store(fmt.Sprintf("update id %d never committed: %v", id, err))
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}()
+	// Kill only once the stream is demonstrably mid-flight: the streamer
+	// signals at the halfway mark, so the crash always interrupts live
+	// update traffic rather than landing after a fast stream finished.
+	<-streamHalf
+	fmt.Fprintln(os.Stderr, "replication: kill -9 primary mid-update-stream...")
+	primary.kill9()
+	time.Sleep(300 * time.Millisecond)
+	primary, err = start("primary", serverBin, primaryArgs...)
+	if err != nil {
+		return err
+	}
+	if err := waitHealthy(primaryURL, 30*time.Second); err != nil {
+		return err
+	}
+	<-streamDone
+	if msg := streamErr.Load(); msg != nil {
+		return fmt.Errorf("update stream did not survive the primary restart: %v", msg)
+	}
+	st, err = waitReplicaSeq(finalSeq.Load(), 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if st.SyncStalled {
+		return fmt.Errorf("replica stalled re-converging after primary crash: %+v", *st)
+	}
+	for _, id := range []uint32{0, 53, numIDs - 1} {
+		p, err := getVector(primaryURL, id)
+		if err != nil {
+			return err
+		}
+		r, err := getVector(replicaURL, id)
+		if err != nil {
+			return err
+		}
+		if !sameVec(p, r) {
+			return fmt.Errorf("id %d diverged after primary crash+restart: primary %v != replica %v", id, p[:4], r[:4])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replication: replica re-converged to seq %d across kill -9 (%d syncs, %d delta records)\n",
+		st.ActiveSeq, st.Syncs, st.DeltaRecords)
 	return nil
 }

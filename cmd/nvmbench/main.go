@@ -13,6 +13,7 @@
 //	nvmbench --mode qd-sweep --io-qd 8  # single depth instead of the sweep
 //	nvmbench --mode qd-sweep --io-coalesce=false --backend file
 //	nvmbench --mode serve-sweep         # bwp vs HTTP/JSON serving throughput
+//	nvmbench --mode update-sweep        # journaled-RMW vs delta-log vector updates/sec
 //	nvmbench --mode qd --json out.json  # machine-readable results (CI artifacts)
 package main
 
@@ -53,15 +54,18 @@ type jsonOutput struct {
 	// ServeSweep is the end-to-end serving comparison of --mode serve-sweep:
 	// local vs bwp vs HTTP/JSON lookup throughput per batch size.
 	ServeSweep *serveSweepResult `json:"serveSweep,omitempty"`
+	// UpdateSweep is the write-path comparison of --mode update-sweep:
+	// journaled block RMW vs append-only delta-log updates/sec.
+	UpdateSweep *updateSweepResult `json:"updateSweep,omitempty"`
 }
 
 // validateFlags rejects flag combinations before any backing store is
 // created. ioQDSet/ioCoalesceSet report explicitly passed flags.
 func validateFlags(mode string, ioQD int, ioQDSet, ioCoalesceSet bool) error {
 	switch mode {
-	case "qd", "load", "qd-sweep", "serve-sweep":
+	case "qd", "load", "qd-sweep", "serve-sweep", "update-sweep":
 	default:
-		return fmt.Errorf("unknown mode %q (want qd, load, qd-sweep or serve-sweep)", mode)
+		return fmt.Errorf("unknown mode %q (want qd, load, qd-sweep, serve-sweep or update-sweep)", mode)
 	}
 	if mode != "qd-sweep" && (ioQDSet || ioCoalesceSet) {
 		return fmt.Errorf("--io-qd/--io-coalesce configure the I/O scheduler and are only meaningful with --mode qd-sweep (mode %q drives the device directly)", mode)
@@ -98,7 +102,7 @@ func writeJSONFile(path string, v any) error {
 
 func main() {
 	var (
-		mode        = flag.String("mode", "qd", "benchmark mode: qd (raw-device queue depth sweep), load (latency vs throughput), qd-sweep (scheduler miss-path sweep) or serve-sweep (bwp vs HTTP/JSON serving)")
+		mode        = flag.String("mode", "qd", "benchmark mode: qd (raw-device queue depth sweep), load (latency vs throughput), qd-sweep (scheduler miss-path sweep), serve-sweep (bwp vs HTTP/JSON serving) or update-sweep (journaled-RMW vs delta-log updates)")
 		jobs        = flag.Int("jobs", 4, "concurrent jobs (qd and serve-sweep modes)")
 		ops         = flag.Int("ops", 500, "reads per worker (qd, qd-sweep and serve-sweep modes)")
 		blocks      = flag.Int("blocks", 8192, "device size in 4 KB blocks")
@@ -155,6 +159,41 @@ func main() {
 			out := jsonOutput{
 				Benchmark: "nvmbench", Mode: *mode, Backend: *backend,
 				Jobs: *jobs, Ops: *ops, Seed: *seed, ServeSweep: res,
+			}
+			if err := writeJSONFile(*jsonOut, out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("results written to %s\n", *jsonOut)
+		}
+		return
+	}
+
+	// update-sweep compares the two vector-update write paths on the file
+	// backend; like serve-sweep it owns its stores and returns early.
+	if *mode == "update-sweep" {
+		res, err := runUpdateSweep(updateSweepOptions{
+			DataDir: *dataDir, Sync: *syncStr,
+			Seed: *seed, Updates: *ops * 40, Jobs: *jobs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("update sweep, file backend, %d tables x %d vectors, dim %d (fp16), %d concurrent writers\n",
+			res.Tables, res.Vectors, res.Dim, res.Concurrent)
+		fmt.Printf("byte-identical final images across both paths: %v\n\n", res.ByteIdentical)
+		fmt.Printf("%-14s %-10s %-16s %-18s %-16s %-16s\n",
+			"path", "updates", "updates/sec", "mean lat (us)", "journal writes", "bytes written")
+		for _, leg := range []updateLeg{res.Journaled, res.DeltaLog} {
+			fmt.Printf("%-14s %-10d %-16.0f %-18.2f %-16d %-16d\n",
+				leg.Path, leg.Updates, leg.UpdatesPerSec, leg.MeanLatencyUS, leg.JournalWrites, leg.BytesWritten)
+		}
+		fmt.Printf("\ndelta-log speedup vs journaled RMW: %.2fx\n", res.Speedup)
+		if *jsonOut != "" {
+			out := jsonOutput{
+				Benchmark: "nvmbench", Mode: *mode, Backend: core.BackendFile,
+				Jobs: *jobs, Ops: *ops * 40, Seed: *seed, UpdateSweep: res,
 			}
 			if err := writeJSONFile(*jsonOut, out); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"bandana/internal/core"
+	"bandana/internal/fp16"
+	"bandana/internal/nvm"
+	"bandana/internal/table"
+)
+
+// updateLeg is one side of the update sweep: the same update stream applied
+// through one write path.
+type updateLeg struct {
+	Path          string  `json:"path"` // "journaled-rmw" or "delta-log"
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updatesPerSec"`
+	MeanLatencyUS float64 `json:"meanLatencyUS"`
+	// JournalWrites is the number of 4 KB write-ahead journal records the
+	// block file absorbed (the RMW path pays one per update plus the block
+	// overwrite; the delta path pays none until compaction).
+	JournalWrites int64 `json:"journalWrites"`
+	// BytesWritten is the device-level write traffic (blocks only, not the
+	// update log file).
+	BytesWritten int64 `json:"bytesWritten"`
+}
+
+// updateSweepResult is the --mode update-sweep section of the JSON artifact.
+type updateSweepResult struct {
+	Tables     int `json:"tables"`
+	Vectors    int `json:"vectorsPerTable"`
+	Dim        int `json:"dim"`
+	Concurrent int `json:"concurrentWriters"`
+	// Distribution of updated ids. Embedding updates follow the same skew
+	// as lookups (hot users are retrained most often), so the stream is
+	// Zipf-distributed — the access pattern the paper's traces exhibit.
+	Distribution string    `json:"distribution"`
+	Journaled    updateLeg `json:"journaled"`
+	DeltaLog     updateLeg `json:"deltaLog"`
+	// Speedup is delta-log updates/sec over journaled-RMW updates/sec.
+	Speedup float64 `json:"speedup"`
+	// ByteIdentical records that both legs served bit-identical vectors for
+	// a sampled id sweep after the stream (the sweep aborts if not).
+	ByteIdentical bool `json:"byteIdentical"`
+}
+
+type updateSweepOptions struct {
+	DataDir string
+	Sync    string
+	Seed    int64
+	Updates int // total updates per leg
+	Jobs    int // concurrent writer goroutines
+}
+
+const (
+	updateSweepTables  = 4
+	updateSweepVectors = 16384
+	updateSweepDim     = 64
+	// updateSweepZipfS skews the update stream: embedding tables see hot
+	// ids retrained far more often than the tail, mirroring the lookup
+	// skew in the paper's traces.
+	updateSweepZipfS = 1.07
+)
+
+// runUpdateSweep applies the identical update stream to two file-backed
+// stores — update log off (journaled block read-modify-write) and on
+// (append-only delta log) — and reports updates/sec, write amplification
+// and the speedup. Both stores must end up serving bit-identical vectors.
+func runUpdateSweep(opts updateSweepOptions) (*updateSweepResult, error) {
+	if opts.Updates <= 0 {
+		opts.Updates = 20000
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 4
+	}
+	syncMode, err := nvm.ParseSyncMode(opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	dir := opts.DataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "nvmbench-update-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	res := &updateSweepResult{
+		Tables: updateSweepTables, Vectors: updateSweepVectors, Dim: updateSweepDim,
+		Concurrent:   opts.Jobs,
+		Distribution: fmt.Sprintf("zipf(%.2f) per-writer span", updateSweepZipfS),
+	}
+	stores := make([]*core.Store, 2)
+	for i, enabled := range []bool{false, true} {
+		tables := make([]*table.Table, updateSweepTables)
+		for t := range tables {
+			g := table.Generate(fmt.Sprintf("emb-%d", t), table.GenerateOptions{
+				NumVectors: updateSweepVectors, Dim: updateSweepDim, NumClusters: 64,
+				Seed: opts.Seed + int64(t),
+			})
+			tables[t] = g.Table
+		}
+		s, err := core.Open(core.Config{
+			Tables:            tables,
+			DRAMBudgetVectors: 256,
+			Seed:              opts.Seed,
+			Backend:           core.BackendFile,
+			DataDir:           filepath.Join(dir, fmt.Sprintf("leg-%d", i)),
+			Sync:              syncMode,
+			UpdateLog:         core.UpdateLogOptions{Enabled: enabled},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		stores[i] = s
+	}
+
+	legs := []*updateLeg{&res.Journaled, &res.DeltaLog}
+	for i, s := range stores {
+		leg, err := measureUpdateLeg(s, opts.Updates, opts.Jobs, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		*legs[i] = leg
+		// Settle before the next leg: the journaled leg leaves hundreds of
+		// megabytes of dirty pages, and kernel writeback throttling would
+		// otherwise bleed into the next leg's timed window.
+		syscall.Sync()
+	}
+	res.Journaled.Path = "journaled-rmw"
+	res.DeltaLog.Path = "delta-log"
+	if res.Journaled.UpdatesPerSec > 0 {
+		res.Speedup = res.DeltaLog.UpdatesPerSec / res.Journaled.UpdatesPerSec
+	}
+
+	// Equivalence: both write paths must leave the stores serving the same
+	// bytes (the streams were identical).
+	for t := 0; t < updateSweepTables; t++ {
+		for id := uint32(0); id < updateSweepVectors; id += 53 {
+			a, err := stores[0].Lookup(t, id)
+			if err != nil {
+				return nil, err
+			}
+			b, err := stores[1].Lookup(t, id)
+			if err != nil {
+				return nil, err
+			}
+			for k := range a {
+				if math.Float32bits(a[k]) != math.Float32bits(b[k]) {
+					return nil, fmt.Errorf("table %d id %d elem %d: journaled %g != delta-log %g (write paths diverged)",
+						t, id, k, a[k], b[k])
+				}
+			}
+		}
+	}
+	res.ByteIdentical = true
+	return res, nil
+}
+
+// measureUpdateLeg drives `updates` UpdateVectorRaw calls across `jobs`
+// concurrent writers — the binary wire protocol's write path, fp16 end to
+// end, so the sweep measures the store's commit path rather than harness
+// work (payloads and the Zipf id stream are both precomputed outside the
+// timed window). The (table, id) space is flattened and split into disjoint
+// per-writer spans, and per-id payloads depend only on (table, id), so the
+// final image is the same regardless of interleaving — that is what makes
+// the two legs comparable bit for bit. Spreading writers across tables
+// matches the serving workload (a store hosts many embedding tables) and
+// exercises the per-table update paths concurrently.
+func measureUpdateLeg(s *core.Store, updates, jobs int, seed int64) (updateLeg, error) {
+	perWorker := updates / jobs
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	total := perWorker * jobs
+	span := updateSweepTables * updateSweepVectors / jobs
+
+	payloads := make([][]byte, updateSweepTables*updateSweepVectors)
+	vec := make([]float32, updateSweepDim)
+	for flat := range payloads {
+		tbl := flat / updateSweepVectors
+		id := uint32(flat % updateSweepVectors)
+		for d := range vec {
+			vec[d] = float32((uint32(tbl)*31+id)%1021) + float32(d%9)*0.25
+		}
+		payloads[flat] = fp16.EncodeSlice(make([]byte, 0, updateSweepDim*2), vec)
+	}
+	// Deterministic per writer: both legs replay the same id streams.
+	streams := make([][]int, jobs)
+	for w := range streams {
+		rng := rand.New(rand.NewSource(seed + int64(w)*104729))
+		zipf := rand.NewZipf(rng, updateSweepZipfS, 1, uint64(span-1))
+		ids := make([]int, perWorker)
+		for r := range ids {
+			ids[r] = w*span + int(zipf.Uint64())
+		}
+		streams[w] = ids
+	}
+	before := s.DeviceStats()
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, flat := range streams[w] {
+				tbl := flat / updateSweepVectors
+				id := uint32(flat % updateSweepVectors)
+				if err := s.UpdateVectorRaw(tbl, id, payloads[flat]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return updateLeg{}, firstErr
+	}
+	after := s.DeviceStats()
+	return updateLeg{
+		Updates:       total,
+		UpdatesPerSec: float64(total) / elapsed.Seconds(),
+		MeanLatencyUS: elapsed.Seconds() * float64(jobs) / float64(total) * 1e6,
+		JournalWrites: after.Store.JournalWrites - before.Store.JournalWrites,
+		BytesWritten:  after.BytesWritten - before.BytesWritten,
+	}, nil
+}

@@ -1,7 +1,16 @@
 // Replica bootstrap and follow: stream a primary's snapshot into a local
 // data dir (resumable, CRC-verified, chunk by chunk), open it read-only
-// through the normal core.Open path, and re-sync whenever the primary's
-// snapshot seq advances.
+// through the normal core.Open path, and keep following as the primary's
+// snapshot seq advances — incrementally when possible, by re-sync otherwise.
+//
+// Following is two-tiered. While the replica's seq lies inside the primary's
+// retained update-log window, Run tails /v1/replica/updates and applies the
+// individual update records to its OPEN store (core.ApplyReplicatedUpdates):
+// catching up after K updates transfers O(K · vecBytes), not O(image), and
+// the served store is never swapped. Only when the window is gone — the seq
+// was compacted away, a structural mutation (train, relayout) reset it, or
+// the primary predates the endpoint — does the replica fall back to the full
+// snapshot bootstrap path below.
 //
 // Layout under ReplicaOptions.DataDir:
 //
@@ -17,7 +26,9 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -87,6 +98,18 @@ type ReplicaStats struct {
 	BytesFetched     int64  `json:"bytesFetched"`
 	LastResumeOffset int64  `json:"lastResumeOffset"`
 	LastError        string `json:"lastError,omitempty"`
+	// DeltaBatches/DeltaRecords/DeltaBytes describe the incremental path:
+	// update batches applied to the open store without a snapshot re-sync.
+	DeltaBatches int64 `json:"deltaBatches"`
+	DeltaRecords int64 `json:"deltaRecords"`
+	DeltaBytes   int64 `json:"deltaBytes"`
+	// SyncRestarts counts full-snapshot syncs restarted because the
+	// primary's seq advanced mid-download (the 409 path). SyncStalled is
+	// set after several consecutive restarts — the replica keeps serving
+	// its last good snapshot and keeps retrying with backoff, but it is
+	// not converging.
+	SyncRestarts int64 `json:"syncRestarts"`
+	SyncStalled  bool  `json:"syncStalled"`
 }
 
 // Replica follows one primary. Create with NewReplica, then Bootstrap once
@@ -100,10 +123,28 @@ type Replica struct {
 	resumeOff    atomic.Int64
 	lastErr      atomic.Pointer[string]
 
+	// store is the open store deltas are applied to (set by Bootstrap and
+	// after every full re-sync). Run never closes it — server.SwapStore
+	// owns the close-after-drain lifecycle.
+	store        atomic.Pointer[core.Store]
+	deltaBatches metrics.Counter
+	deltaRecords metrics.Counter
+	deltaBytes   metrics.Counter
+	syncRestarts metrics.Counter
+	syncStalled  atomic.Bool
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// stalledThreshold is how many consecutive seq-advance restarts flip
+// SyncStalled on; backoffCap bounds the exponential restart backoff.
+const (
+	stalledThreshold = 3
+	backoffBase      = 100 * time.Millisecond
+	backoffCap       = 5 * time.Second
+)
 
 // NewReplica validates the options and prepares the local directory tree.
 func NewReplica(opts ReplicaOptions) (*Replica, error) {
@@ -123,6 +164,11 @@ func (r *Replica) Stats() ReplicaStats {
 		Syncs:            r.syncs.Value(),
 		BytesFetched:     r.bytesFetched.Value(),
 		LastResumeOffset: r.resumeOff.Load(),
+		DeltaBatches:     r.deltaBatches.Value(),
+		DeltaRecords:     r.deltaRecords.Value(),
+		DeltaBytes:       r.deltaBytes.Value(),
+		SyncRestarts:     r.syncRestarts.Value(),
+		SyncStalled:      r.syncStalled.Load(),
 	}
 	if msg := r.lastErr.Load(); msg != nil {
 		st.LastError = *msg
@@ -149,11 +195,18 @@ func (r *Replica) Bootstrap() (*core.Store, uint64, error) {
 	const maxRestarts = 5
 	var lastErr error
 	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if attempt > 0 && !r.sleepBackoff(attempt) {
+			break
+		}
 		dir, seq, err := r.syncSnapshot()
 		if err != nil {
 			if _, changed := err.(seqChangedError); changed {
+				// The primary moved on; back off, then re-sync at the new
+				// seq. Without the pause a write-heavy primary outruns the
+				// download every time and bootstrap livelocks.
 				lastErr = err
-				continue // the primary moved on; re-sync at the new seq
+				r.noteRestart(attempt + 1)
+				continue
 			}
 			r.recordErr(err)
 			return nil, 0, err
@@ -164,7 +217,9 @@ func (r *Replica) Bootstrap() (*core.Store, uint64, error) {
 			return nil, 0, err
 		}
 		r.seq.Store(seq)
+		r.store.Store(store)
 		r.syncs.Inc()
+		r.syncStalled.Store(false)
 		r.pruneBelow(seq)
 		return store, seq, nil
 	}
@@ -172,14 +227,46 @@ func (r *Replica) Bootstrap() (*core.Store, uint64, error) {
 	return nil, 0, fmt.Errorf("cluster: bootstrap gave up after %d seq changes: %w", maxRestarts, lastErr)
 }
 
-// Run follows the primary until Stop: whenever its snapshot seq passes the
-// replica's, the new snapshot is synced, opened read-only and handed to
-// swap (normally server.SwapStore, which drains and closes the previous
-// store). Sync failures are recorded and retried on the next poll.
+// noteRestart records one more consecutive seq-advance restart and flips the
+// stalled flag once they pile up.
+func (r *Replica) noteRestart(consecutive int) {
+	r.syncRestarts.Inc()
+	if consecutive >= stalledThreshold {
+		r.syncStalled.Store(true)
+	}
+}
+
+// sleepBackoff pauses before restart attempt n (1-based): 100ms doubling to
+// a 5s cap, interruptible by Stop. Returns false when stopping.
+func (r *Replica) sleepBackoff(n int) bool {
+	d := backoffBase
+	for i := 1; i < n && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	select {
+	case <-r.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// Run follows the primary until Stop. Whenever the primary's seq passes the
+// replica's it first tries the incremental path — tail /v1/replica/updates
+// and apply the records to the open store in place, no swap — and only when
+// that window is unavailable syncs a full snapshot, opens it read-only and
+// hands it to swap (normally server.SwapStore, which drains and closes the
+// previous store). Sync failures are recorded and retried on the next poll;
+// consecutive mid-download seq advances back off exponentially while the
+// last good snapshot keeps serving.
 func (r *Replica) Run(swap func(*core.Store)) {
 	defer close(r.done)
 	ticker := time.NewTicker(r.opts.PollInterval)
 	defer ticker.Stop()
+	restarts := 0
 	for {
 		select {
 		case <-r.stop:
@@ -196,13 +283,31 @@ func (r *Replica) Run(swap func(*core.Store)) {
 			// stepped backwards can still present a smaller one — that is
 			// a new history, not an older copy of ours).
 			if seq == r.seq.Load() {
+				restarts = 0
+				r.syncStalled.Store(false)
 				continue
+			}
+			switch r.tailUpdates() {
+			case tailCaughtUp, tailRetry:
+				restarts = 0
+				r.syncStalled.Store(false)
+				continue
+			case tailFullSync:
 			}
 			dir, newSeq, err := r.syncSnapshot()
 			if err != nil {
 				r.recordErr(err)
+				if _, changed := err.(seqChangedError); changed {
+					restarts++
+					r.noteRestart(restarts)
+					if !r.sleepBackoff(restarts) {
+						return
+					}
+				}
 				continue
 			}
+			restarts = 0
+			r.syncStalled.Store(false)
 			if newSeq == r.seq.Load() {
 				continue
 			}
@@ -212,9 +317,58 @@ func (r *Replica) Run(swap func(*core.Store)) {
 				continue
 			}
 			r.seq.Store(newSeq)
+			r.store.Store(store)
 			r.syncs.Inc()
 			swap(store)
 			r.pruneBelow(newSeq)
+		}
+	}
+}
+
+// tailUpdates outcomes.
+type tailOutcome int
+
+const (
+	tailCaughtUp tailOutcome = iota // applied records (possibly none); in sync
+	tailRetry                       // transient fetch/apply error; poll again
+	tailFullSync                    // window gone; caller must snapshot-sync
+)
+
+// tailUpdates pulls the primary's update log from the replica's seq and
+// applies it to the open store in place. It loops until caught up with the
+// live seq observed at fetch time, the stream errors, or Stop.
+func (r *Replica) tailUpdates() tailOutcome {
+	store := r.store.Load()
+	if store == nil {
+		return tailFullSync
+	}
+	for {
+		select {
+		case <-r.stop:
+			return tailCaughtUp
+		default:
+		}
+		batch, err := r.fetchUpdates(r.seq.Load())
+		if err != nil {
+			if errors.Is(err, errUpdateWindowGone) {
+				return tailFullSync
+			}
+			r.recordErr(err)
+			return tailRetry
+		}
+		if len(batch.recs) > 0 {
+			if err := store.ApplyReplicatedUpdates(batch.recs); err != nil {
+				// The stream and the open store disagree (divergent history,
+				// unknown table, bad record): repair with a full sync.
+				r.recordErr(err)
+				return tailFullSync
+			}
+			r.seq.Store(batch.upTo)
+			r.deltaBatches.Inc()
+			r.deltaRecords.Add(int64(len(batch.recs)))
+		}
+		if len(batch.recs) == 0 || batch.upTo >= batch.live {
+			return tailCaughtUp
 		}
 	}
 }
@@ -269,12 +423,116 @@ func (r *Replica) openSnapshot(dir string, seq uint64) (*core.Store, error) {
 		Sync:               r.opts.Sync,
 		ReadOnly:           true,
 		InitialSnapshotSeq: seq,
+		// The replica keeps its own update log so replicated records are
+		// re-logged at the primary's seqs: lookups merge the overlay, a
+		// restart replays the tail, and chained followers can tail this
+		// node in turn.
+		UpdateLog: core.UpdateLogOptions{Enabled: true},
 	})
 }
 
-// fetchSeq asks the primary for its current snapshot seq.
+// errUpdateWindowGone means the replica's seq fell out of the primary's
+// retained update window (or the primary has no such window at all); only a
+// full snapshot sync can re-enter it.
+var errUpdateWindowGone = errors.New("cluster: update window gone")
+
+// Bounds on what fetchUpdates/fetchSeq will buffer from one response. The
+// server caps update payloads at 4 MB; the slack tolerates a cap raise on
+// the primary without tipping the follower over.
+const (
+	maxUpdatesRead = int64(8 << 20)
+	maxSeqRead     = int64(64 << 10)
+	// maxSnapshotPartLen bounds the part length a snapshot response may
+	// advertise (a corrupt header must not drive a terabyte download loop).
+	maxSnapshotPartLen = int64(1) << 40
+	fetchTimeout       = 60 * time.Second
+)
+
+// updateBatch is one decoded /v1/replica/updates response.
+type updateBatch struct {
+	recs []core.UpdateRecord
+	upTo uint64 // seq of the last record (== since when empty)
+	live uint64 // primary's live seq when the batch was cut
+}
+
+// fetchUpdates pulls the primary's update records after `since`, verifying
+// the body against the chunk CRC header before decoding.
+func (r *Replica) fetchUpdates(since uint64) (*updateBatch, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/replica/updates?since=%d", r.opts.PrimaryURL, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch updates: %w", err)
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch updates: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone, http.StatusNotFound:
+		// Gone: since was compacted away or the window was reset. NotFound:
+		// the primary predates the endpoint. Either way, full sync.
+		return nil, errUpdateWindowGone
+	default:
+		return nil, fmt.Errorf("cluster: fetch updates: %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxUpdatesRead+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch updates: %w", err)
+	}
+	if int64(len(data)) > maxUpdatesRead {
+		return nil, fmt.Errorf("cluster: fetch updates: response exceeds %d bytes", maxUpdatesRead)
+	}
+	wantCRC, err := strconv.ParseUint(resp.Header.Get(server.HeaderChunkCRC), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch updates: bad chunk CRC header: %w", err)
+	}
+	if got := crc32.Checksum(data, crcTable); got != uint32(wantCRC) {
+		return nil, fmt.Errorf("cluster: fetch updates: CRC mismatch (got %08x want %08x)", got, wantCRC)
+	}
+	b := &updateBatch{upTo: since}
+	if v := resp.Header.Get(server.HeaderUpdatesUpTo); v != "" {
+		if b.upTo, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, fmt.Errorf("cluster: fetch updates: bad upto header: %w", err)
+		}
+	}
+	if v := resp.Header.Get(server.HeaderSeq); v != "" {
+		if b.live, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, fmt.Errorf("cluster: fetch updates: bad seq header: %w", err)
+		}
+	}
+	for rest := data; len(rest) > 0; {
+		rec, n, err := core.DecodeUpdateRecord(rest)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fetch updates: %w", err)
+		}
+		b.recs = append(b.recs, rec)
+		rest = rest[n:]
+	}
+	if len(b.recs) > 0 && b.recs[len(b.recs)-1].Seq != b.upTo {
+		return nil, fmt.Errorf("cluster: fetch updates: last record seq %d != advertised upto %d",
+			b.recs[len(b.recs)-1].Seq, b.upTo)
+	}
+	r.bytesFetched.Add(int64(len(data)))
+	r.deltaBytes.Add(int64(len(data)))
+	return b, nil
+}
+
+// fetchSeq asks the primary for its current snapshot seq. The read is
+// bounded and carries its own deadline so a hung or malicious primary can
+// neither balloon memory nor park the poll loop forever (the injected
+// HTTPClient may have no timeout of its own).
 func (r *Replica) fetchSeq() (uint64, error) {
-	resp, err := r.opts.HTTPClient.Get(r.opts.PrimaryURL + "/v1/replica/seq")
+	ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.PrimaryURL+"/v1/replica/seq", nil)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: fetch seq: %w", err)
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: fetch seq: %w", err)
 	}
@@ -285,7 +543,7 @@ func (r *Replica) fetchSeq() (uint64, error) {
 	var out struct {
 		Seq uint64 `json:"seq"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSeqRead)).Decode(&out); err != nil {
 		return 0, fmt.Errorf("cluster: fetch seq: %w", err)
 	}
 	return out.Seq, nil
@@ -339,11 +597,18 @@ type chunk struct {
 }
 
 // fetchChunk downloads and CRC-verifies bytes [offset, offset+limit) of a
-// part at the pinned seq.
+// part at the pinned seq. The body read is bounded by the requested limit
+// and the request carries its own deadline (see fetchSeq).
 func (r *Replica) fetchChunk(part string, seq uint64, offset, limit int64) (*chunk, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	defer cancel()
 	url := fmt.Sprintf("%s/v1/replica/snapshot?part=%s&seq=%d&offset=%d&limit=%d",
 		r.opts.PrimaryURL, part, seq, offset, limit)
-	resp, err := r.opts.HTTPClient.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s@%d: %w", part, offset, err)
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetch %s@%d: %w", part, offset, err)
 	}
@@ -355,9 +620,14 @@ func (r *Replica) fetchChunk(part string, seq uint64, offset, limit int64) (*chu
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: fetch %s@%d: %s", part, offset, resp.Status)
 	}
-	data, err := io.ReadAll(resp.Body)
+	// The server never sends more than the requested limit; a body that
+	// exceeds it is a misbehaving peer, not a bigger chunk to accept.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetch %s@%d: %w", part, offset, err)
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("cluster: fetch %s@%d: response exceeds requested %d bytes", part, offset, limit)
 	}
 	c := &chunk{data: data}
 	if c.seq, err = strconv.ParseUint(resp.Header.Get(server.HeaderSeq), 10, 64); err != nil {
@@ -368,6 +638,9 @@ func (r *Replica) fetchChunk(part string, seq uint64, offset, limit int64) (*chu
 	}
 	if c.partLen, err = strconv.ParseInt(resp.Header.Get(server.HeaderPartLen), 10, 64); err != nil {
 		return nil, fmt.Errorf("cluster: fetch %s@%d: bad length header: %w", part, offset, err)
+	}
+	if c.partLen < 0 || c.partLen > maxSnapshotPartLen {
+		return nil, fmt.Errorf("cluster: fetch %s@%d: implausible part length %d", part, offset, c.partLen)
 	}
 	partCRC, err := strconv.ParseUint(resp.Header.Get(server.HeaderPartCRC), 16, 32)
 	if err != nil {

@@ -510,8 +510,9 @@ func (s *Store) AdaptNow() (*AdaptEpochReport, error) {
 	a.lastErr.Store(nil) // a completed epoch supersedes any earlier failure
 	// An epoch can change cache allocations, thresholds and (via migration)
 	// the physical layout — all part of the image a replica streams, so the
-	// snapshot seq moves once per committed epoch.
-	s.bumpSnapshotSeq()
+	// snapshot seq moves once per committed epoch (and the update-log window
+	// resets: no stream of vector records can express a relayout).
+	s.noteStructuralMutation()
 	return report, nil
 }
 

@@ -84,6 +84,10 @@ type Config struct {
 	// (internal/iosched) on the store's read path. Disabled by default:
 	// misses then read the device inline, exactly as before.
 	IOSched IOSchedOptions
+	// UpdateLog configures the write-optimized update path (delta overlay +
+	// append-only update log, see deltalog.go). Disabled by default: updates
+	// then read-modify-write their NVM block as before.
+	UpdateLog UpdateLogOptions
 }
 
 // IOSchedOptions configures the store's block I/O scheduler. When enabled,

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"bandana/internal/iosched"
+	"bandana/internal/table"
+)
+
+// This file is the delta update path and its two consumers: the background
+// compactor that folds overlay entries into the block image, and the
+// replication hooks (UpdatesSince on a primary, ApplyReplicatedUpdates on a
+// replica) that stream individual updates instead of whole images. See
+// deltalog.go for the log/overlay data structures.
+
+// applyUpdate is the commit path shared by UpdateVector and UpdateVectorRaw.
+// raw must be exactly st.vecBytes long (callers validate). owned says the
+// slice was freshly allocated for this call and may be retained (UpdateVector
+// encodes into one); a caller-owned slice is copied before the overlay and
+// the log capture it. Without an update log it is the classic journaled
+// read-modify-write; with one, the update costs one log append plus DRAM
+// work, and the block image is repaired later by compaction.
+func (s *Store) applyUpdate(st *storeTable, id uint32, raw []byte, owned bool) error {
+	if s.deltaLog == nil {
+		if err := st.updateRaw(s.device, id, raw); err != nil {
+			return err
+		}
+		// The committed image changed: replicas polling the snapshot seq
+		// must see it move so they can re-sync the new bytes.
+		s.bumpSnapshotSeq()
+		return nil
+	}
+
+	st.updateMu.Lock()
+	defer st.updateMu.Unlock()
+	if err := st.src.SetRaw(id, raw); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	// The overlay and the log retain the bytes indefinitely; a slice the
+	// caller may reuse must not be captured.
+	cp := raw
+	if !owned {
+		cp = append(make([]byte, 0, len(raw)), raw...)
+	}
+	seq, needCompact, err := s.deltaLog.append(&s.snapSeq, uint32(st.index), id, cp)
+	if err != nil {
+		// The on-disk mirror rejected the append (failing/full disk). The
+		// update still commits — src holds it and the overlay serves it —
+		// but its durability degrades to the next successful compaction,
+		// and the log window resets so followers full-sync instead of
+		// tailing across the hole.
+		s.deltaLog.fallbacks.Add(1)
+		s.deltaLog.invalidate(s.snapSeq.Load())
+	}
+	st.overlay.put(id, cp, seq)
+	// Epoch before the cache removal, exactly like the write-through path: a
+	// miss that decoded the (now stale) block image before this update
+	// cannot re-cache its bytes after the removal.
+	st.epoch.Add(1)
+	st.loadState().cache.Remove(id)
+	if needCompact || st.overlay.size() >= s.deltaLog.compactAfter {
+		s.requestCompaction()
+	}
+	return nil
+}
+
+// requestCompaction nudges the background compactor; a compaction already
+// pending or running absorbs the request.
+func (s *Store) requestCompaction() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop is the background compactor goroutine (one per store with an
+// update log); Close stops it before tearing down the scheduler and device.
+func (s *Store) compactLoop() {
+	defer close(s.compactDone)
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-s.compactCh:
+			if err := s.CompactDeltas(); err != nil {
+				s.deltaLog.compactFailures.Add(1)
+			}
+		}
+	}
+}
+
+// CompactDeltas folds every table's overlay into the NVM block image
+// (amortizing all accumulated updates of a block into one journaled
+// read-modify-write), makes the result durable, and trims the update log to
+// its retention tail. It runs in the background automatically; call it
+// directly to bound the overlay before e.g. measuring the device. No-op
+// without an update log.
+func (s *Store) CompactDeltas() error {
+	if s.deltaLog == nil {
+		return nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	// Every record with seq <= through is guaranteed to be covered by the
+	// overlay snapshots taken below (the snapshot happens under updateMu,
+	// and an updater holds updateMu from before its seq is assigned until
+	// after its overlay put) — or by an earlier compaction that already
+	// flushed. That is what makes the log truncation at the end safe.
+	through := s.snapSeq.Load()
+	dirty := false
+	for _, st := range s.tables {
+		n, err := s.compactTable(st)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			dirty = true
+		}
+	}
+	if dirty {
+		// The dropped log records' only other home is the block image; it
+		// must be durable before the log stops carrying them.
+		if err := s.device.Flush(); err != nil {
+			return err
+		}
+	}
+	return s.deltaLog.truncate(through)
+}
+
+// compactTable folds one table's overlay into its block range: group the
+// overlaid vectors by block, read-modify-write each dirty block once, then
+// drop exactly the entries that were folded (a vector updated again while
+// compaction ran keeps its newer overlay entry). Returns how many entries
+// were folded.
+func (s *Store) compactTable(st *storeTable) (int, error) {
+	if st.overlay == nil {
+		return 0, nil
+	}
+	// Lock order (updateMu -> rewriteMu) matches rewriteTable. The snapshot
+	// happens under updateMu so it includes every update the caller's
+	// `through` seq observed; rewriteMu stays held shared across the writes
+	// so no whole-table rewrite can interleave — a rewrite renders the image
+	// from src (which already includes these values) and clears the overlay,
+	// and patching its fresh image with this snapshot afterwards would
+	// resurrect older bytes.
+	st.updateMu.Lock()
+	st.rewriteMu.RLock()
+	snap := st.overlay.snapshot()
+	st.updateMu.Unlock()
+	defer st.rewriteMu.RUnlock()
+	if len(snap) == 0 {
+		return 0, nil
+	}
+	ts := st.loadState()
+	byBlock := make(map[int][]uint32)
+	for id := range snap {
+		b := ts.layout.BlockOf(id)
+		byBlock[b] = append(byBlock[b], id)
+	}
+	blocks := make([]int, 0, len(byBlock))
+	for b := range byBlock {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+
+	minEpoch := st.epoch.Load()
+	bufp := getBlockBuf()
+	defer putBlockBuf(bufp)
+	buf := *bufp
+	for _, b := range blocks {
+		abs := st.blockBase + b
+		// Background (prefetch-class) reads: compaction must never starve
+		// foreground lookups of device bandwidth.
+		if st.sched != nil {
+			for {
+				res, err := st.sched.ReadBlock(abs, buf, iosched.Prefetch, minEpoch)
+				if err != nil {
+					return 0, fmt.Errorf("core: table %q: %w", st.name, err)
+				}
+				// Freshness: a Late read may carry bytes snapshotted before
+				// an earlier NVM write to this table; every such write
+				// bumped the epoch before minEpoch was loaded (we hold
+				// rewriteMu shared and compactions serialize on compactMu),
+				// so only a leader tag from BEFORE minEpoch can be stale.
+				// Delta updates bump the epoch without touching NVM, so the
+				// comparison is < (not !=): fresh leaders always carry tags
+				// >= minEpoch and the retry terminates under update load.
+				if res.Late && res.LeaderTag < minEpoch {
+					continue
+				}
+				break
+			}
+		} else if _, err := s.device.ReadBlock(abs, buf); err != nil {
+			return 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+		for _, id := range byBlock[b] {
+			slot := ts.layout.SlotOf(id)
+			copy(buf[slot*st.vecBytes:], snap[id].raw)
+		}
+		if err := s.device.WriteBlock(abs, buf); err != nil {
+			return 0, fmt.Errorf("core: table %q: %w", st.name, err)
+		}
+	}
+	// The image changed under in-flight misses: bump before dropping the
+	// overlay entries so a miss that read a pre-compaction block cannot
+	// cache stale bytes once the overlay stops shadowing them.
+	st.epoch.Add(1)
+	for id, e := range snap {
+		st.overlay.deleteIfSeq(id, e.seq)
+	}
+	return len(snap), nil
+}
+
+// UpdatesSince returns up to maxRecords logged updates with seq > since (also
+// bounded by maxBytes of framed payload; <=0 uses defaults), in commit order.
+// upTo is the seq of the last returned record — a follower that applies the
+// batch has exactly the primary's image at upTo. ok is false when the store
+// has no update log or since lies outside the retained window (compacted
+// away, or from a different history): the follower must full-sync.
+func (s *Store) UpdatesSince(since uint64, maxRecords, maxBytes int) (recs []UpdateRecord, upTo uint64, ok bool) {
+	if s.deltaLog == nil {
+		return nil, 0, false
+	}
+	if maxRecords <= 0 {
+		maxRecords = 1 << 16
+	}
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	return s.deltaLog.since(since, maxRecords, maxBytes)
+}
+
+// advanceSeq moves seq forward to `to` (never backward).
+func advanceSeq(seq *atomic.Uint64, to uint64) {
+	for {
+		cur := seq.Load()
+		if to <= cur || seq.CompareAndSwap(cur, to) {
+			return
+		}
+	}
+}
+
+// ApplyReplicatedUpdates applies update records streamed from a primary to a
+// read-only replica store, in order: each record's bytes go to the source
+// table and the DRAM overlay (or, without an update log, read-modify-write
+// through to NVM), the cached copy is invalidated, and the store's snapshot
+// seq advances to the record's — published only after the record is applied
+// (and appended to this store's own log, when it has one), so a downstream
+// follower that observes the seq can always fetch through it. Records'
+// payloads are retained; callers must not modify them after the call.
+//
+// It deliberately bypasses the ReadOnly gate — that gate exists so local
+// mutations cannot diverge a replica from its primary, and replicated
+// records ARE the primary's mutations. It refuses writable stores: those
+// take updates through UpdateVector.
+func (s *Store) ApplyReplicatedUpdates(recs []UpdateRecord) error {
+	if !s.readOnly {
+		return fmt.Errorf("core: ApplyReplicatedUpdates is the replication apply path; this store is writable (use UpdateVector)")
+	}
+	for _, rec := range recs {
+		if int(rec.Table) >= len(s.tables) {
+			return fmt.Errorf("core: replicated update references table %d, store has %d", rec.Table, len(s.tables))
+		}
+		st := s.tables[rec.Table]
+		if len(rec.Raw) != st.vecBytes {
+			return fmt.Errorf("core: table %q: replicated update carries %d bytes, want %d", st.name, len(rec.Raw), st.vecBytes)
+		}
+		if int(rec.ID) >= st.src.NumVectors() {
+			return fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, rec.ID)
+		}
+	}
+	for _, rec := range recs {
+		if err := s.applyReplicatedOne(s.tables[rec.Table], rec); err != nil {
+			return err
+		}
+		advanceSeq(&s.snapSeq, rec.Seq)
+	}
+	return nil
+}
+
+func (s *Store) applyReplicatedOne(st *storeTable, rec UpdateRecord) error {
+	if s.deltaLog == nil || st.overlay == nil {
+		// No log on this store: write through (updateRaw takes updateMu and
+		// maintains src + NVM + cache itself).
+		return st.updateRaw(s.device, rec.ID, rec.Raw)
+	}
+	st.updateMu.Lock()
+	defer st.updateMu.Unlock()
+	if err := st.src.SetRaw(rec.ID, rec.Raw); err != nil {
+		return fmt.Errorf("core: table %q: %w", st.name, err)
+	}
+	// Re-log the record with the primary's seq: this replica's own log then
+	// serves the same seq->record contract downstream (chained replication),
+	// and a crash replays the tail exactly like on a primary.
+	needCompact, err := s.deltaLog.appendRecord(rec)
+	if err != nil {
+		s.deltaLog.fallbacks.Add(1)
+		s.deltaLog.invalidate(rec.Seq)
+	}
+	st.overlay.put(rec.ID, rec.Raw, rec.Seq)
+	st.epoch.Add(1)
+	st.loadState().cache.Remove(rec.ID)
+	if needCompact || st.overlay.size() >= s.deltaLog.compactAfter {
+		s.requestCompaction()
+	}
+	return nil
+}

@@ -244,6 +244,35 @@ func reopenDir(cfg Config) (*Store, error) {
 		layouts[i] = l
 	}
 
+	// Replay the update log's tail over the rebuilt tables and the block
+	// image: updates past the compacted-through watermark may exist only in
+	// the log (the delta path never wrote their blocks). Idempotent — a crash
+	// mid-replay just replays again next open, and records at or below the
+	// watermark are never applied (their blocks are already durable, possibly
+	// with newer compacted values). The log file is consumed here and
+	// recreated fresh by buildStore when the update log is (still) enabled.
+	bases := make([]int, len(entries))
+	for i, e := range entries {
+		bases[i] = e.blockBase
+	}
+	replayed, logSeq, err := replayUpdateLog(cfg.DataDir, fs, tables, layouts, bases)
+	if err != nil {
+		return nil, err
+	}
+	// Floor the reopened store's snapshot seq at the highest seq the update
+	// log recorded. The boot stamp alone has one-second granularity, so a
+	// quick restart could re-issue seqs the previous process already handed
+	// out — or report a seq BELOW them, making replicas "re-sync" backward
+	// to an image that now contains newer vectors. The replayed image is
+	// exactly the state at logSeq, so serving it at that seq is honest; when
+	// the boot stamp is already larger (restart in a later second) it keeps
+	// winning and replicas full-sync across the restart as before.
+	if boot := initialSnapshotSeq(0); logSeq > boot {
+		cfg.InitialSnapshotSeq = logSeq
+	} else {
+		cfg.InitialSnapshotSeq = boot
+	}
+
 	cfg.Tables = tables
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -263,6 +292,9 @@ func reopenDir(cfg Config) (*Store, error) {
 	s, err := buildStore(cfg, device, true, spans)
 	if err != nil {
 		return nil, err
+	}
+	if s.deltaLog != nil {
+		s.deltaLog.recovered = int64(replayed)
 	}
 	// The store owns fs (via the device) from here on: later error paths
 	// must close it through s.Close so the I/O scheduler stops too.
@@ -301,6 +333,94 @@ func reopenDir(cfg Config) (*Store, error) {
 		s.recoveredMigration = true
 	}
 	return s, nil
+}
+
+// replayUpdateLog folds a leftover update log into the freshly rebuilt tables
+// and the on-disk block image, then consumes the file. Records at or below
+// the log's compacted-through watermark are skipped — their effects are
+// already durable in the image, possibly overwritten by newer compacted
+// values, so re-applying them could regress vectors. Survivor records are
+// applied in seq order (later updates of the same vector win) and their
+// blocks are rewritten journaled and flushed BEFORE the log is removed, so a
+// crash at any point just replays again. Returns how many records were
+// applied and the highest seq the log covered (watermark included) — the
+// reopened store's snapshot seq must not fall below it.
+func replayUpdateLog(dir string, fs *nvm.FileStore, tables []*table.Table, layouts []*layout.Layout, bases []int) (int, uint64, error) {
+	path := filepath.Join(dir, UpdateLogFileName)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: read update log: %w", err)
+	}
+	through, recs, err := parseUpdateLog(raw)
+	if err != nil {
+		return 0, 0, err
+	}
+	maxSeq := through
+	for _, rec := range recs {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	type dirtyBlock struct{ table, block int }
+	dirty := make(map[dirtyBlock]struct{})
+	applied := 0
+	for _, rec := range recs {
+		if rec.Seq <= through {
+			continue
+		}
+		if int(rec.Table) >= len(tables) {
+			return 0, 0, fmt.Errorf("core: update log references table %d, manifest has %d", rec.Table, len(tables))
+		}
+		tbl := tables[rec.Table]
+		if len(rec.Raw) != tbl.VectorBytes() {
+			return 0, 0, fmt.Errorf("core: update log: table %q record carries %d bytes, want %d",
+				tbl.Name, len(rec.Raw), tbl.VectorBytes())
+		}
+		if int(rec.ID) >= tbl.NumVectors() {
+			return 0, 0, fmt.Errorf("core: update log: table %q record targets vector %d of %d",
+				tbl.Name, rec.ID, tbl.NumVectors())
+		}
+		if err := tbl.SetRaw(rec.ID, rec.Raw); err != nil {
+			return 0, 0, fmt.Errorf("core: update log: table %q: %w", tbl.Name, err)
+		}
+		dirty[dirtyBlock{int(rec.Table), layouts[rec.Table].BlockOf(rec.ID)}] = struct{}{}
+		applied++
+	}
+	if applied > 0 {
+		buf := make([]byte, nvm.BlockSize)
+		var members []uint32
+		for db := range dirty {
+			tbl, l := tables[db.table], layouts[db.table]
+			vb := tbl.VectorBytes()
+			for i := range buf {
+				buf[i] = 0
+			}
+			members = l.BlockMembers(db.block, members[:0])
+			for slot, id := range members {
+				vraw, err := tbl.Raw(id)
+				if err != nil {
+					return 0, 0, fmt.Errorf("core: update log: table %q: %w", tbl.Name, err)
+				}
+				copy(buf[slot*vb:], vraw)
+			}
+			if err := fs.WriteBlock(bases[db.table]+db.block, buf); err != nil {
+				return 0, 0, fmt.Errorf("core: update log: table %q block %d: %w", tbl.Name, db.block, err)
+			}
+		}
+		if err := fs.Flush(); err != nil {
+			return 0, 0, fmt.Errorf("core: update log: %w", err)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		return 0, 0, fmt.Errorf("core: remove replayed update log: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, 0, fmt.Errorf("core: remove replayed update log: %w", err)
+	}
+	return applied, maxSeq, nil
 }
 
 // atomicWriteFile durably replaces dir/name: the payload is written to a
@@ -399,7 +519,15 @@ func (s *Store) Persist() error {
 	if err := atomicWriteFile(s.dataDir, StateFileName, s.SaveState); err != nil {
 		return fmt.Errorf("core: persist state: %w", err)
 	}
-	return s.device.Flush()
+	if err := s.device.Flush(); err != nil {
+		return err
+	}
+	if s.deltaLog != nil {
+		// Same durability point for the update log: under the periodic-sync
+		// modes, Persist is where "everything so far survives a crash".
+		return s.deltaLog.fsync()
+	}
+	return nil
 }
 
 // DataDir returns the persistence directory of a file-backed store ("" for

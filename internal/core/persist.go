@@ -342,6 +342,6 @@ func (s *Store) LoadState(r io.Reader) error {
 			return err
 		}
 	}
-	s.bumpSnapshotSeq()
+	s.noteStructuralMutation()
 	return nil
 }

@@ -136,9 +136,11 @@ func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
 }
 
 // UpdateVector overwrites the embedding of vector id in table tableIdx
-// (e.g. after periodic re-training of the model). The write goes through to
-// NVM (read-modify-write of the containing block) and invalidates the cached
-// copy.
+// (e.g. after periodic re-training of the model) and invalidates the cached
+// copy. Without an update log the write read-modify-writes the containing
+// NVM block; with one (Config.UpdateLog) it appends a single log record and
+// is served from the DRAM overlay until compaction folds it into the image
+// (see deltalog.go).
 func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
 	if err := s.checkWritable(); err != nil {
 		return err
@@ -147,13 +149,10 @@ func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
 	if err != nil {
 		return err
 	}
-	if err := st.update(s.device, id, vec); err != nil {
-		return err
+	if len(vec) != st.dim {
+		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
 	}
-	// The committed image changed: replicas polling the snapshot seq must
-	// see it move so they can re-sync the new bytes.
-	s.bumpSnapshotSeq()
-	return nil
+	return s.applyUpdate(st, id, fp16.EncodeSlice(make([]byte, 0, st.vecBytes), vec), true)
 }
 
 // UpdateVectorRaw is UpdateVector with an already-encoded fp16 payload
@@ -170,11 +169,7 @@ func (s *Store) UpdateVectorRaw(tableIdx int, id uint32, raw []byte) error {
 	if len(raw) != st.vecBytes {
 		return fmt.Errorf("core: table %q: raw vector has %d bytes, want %d", st.name, len(raw), st.vecBytes)
 	}
-	if err := st.updateRaw(s.device, id, raw); err != nil {
-		return err
-	}
-	s.bumpSnapshotSeq()
-	return nil
+	return s.applyUpdate(st, id, raw, false)
 }
 
 // cacheGet serves a cache hit for id, clearing the prefetched flag and
@@ -257,6 +252,12 @@ func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, raw 
 func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, members []uint32, requested func(uint32) bool) {
 	for mslot, other := range members {
 		if requested(other) || ts.cache.Contains(other) {
+			continue
+		}
+		if st.overlay != nil && st.overlay.contains(other) {
+			// The block image's copy of an overlaid vector is stale; its
+			// authoritative bytes are served from the overlay until
+			// compaction, so never cache the image's decode.
 			continue
 		}
 		admit, pos := ts.policy.AdmitPrefetch(other)
@@ -367,6 +368,23 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	if out := st.cacheGet(ts, id, h); out != nil {
 		return out, nil
 	}
+	if st.overlay != nil {
+		// Probe the delta overlay before the miss path: an updated vector's
+		// authoritative bytes live here until compaction folds them into the
+		// block image (whose copy is stale). The epoch is loaded BEFORE the
+		// overlay read so a concurrent newer update — overlay put, then epoch
+		// bump, then cache invalidate — can never let this older decode be
+		// cached past its invalidation.
+		epoch := st.epoch.Load()
+		if raw := st.overlay.get(id); raw != nil {
+			st.hits.Inc(h)
+			st.deltaHits.Inc(h)
+			dec := make([]float32, st.dim)
+			fp16.DecodeSlice(dec, raw)
+			st.cacheInsert(ts, id, dec, raw, 0, false, epoch)
+			return dec, nil
+		}
+	}
 	st.misses.Inc(h)
 
 	// Hold the rewrite lock shared for the block read + decode: under it,
@@ -406,6 +424,20 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 		st.blockReads.Inc(h)
 	}
 	st.lookupLatency.Observe(lat)
+
+	if st.overlay != nil {
+		// Updated between the overlay probe above and this block read: the
+		// image bytes just decoded are stale. Serve the overlay's and do not
+		// cache the image's — the epoch guard alone cannot catch this case,
+		// because a delta update moves the epoch without touching NVM, so the
+		// post-update block re-read that makes write-through safe here still
+		// returns pre-update bytes.
+		if oraw := st.overlay.get(id); oraw != nil {
+			dec := make([]float32, st.dim)
+			fp16.DecodeSlice(dec, oraw)
+			return dec, nil
+		}
+	}
 
 	// Decode the requested vector once; the cache and the caller share the
 	// same immutable slice.
@@ -518,6 +550,24 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			out[i] = got
 			continue
 		}
+		if st.overlay != nil {
+			// Same overlay-before-miss probe as lookup(), same epoch-first
+			// ordering (see there).
+			epoch := st.epoch.Load()
+			if raw := st.overlay.get(id); raw != nil {
+				st.hits.Inc(h)
+				st.deltaHits.Inc(h)
+				dec := make([]float32, st.dim)
+				fp16.DecodeSlice(dec, raw)
+				if outRaw != nil {
+					outRaw[i] = raw
+				} else {
+					out[i] = dec
+				}
+				st.cacheInsert(ts, id, dec, raw, 0, false, epoch)
+				continue
+			}
+		}
 		st.misses.Inc(h)
 		missed = append(missed, missRef{pos: i, id: id})
 	}
@@ -584,6 +634,23 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 
 		requested := make(map[uint32]struct{}, len(refs))
 		for _, ref := range refs {
+			if st.overlay != nil {
+				// Updated between the pass-1 overlay probe and this block
+				// read: serve the overlay bytes and skip the cache fill (the
+				// image's decode is stale and the epoch guard cannot catch a
+				// delta update, which never touches NVM — see lookup()).
+				if oraw := st.overlay.get(ref.id); oraw != nil {
+					if outRaw != nil {
+						outRaw[ref.pos] = oraw
+					} else {
+						dec := make([]float32, st.dim)
+						fp16.DecodeSlice(dec, oraw)
+						out[ref.pos] = dec
+					}
+					requested[ref.id] = struct{}{}
+					continue
+				}
+			}
 			slot := ts.layout.SlotOf(ref.id)
 			rawSlot := buf[slot*st.vecBytes : (slot+1)*st.vecBytes]
 			// The cache entry always carries the decoded vector (float
@@ -617,18 +684,10 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 	return nil
 }
 
-// update rewrites one vector on NVM and in the source table, and drops any
-// cached copy.
-func (st *storeTable) update(device *nvm.Device, id uint32, vec []float32) error {
-	if len(vec) != st.dim {
-		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
-	}
-	return st.updateRaw(device, id, fp16.EncodeSlice(make([]byte, 0, st.vecBytes), vec))
-}
-
-// updateRaw is the encoding-level update path shared by UpdateVector and
-// the wire protocol's fp16-native UpdateVectorRaw. raw must be exactly
-// vecBytes long (callers validate).
+// updateRaw is the write-through (no update log) single-vector update: a
+// journaled read-modify-write of the containing block. raw must be exactly
+// vecBytes long (callers validate). It is also the replica apply path for
+// stores without an overlay.
 func (st *storeTable) updateRaw(device *nvm.Device, id uint32, raw []byte) error {
 	// Serialize concurrent updates: the read-modify-write below would lose
 	// one of two concurrent writes to the same block.

@@ -51,11 +51,15 @@ func (s *Store) ReadOnly() bool { return s.readOnly }
 // synced at seq N knows it must re-sync when the primary reports a
 // different value.
 //
-// The seq is not persisted; instead it starts boot-stamped (the open time
-// in the high bits — see initialSnapshotSeq), which keeps it increasing
-// across process restarts: a primary that restarts and mutates reports a
-// larger seq than anything it served before, so replicas re-sync instead of
-// comparing their recorded seq against a counter that restarted from 1.
+// The seq is not persisted directly; instead it starts boot-stamped (the
+// open time in the high bits — see initialSnapshotSeq), which keeps it
+// increasing across process restarts: a primary that restarts and mutates
+// reports a larger seq than anything it served before, so replicas re-sync
+// instead of comparing their recorded seq against a counter that restarted
+// from 1. The boot stamp alone has one-second granularity, though, so a
+// reopened file-backed store additionally floors the seq at the highest seq
+// its replayed update log recorded (see reopenDir) — without that, a quick
+// restart would re-issue seqs the previous process already handed out.
 func (s *Store) SnapshotSeq() uint64 { return s.snapSeq.Load() }
 
 // initialSnapshotSeq derives a store's starting snapshot seq: an explicit
@@ -72,6 +76,18 @@ func initialSnapshotSeq(override uint64) uint64 {
 
 // bumpSnapshotSeq records a committed mutation of the servable image.
 func (s *Store) bumpSnapshotSeq() { s.snapSeq.Add(1) }
+
+// noteStructuralMutation records a committed mutation that changed more than
+// individual vectors (Train, LoadState, adaptation epochs): the seq advances
+// AND the update-log window resets, so followers tailing vector records
+// full-sync across the change instead of streaming through a layout or
+// cache-state transition no record can express.
+func (s *Store) noteStructuralMutation() {
+	s.bumpSnapshotSeq()
+	if s.deltaLog != nil {
+		s.deltaLog.invalidate(s.snapSeq.Load())
+	}
+}
 
 // Snapshot is a self-contained, CRC-protected image of a store: everything a
 // replica needs to serve byte-identical vectors. Manifest and State use the

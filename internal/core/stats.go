@@ -7,12 +7,18 @@ import (
 
 // TableStats is a snapshot of one table's serving counters.
 type TableStats struct {
-	Name       string
-	Lookups    int64
-	Hits       int64
-	Misses     int64
-	HitRate    float64
-	BlockReads int64
+	Name    string
+	Lookups int64
+	Hits    int64
+	// DeltaHits is the subset of Hits served from the delta overlay (updated
+	// vectors not yet compacted into the block image). Always 0 without an
+	// update log.
+	DeltaHits int64
+	// OverlayEntries is the number of vectors currently overlaid.
+	OverlayEntries int
+	Misses         int64
+	HitRate        float64
+	BlockReads     int64
 	// CoalescedReads counts misses served by another miss's device read
 	// (I/O scheduler singleflight): the lookup paid a miss but the device
 	// did not pay a block read. Always 0 with the scheduler off.
@@ -45,6 +51,7 @@ func (s *Store) Stats() []TableStats {
 			Name:           st.name,
 			Lookups:        st.lookups.Value(),
 			Hits:           st.hits.Value(),
+			DeltaHits:      st.deltaHits.Value(),
 			Misses:         st.misses.Value(),
 			BlockReads:     st.blockReads.Value(),
 			CoalescedReads: st.coalescedReads.Value(),
@@ -56,6 +63,9 @@ func (s *Store) Stats() []TableStats {
 			Threshold:      state.threshold,
 			Prefetching:    state.prefetch,
 			Latency:        st.lookupLatency.Snapshot(),
+		}
+		if st.overlay != nil {
+			ts.OverlayEntries = st.overlay.size()
 		}
 		if state.policy != nil {
 			ts.Policy = state.policy.Name()
@@ -80,6 +90,7 @@ func (s *Store) ResetStats() {
 	for _, st := range s.tables {
 		st.lookups.Reset()
 		st.hits.Reset()
+		st.deltaHits.Reset()
 		st.misses.Reset()
 		st.blockReads.Reset()
 		st.coalescedReads.Reset()

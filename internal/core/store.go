@@ -59,6 +59,16 @@ type Store struct {
 	// whose copy and rollback both failed: the pending migration record is
 	// the repair and must not be disturbed before the next open.
 	migrationPoisoned atomic.Bool
+	// deltaLog is the append-only update log of the write-optimized update
+	// path; nil when Config.UpdateLog is off (updates then read-modify-write
+	// through to NVM).
+	deltaLog *deltaLog
+	// compactMu serializes compactions (the background worker and direct
+	// CompactDeltas calls); compactCh/compactStop/compactDone run the worker.
+	compactMu   sync.Mutex
+	compactCh   chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
 }
 
 // RecoveredMigration reports whether opening this store redid a background
@@ -153,8 +163,12 @@ type storeTable struct {
 	rewriteMu sync.RWMutex
 	// epoch is bumped by every NVM mutation (UpdateVector, rewriteTable)
 	// so that an in-flight miss does not cache a vector decoded from a
-	// block read before the mutation.
+	// block read before the mutation. Delta updates bump it too (the block
+	// image goes stale relative to the overlay).
 	epoch atomic.Uint64
+	// overlay shadows the block image with the raw bytes of updates not yet
+	// compacted into it; nil when the store runs without an update log.
+	overlay *deltaOverlay
 
 	// recorder captures a sampled window of the live access stream for the
 	// adaptation engine; nil (one atomic load on the serving path) while
@@ -170,6 +184,7 @@ type storeTable struct {
 	// same hash that picks the cache shard.
 	lookups        *metrics.StripedCounter
 	hits           *metrics.StripedCounter
+	deltaHits      *metrics.StripedCounter
 	misses         *metrics.StripedCounter
 	blockReads     *metrics.StripedCounter
 	coalescedReads *metrics.StripedCounter
@@ -308,6 +323,21 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 		s.sched = sched
 	}
 	s.snapSeq.Store(initialSnapshotSeq(cfg.InitialSnapshotSeq))
+	if cfg.UpdateLog.Enabled {
+		// The log window anchors at the initial seq: the first update gets
+		// seq base+1, so a follower that bootstrapped the image at `base` can
+		// tail from there. A file-backed store mirrors the log on disk for
+		// crash recovery (reopen replays and removes any previous log before
+		// reaching this point).
+		l, err := newDeltaLog(cfg.UpdateLog, s.snapSeq.Load(), cfg.DataDir, cfg.Sync == nvm.SyncAlways)
+		if err != nil {
+			if s.sched != nil {
+				s.sched.Close()
+			}
+			return nil, err
+		}
+		s.deltaLog = l
+	}
 	perTable := budget / len(cfg.Tables)
 	if perTable < 1 {
 		perTable = 1
@@ -325,6 +355,7 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 			shards:         shards,
 			lookups:        metrics.NewStripedCounter(counterStripes),
 			hits:           metrics.NewStripedCounter(counterStripes),
+			deltaHits:      metrics.NewStripedCounter(counterStripes),
 			misses:         metrics.NewStripedCounter(counterStripes),
 			blockReads:     metrics.NewStripedCounter(counterStripes),
 			coalescedReads: metrics.NewStripedCounter(counterStripes),
@@ -338,8 +369,17 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 			cacheCap: perTable,
 			cache:    newVecCache(perTable, shards),
 		})
+		if s.deltaLog != nil {
+			st.overlay = newDeltaOverlay()
+		}
 		s.tables = append(s.tables, st)
 		s.byName[t.Name] = i
+	}
+	if s.deltaLog != nil {
+		s.compactCh = make(chan struct{}, 1)
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
 	}
 	return s, nil
 }
@@ -349,15 +389,27 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 // store created it).
 func (s *Store) Close() error {
 	s.StopAdaptation()
+	if s.deltaLog != nil {
+		// The compactor uses the scheduler and the device; it must be fully
+		// stopped before either goes away.
+		close(s.compactStop)
+		<-s.compactDone
+	}
 	if s.sched != nil {
 		// Drain before the device goes away: queued reads complete, late
 		// submitters get ErrClosed instead of racing a closed device.
 		s.sched.Close()
 	}
-	if s.ownsDevice {
-		return s.device.Close()
+	var logErr error
+	if s.deltaLog != nil {
+		logErr = s.deltaLog.close()
 	}
-	return nil
+	if s.ownsDevice {
+		if err := s.device.Close(); err != nil {
+			return err
+		}
+	}
+	return logErr
 }
 
 // Device exposes the underlying NVM device (for stats and experiments).

@@ -182,7 +182,7 @@ func (s *Store) Train(traces []*trace.Trace, opts TrainOptions) (*TrainReport, e
 			return nil, err
 		}
 	}
-	s.bumpSnapshotSeq()
+	s.noteStructuralMutation()
 	return report, nil
 }
 

@@ -10,10 +10,12 @@
 //	GET  /v1/lookup?table=T&id=N         single embedding vector
 //	POST /v1/batch                       {"table": "...", "ids": [...]}
 //	POST /v1/request                     {"lookups": [[...], [...], ...]} (one ID list per table)
+//	POST /v1/update                      {"table": "...", "id": N, "vector": [...]} single-vector update
 //	GET  /v1/stats                       per-table serving stats + NVM device stats + server stats + runtime + adaptation stats
 //	POST /v1/adapt                       {"action": "start"|"stop"|"epoch", ...} adaptation control
 //	GET  /v1/replica/seq                 snapshot sequence number (replica polling)
 //	GET  /v1/replica/snapshot            chunked, CRC'd snapshot stream (replica bootstrap)
+//	GET  /v1/replica/updates             incremental update-record stream (replica tailing)
 //
 // net/http serves each request on its own goroutine; the store's sharded
 // caches let those goroutines proceed in parallel, so the service scales
@@ -90,10 +92,12 @@ func New(store *core.Store) *Server {
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/request", s.handleRequest)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
 	s.mux.HandleFunc("GET /v1/replica/seq", s.handleReplicaSeq)
 	s.mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
+	s.mux.HandleFunc("GET /v1/replica/updates", s.handleReplicaUpdates)
 	return s
 }
 
@@ -322,6 +326,7 @@ type statsResponse struct {
 	Wire       wireStats            `json:"wire"`
 	Server     serverStats          `json:"server"`
 	Store      storeStats           `json:"store"`
+	UpdateLog  core.UpdateLogStats  `json:"updateLog"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
 	Adaptation adaptationStats      `json:"adaptation"`
 }
@@ -516,6 +521,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Swaps:       s.swaps.Value(),
 			DataDir:     store.DataDir(),
 		},
+		UpdateLog:  store.UpdateLogStats(),
 		Runtime:    metrics.ReadRuntime(s.start),
 		Adaptation: renderAdaptationStats(store.AdaptationStats()),
 	})
