@@ -509,6 +509,11 @@ func (r *Replica) fetchUpdates(since uint64) (*updateBatch, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: fetch updates: %w", err)
 		}
+		// DecodeUpdateRecord's Raw aliases the whole response body, and the
+		// overlay plus the re-logged retain window hold records indefinitely:
+		// copy each payload into a right-sized slice so a few long-lived
+		// records cannot pin multi-MB batch buffers.
+		rec.Raw = append(make([]byte, 0, len(rec.Raw)), rec.Raw...)
 		b.recs = append(b.recs, rec)
 		rest = rest[n:]
 	}

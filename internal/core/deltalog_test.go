@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"bandana/internal/fp16"
 	"bandana/internal/nvm"
 )
 
@@ -351,6 +352,93 @@ func TestReopenSeqMonotonic(t *testing.T) {
 	}
 	if got := s2.SnapshotSeq(); got <= lastSeq {
 		t.Fatalf("post-reopen update re-issued seq %d (pre-restart seq was %d)", got, lastSeq)
+	}
+}
+
+// TestReplicaReopenInheritsSeq pins the replica half of the seq contract: a
+// store reopened with an explicit InitialSnapshotSeq (cluster's
+// Replica.openSnapshot passing the primary's seq) must come up AT that seq,
+// not at a fresh local boot stamp. A boot stamp taken now exceeds every seq
+// the primary will ever send, so ApplyReplicatedUpdates' advanceSeq would
+// never move, the replica's reported seq would freeze (a chained follower
+// would think itself caught up forever), and the fresh update log's
+// compacted-through watermark would sit above records appended after it,
+// which crash replay would then skip.
+func TestReplicaReopenInheritsSeq(t *testing.T) {
+	tables, _ := buildTestTables(t, 1, 512, 10)
+	primary, err := Open(Config{Tables: tables, DRAMBudgetVectors: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	dim := tables[0].Dim
+	for i := uint32(0); i < 8; i++ {
+		if err := primary.UpdateVector(0, i, testVec(dim, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primarySeq := primary.SnapshotSeq()
+
+	snap, err := primary.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "replica")
+	if err := ImportSnapshot(dir, snap, 0); err != nil {
+		t.Fatal(err)
+	}
+	open := func() *Store {
+		rep, err := Open(Config{
+			Backend: BackendFile, DataDir: dir, ReadOnly: true,
+			InitialSnapshotSeq: snap.Seq,
+			UpdateLog:          UpdateLogOptions{Enabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := open()
+	if got := rep.SnapshotSeq(); got != primarySeq {
+		t.Fatalf("replica opened at seq %d, want inherited primary seq %d", got, primarySeq)
+	}
+	recs := []UpdateRecord{
+		{Seq: primarySeq + 1, Table: 0, ID: 3, Raw: fp16.EncodeSlice(nil, testVec(dim, 1001))},
+		{Seq: primarySeq + 2, Table: 0, ID: 4, Raw: fp16.EncodeSlice(nil, testVec(dim, 1002))},
+	}
+	if err := rep.ApplyReplicatedUpdates(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SnapshotSeq(); got != primarySeq+2 {
+		t.Fatalf("replica seq %d after applying updates, want %d", got, primarySeq+2)
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart reusing the same dir (the kill -9 path): the re-logged records
+	// floor the seq above the unchanged override, replay restores their
+	// bytes, and the stream keeps advancing where it left off.
+	rep = open()
+	defer rep.Close()
+	if got := rep.SnapshotSeq(); got != primarySeq+2 {
+		t.Fatalf("reopened replica at seq %d, want replayed seq %d", got, primarySeq+2)
+	}
+	got, err := rep.Lookup(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsEqual(got, testVec(dim, 1001)) {
+		t.Fatal("reopened replica does not serve the replicated bytes")
+	}
+	if err := rep.ApplyReplicatedUpdates([]UpdateRecord{
+		{Seq: primarySeq + 3, Table: 0, ID: 5, Raw: fp16.EncodeSlice(nil, testVec(dim, 1003))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SnapshotSeq(); got != primarySeq+3 {
+		t.Fatalf("replica seq %d after post-restart update, want %d", got, primarySeq+3)
 	}
 }
 

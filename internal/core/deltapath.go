@@ -21,22 +21,22 @@ import (
 // encodes into one); a caller-owned slice is copied before the overlay and
 // the log capture it. Without an update log it is the classic journaled
 // read-modify-write; with one, the update costs one log append plus DRAM
-// work, and the block image is repaired later by compaction.
-func (s *Store) applyUpdate(st *storeTable, id uint32, raw []byte, owned bool) error {
+// work, and the block image is repaired later by compaction. Returns the
+// snapshot seq this update committed at.
+func (s *Store) applyUpdate(st *storeTable, id uint32, raw []byte, owned bool) (uint64, error) {
 	if s.deltaLog == nil {
 		if err := st.updateRaw(s.device, id, raw); err != nil {
-			return err
+			return 0, err
 		}
 		// The committed image changed: replicas polling the snapshot seq
 		// must see it move so they can re-sync the new bytes.
-		s.bumpSnapshotSeq()
-		return nil
+		return s.bumpSnapshotSeq(), nil
 	}
 
 	st.updateMu.Lock()
 	defer st.updateMu.Unlock()
 	if err := st.src.SetRaw(id, raw); err != nil {
-		return fmt.Errorf("core: table %q: %w", st.name, err)
+		return 0, fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	// The overlay and the log retain the bytes indefinitely; a slice the
 	// caller may reuse must not be captured.
@@ -63,7 +63,7 @@ func (s *Store) applyUpdate(st *storeTable, id uint32, raw []byte, owned bool) e
 	if needCompact || st.overlay.size() >= s.deltaLog.compactAfter {
 		s.requestCompaction()
 	}
-	return nil
+	return seq, nil
 }
 
 // requestCompaction nudges the background compactor; a compaction already

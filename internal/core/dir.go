@@ -260,18 +260,25 @@ func reopenDir(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	// Floor the reopened store's snapshot seq at the highest seq the update
-	// log recorded. The boot stamp alone has one-second granularity, so a
-	// quick restart could re-issue seqs the previous process already handed
-	// out — or report a seq BELOW them, making replicas "re-sync" backward
-	// to an image that now contains newer vectors. The replayed image is
-	// exactly the state at logSeq, so serving it at that seq is honest; when
-	// the boot stamp is already larger (restart in a later second) it keeps
-	// winning and replicas full-sync across the restart as before.
-	if boot := initialSnapshotSeq(0); logSeq > boot {
-		cfg.InitialSnapshotSeq = logSeq
-	} else {
-		cfg.InitialSnapshotSeq = boot
+	// log recorded, starting from the caller's base: an explicit
+	// InitialSnapshotSeq override is respected — a replica reopening an
+	// imported snapshot must inherit the PRIMARY's seq (the contract in
+	// initialSnapshotSeq), not mint a local boot stamp that would outrun
+	// every seq the primary will ever send, freezing ApplyReplicatedUpdates'
+	// advanceSeq and planting a bogus compacted-through watermark in the new
+	// log. Without an override the base is the boot stamp, and the log floor
+	// matters because the stamp has one-second granularity: a quick restart
+	// could re-issue seqs the previous process already handed out — or
+	// report a seq BELOW them, making replicas "re-sync" backward to an
+	// image that now contains newer vectors. The replayed image is exactly
+	// the state at logSeq, so serving it at that seq is honest; when the
+	// base is already larger it keeps winning and replicas full-sync across
+	// the restart as before.
+	base := initialSnapshotSeq(cfg.InitialSnapshotSeq)
+	if logSeq > base {
+		base = logSeq
 	}
+	cfg.InitialSnapshotSeq = base
 
 	cfg.Tables = tables
 	if err := cfg.validate(); err != nil {

@@ -142,15 +142,24 @@ func (s *Store) ServeRequest(req Request) ([][][]float32, error) {
 // is served from the DRAM overlay until compaction folds it into the image
 // (see deltalog.go).
 func (s *Store) UpdateVector(tableIdx int, id uint32, vec []float32) error {
+	_, err := s.UpdateVectorSeq(tableIdx, id, vec)
+	return err
+}
+
+// UpdateVectorSeq is UpdateVector returning the snapshot seq the update
+// committed at — under concurrent updates the store's live SnapshotSeq may
+// already be past it, so callers that promise "the seq of THIS update"
+// (the HTTP update handler) must use this return value, not a later read.
+func (s *Store) UpdateVectorSeq(tableIdx int, id uint32, vec []float32) (uint64, error) {
 	if err := s.checkWritable(); err != nil {
-		return err
+		return 0, err
 	}
 	st, err := s.tableAt(tableIdx)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(vec) != st.dim {
-		return fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
+		return 0, fmt.Errorf("core: table %q: vector has %d elements, want %d", st.name, len(vec), st.dim)
 	}
 	return s.applyUpdate(st, id, fp16.EncodeSlice(make([]byte, 0, st.vecBytes), vec), true)
 }
@@ -169,7 +178,8 @@ func (s *Store) UpdateVectorRaw(tableIdx int, id uint32, raw []byte) error {
 	if len(raw) != st.vecBytes {
 		return fmt.Errorf("core: table %q: raw vector has %d bytes, want %d", st.name, len(raw), st.vecBytes)
 	}
-	return s.applyUpdate(st, id, raw, false)
+	_, err = s.applyUpdate(st, id, raw, false)
+	return err
 }
 
 // cacheGet serves a cache hit for id, clearing the prefetched flag and

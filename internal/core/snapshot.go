@@ -74,8 +74,9 @@ func initialSnapshotSeq(override uint64) uint64 {
 	return uint64(time.Now().Unix()) << 20
 }
 
-// bumpSnapshotSeq records a committed mutation of the servable image.
-func (s *Store) bumpSnapshotSeq() { s.snapSeq.Add(1) }
+// bumpSnapshotSeq records a committed mutation of the servable image and
+// returns the seq it committed at.
+func (s *Store) bumpSnapshotSeq() uint64 { return s.snapSeq.Add(1) }
 
 // noteStructuralMutation records a committed mutation that changed more than
 // individual vectors (Train, LoadState, adaptation epochs): the seq advances

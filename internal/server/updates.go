@@ -113,7 +113,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	if err := store.UpdateVector(idx, req.ID, req.Vector); err != nil {
+	// The response promises the seq THIS update committed at; reading the
+	// live SnapshotSeq after the fact would report a later seq whenever
+	// concurrent updates interleave.
+	seq, err := store.UpdateVectorSeq(idx, req.ID, req.Vector)
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrReadOnly) {
 			status = http.StatusForbidden
@@ -121,5 +125,5 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{Table: req.Table, ID: req.ID, Seq: store.SnapshotSeq()})
+	writeJSON(w, http.StatusOK, updateResponse{Table: req.Table, ID: req.ID, Seq: seq})
 }
