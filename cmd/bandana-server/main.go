@@ -89,6 +89,7 @@ func main() {
 		backend  = flag.String("backend", core.BackendMem, "block store backend: mem or file")
 		dataDir  = flag.String("data-dir", "", "data directory for the file backend (reused across runs)")
 		syncStr  = flag.String("sync", "periodic", "file backend durability: none, periodic or always")
+		direct   = flag.Bool("direct", false, "open the file backend's block file with O_DIRECT (honest NVM I/O, bypassing the page cache); falls back to buffered I/O where the filesystem rejects it")
 		drift    = flag.Int("drift", 0, "rotate each synthetic table's hot communities every N requests (0 = stationary)")
 
 		adaptEvery    = flag.Duration("adapt", 0, "online adaptation epoch interval (e.g. 30s); 0 disables adaptation")
@@ -158,6 +159,7 @@ func main() {
 			PrimaryURL:   *replicaOf,
 			DataDir:      *dataDir,
 			Sync:         syncMode,
+			Direct:       *direct,
 			PollInterval: *replicaPoll,
 		})
 		if err != nil {
@@ -172,12 +174,18 @@ func main() {
 		st := rep.Stats()
 		log.Printf("replica bootstrapped at seq %d in %s (%d bytes streamed, resumed at offset %d)",
 			seq, time.Since(start).Round(time.Millisecond), st.BytesFetched, st.LastResumeOffset)
+		if *direct {
+			logDirectIO(store)
+		}
 		serve(store, *addr, *wireAddr, nil, rep)
 		return
 	}
 
 	if *backend != core.BackendFile && *dataDir != "" {
 		log.Fatalf("--data-dir requires --backend %s (got --backend %s)", core.BackendFile, *backend)
+	}
+	if *direct && *backend != core.BackendFile {
+		log.Fatalf("--direct requires --backend %s (O_DIRECT applies to the block file)", core.BackendFile)
 	}
 	cfg := core.Config{
 		DRAMBudgetVectors: *budget,
@@ -186,6 +194,7 @@ func main() {
 		Backend:           *backend,
 		DataDir:           *dataDir,
 		Sync:              syncMode,
+		Direct:            *direct,
 		IOSched: core.IOSchedOptions{
 			Enabled:    *ioQD > 0,
 			QueueDepth: *ioQD,
@@ -228,6 +237,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *direct {
+			logDirectIO(store)
+		}
 		serve(store, *addr, *wireAddr, adaptOpts, nil)
 		return
 	}
@@ -235,6 +247,9 @@ func main() {
 	store, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *direct {
+		logDirectIO(store)
 	}
 	if rec := store.DeviceStats().Store.RecoveredRecords; rec > 0 {
 		log.Printf("journal recovery replayed %d block write(s) from the previous run", rec)
@@ -304,6 +319,17 @@ func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, re
 		}
 	}
 	return store, nil
+}
+
+// logDirectIO reports the negotiated O_DIRECT outcome for a --direct run:
+// the open silently falls back to buffered I/O on filesystems that reject
+// O_DIRECT, and the operator should know which mode they actually got.
+func logDirectIO(store *core.Store) {
+	if store.DeviceStats().Store.DirectIO {
+		log.Printf("block file opened with O_DIRECT (page cache bypassed)")
+	} else {
+		log.Printf("O_DIRECT not supported by the data dir's filesystem; using buffered I/O")
+	}
 }
 
 func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica) {

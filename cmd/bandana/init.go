@@ -22,6 +22,7 @@ func initCmd(args []string) error {
 		requests = fs.Int("requests", 1500, "synthetic requests used for training")
 		train    = fs.Bool("train", true, "train placement and caching after ingest")
 		syncStr  = fs.String("sync", "periodic", "durability mode: none, periodic or always")
+		direct   = fs.Bool("direct", false, "ingest through O_DIRECT (falls back to buffered I/O where unsupported)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		budget   = fs.Int("dram", 0, "DRAM budget in vectors (default: 5% of all vectors)")
 	)
@@ -55,6 +56,7 @@ func initCmd(args []string) error {
 		Backend:           core.BackendFile,
 		DataDir:           *dataDir,
 		Sync:              syncMode,
+		Direct:            *direct,
 	})
 	if err != nil {
 		return err
@@ -65,6 +67,13 @@ func initCmd(args []string) error {
 			store.Close()
 		}
 	}()
+	if *direct {
+		if store.DeviceStats().Store.DirectIO {
+			fmt.Println("block file opened with O_DIRECT (page cache bypassed)")
+		} else {
+			fmt.Println("O_DIRECT not supported by the data dir's filesystem; using buffered I/O")
+		}
+	}
 	fmt.Printf("ingested %d tables onto %s\n", store.NumTables(), store.Device())
 
 	if *train {

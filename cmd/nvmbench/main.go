@@ -111,6 +111,7 @@ func main() {
 		backend     = flag.String("backend", "mem", "block store backend: mem or file")
 		dataDir     = flag.String("data-dir", "", "directory for the file backend's block file (default: temp dir)")
 		syncStr     = flag.String("sync", "none", "file backend durability: none, periodic or always")
+		direct      = flag.Bool("direct", false, "open block files with O_DIRECT (file backend and update-sweep; falls back to buffered I/O where unsupported)")
 		ioQD        = flag.Int("io-qd", 0, "qd-sweep: measure this single target queue depth instead of the 1/4/8/16/32 sweep")
 		ioCoalesce  = flag.Bool("io-coalesce", true, "qd-sweep: coalesce concurrent reads of the same block")
 		jsonOut     = flag.String("json", "", "also write machine-readable results to this file")
@@ -173,7 +174,7 @@ func main() {
 	// backend; like serve-sweep it owns its stores and returns early.
 	if *mode == "update-sweep" {
 		res, err := runUpdateSweep(updateSweepOptions{
-			DataDir: *dataDir, Sync: *syncStr,
+			DataDir: *dataDir, Sync: *syncStr, Direct: *direct,
 			Seed: *seed, Updates: *ops * 40, Jobs: *jobs,
 		})
 		if err != nil {
@@ -227,10 +228,13 @@ func main() {
 			os.Exit(1)
 		}
 		fs, _, err := nvm.OpenOrCreateFileStore(filepath.Join(dir, "bench-blocks.bnd"), *blocks,
-			nvm.FileStoreOptions{Sync: syncMode})
+			nvm.FileStoreOptions{Sync: syncMode, Direct: *direct})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *direct && !fs.DirectIO() {
+			fmt.Fprintln(os.Stderr, "note: O_DIRECT not supported here; measuring buffered I/O")
 		}
 		store = fs
 	default:

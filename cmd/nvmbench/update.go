@@ -23,12 +23,17 @@ type updateLeg struct {
 	Updates       int     `json:"updates"`
 	UpdatesPerSec float64 `json:"updatesPerSec"`
 	MeanLatencyUS float64 `json:"meanLatencyUS"`
-	// JournalWrites is the number of 4 KB write-ahead journal records the
-	// block file absorbed (the RMW path pays one per update plus the block
-	// overwrite; the delta path pays none until compaction).
+	// JournalWrites is the number of write-ahead ring-journal records the
+	// block file absorbed (the journaled path pays one one-page patch
+	// record per update plus the sub-block overwrite; the delta path pays
+	// none until compaction).
 	JournalWrites int64 `json:"journalWrites"`
-	// BytesWritten is the device-level write traffic (blocks only, not the
-	// update log file).
+	// BytesWritten is the leg's total write volume: device-level data
+	// traffic plus ring-journal appends plus bytes appended to the delta
+	// update log. The journaled path is journal pages plus patch bytes; the
+	// delta path is (until a compaction triggers) all log appends — so this
+	// is the column that shows the write-amplification gap, not just the
+	// block counters.
 	BytesWritten int64 `json:"bytesWritten"`
 }
 
@@ -54,6 +59,7 @@ type updateSweepResult struct {
 type updateSweepOptions struct {
 	DataDir string
 	Sync    string
+	Direct  bool // O_DIRECT block files (auto-fallback where unsupported)
 	Seed    int64
 	Updates int // total updates per leg
 	Jobs    int // concurrent writer goroutines
@@ -115,6 +121,7 @@ func runUpdateSweep(opts updateSweepOptions) (*updateSweepResult, error) {
 			Backend:           core.BackendFile,
 			DataDir:           filepath.Join(dir, fmt.Sprintf("leg-%d", i)),
 			Sync:              syncMode,
+			Direct:            opts.Direct,
 			UpdateLog:         core.UpdateLogOptions{Enabled: enabled},
 		})
 		if err != nil {
@@ -206,6 +213,7 @@ func measureUpdateLeg(s *core.Store, updates, jobs int, seed int64) (updateLeg, 
 		streams[w] = ids
 	}
 	before := s.DeviceStats()
+	beforeLog := s.UpdateLogStats()
 
 	var mu sync.Mutex
 	var firstErr error
@@ -235,11 +243,14 @@ func measureUpdateLeg(s *core.Store, updates, jobs int, seed int64) (updateLeg, 
 		return updateLeg{}, firstErr
 	}
 	after := s.DeviceStats()
+	afterLog := s.UpdateLogStats()
 	return updateLeg{
 		Updates:       total,
 		UpdatesPerSec: float64(total) / elapsed.Seconds(),
 		MeanLatencyUS: elapsed.Seconds() * float64(jobs) / float64(total) * 1e6,
 		JournalWrites: after.Store.JournalWrites - before.Store.JournalWrites,
-		BytesWritten:  after.BytesWritten - before.BytesWritten,
+		BytesWritten: (after.BytesWritten - before.BytesWritten) +
+			(after.Store.JournalBytesAppended - before.Store.JournalBytesAppended) +
+			(afterLog.BytesAppended - beforeLog.BytesAppended),
 	}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bandana/internal/core"
+	"bandana/internal/nvm"
 	"bandana/internal/server"
 	"bandana/internal/table"
 )
@@ -32,9 +33,18 @@ func buildClusterStore(t *testing.T, seed int64) *core.Store {
 		tables[i] = g.Table
 	}
 	cfg := core.Config{Tables: tables, DRAMBudgetVectors: 256, Seed: seed}
-	if os.Getenv("BANDANA_TEST_BACKEND") == core.BackendFile {
+	switch os.Getenv("BANDANA_TEST_BACKEND") {
+	case core.BackendFile:
 		cfg.Backend = core.BackendFile
 		cfg.DataDir = filepath.Join(t.TempDir(), "store")
+	case core.BackendFile + "-direct":
+		dir := t.TempDir()
+		if !nvm.DirectIOSupported(dir) {
+			t.Skipf("skipping: filesystem at %s rejects O_DIRECT", dir)
+		}
+		cfg.Backend = core.BackendFile
+		cfg.DataDir = filepath.Join(dir, "store")
+		cfg.Direct = true
 	}
 	s, err := core.Open(cfg)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bandana/internal/core"
+	"bandana/internal/nvm"
 	"bandana/internal/server"
 	"bandana/internal/table"
 )
@@ -30,9 +31,18 @@ func buildUpdateLogStore(t *testing.T, seed int64, vectorsPerTable int) *core.St
 		Tables: tables, DRAMBudgetVectors: 256, Seed: seed,
 		UpdateLog: core.UpdateLogOptions{Enabled: true},
 	}
-	if os.Getenv("BANDANA_TEST_BACKEND") == core.BackendFile {
+	switch os.Getenv("BANDANA_TEST_BACKEND") {
+	case core.BackendFile:
 		cfg.Backend = core.BackendFile
 		cfg.DataDir = filepath.Join(t.TempDir(), "store")
+	case core.BackendFile + "-direct":
+		dir := t.TempDir()
+		if !nvm.DirectIOSupported(dir) {
+			t.Skipf("skipping: filesystem at %s rejects O_DIRECT", dir)
+		}
+		cfg.Backend = core.BackendFile
+		cfg.DataDir = filepath.Join(dir, "store")
+		cfg.Direct = true
 	}
 	s, err := core.Open(cfg)
 	if err != nil {

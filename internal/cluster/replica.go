@@ -61,6 +61,9 @@ type ReplicaOptions struct {
 	DataDir string
 	// Sync is the durability mode of the imported block files.
 	Sync nvm.SyncMode
+	// Direct opens the imported block files with O_DIRECT where the
+	// filesystem supports it (see core.Config.Direct).
+	Direct bool
 	// PollInterval is how often Run checks the primary's snapshot seq.
 	// Defaults to 2s.
 	PollInterval time.Duration
@@ -421,6 +424,7 @@ func (r *Replica) openSnapshot(dir string, seq uint64) (*core.Store, error) {
 		Backend:            core.BackendFile,
 		DataDir:            dir,
 		Sync:               r.opts.Sync,
+		Direct:             r.opts.Direct,
 		ReadOnly:           true,
 		InitialSnapshotSeq: seq,
 		// The replica keeps its own update log so replicated records are

@@ -12,21 +12,39 @@ import (
 
 // testBackendConfig adjusts cfg to the backend selected by the
 // BANDANA_TEST_BACKEND environment variable, which CI uses to run the core
-// suite against both backends. Default (unset or "mem") leaves cfg alone;
-// "file" switches to the durable backend over a per-test temp dir.
+// suite against every backend. Default (unset or "mem") leaves cfg alone;
+// "file" switches to the durable backend over a per-test temp dir;
+// "file-direct" additionally opens the block file with O_DIRECT (tests are
+// skipped with a notice where the filesystem rejects it).
 // BANDANA_TEST_IOSCHED=on additionally routes the suite's miss paths
 // through the async I/O scheduler (the CI matrix's scheduler-on leg), which
 // must be behaviorally invisible to every test that passes with it off.
 func testBackendConfig(t *testing.T, cfg Config) Config {
 	t.Helper()
-	if os.Getenv("BANDANA_TEST_BACKEND") == BackendFile {
+	switch os.Getenv("BANDANA_TEST_BACKEND") {
+	case BackendFile:
 		cfg.Backend = BackendFile
 		cfg.DataDir = filepath.Join(t.TempDir(), "store")
+	case BackendFile + "-direct":
+		dir := t.TempDir()
+		if !nvm.DirectIOSupported(dir) {
+			t.Skipf("skipping: filesystem at %s rejects O_DIRECT", dir)
+		}
+		cfg.Backend = BackendFile
+		cfg.DataDir = filepath.Join(dir, "store")
+		cfg.Direct = true
 	}
 	if testIOSchedEnabled() {
 		cfg.IOSched.Enabled = true
 	}
 	return cfg
+}
+
+// testDirect reports whether the suite runs its O_DIRECT leg; tests that
+// build explicit file-backed Configs pass it as Config.Direct so the direct
+// leg exercises them too.
+func testDirect() bool {
+	return os.Getenv("BANDANA_TEST_BACKEND") == BackendFile+"-direct"
 }
 
 // testIOSchedEnabled reports whether the suite runs its scheduler-on leg.

@@ -54,6 +54,13 @@ type Config struct {
 	// Sync selects the file backend's durability mode (nvm.SyncNone,
 	// nvm.SyncPeriodic or nvm.SyncAlways).
 	Sync nvm.SyncMode
+	// Direct requests O_DIRECT (unbuffered) I/O for the file backend's block
+	// file, bypassing the page cache so reads and writes hit the device with
+	// honest NVM latencies. Negotiated at open: filesystems that reject
+	// O_DIRECT (e.g. tmpfs) silently fall back to buffered I/O — check the
+	// device's BackendStats().DirectIO for the outcome. Ignored by
+	// BackendMem.
+	Direct bool
 	// DRAMBudgetVectors is the total number of vectors that may be cached
 	// in DRAM across all tables. Defaults to 5% of the total vector count.
 	DRAMBudgetVectors int

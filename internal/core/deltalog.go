@@ -214,6 +214,7 @@ type deltaLog struct {
 	retain       int
 
 	appends         atomic.Int64
+	bytesAppended   atomic.Int64
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
 	invalidations   atomic.Int64
@@ -348,6 +349,7 @@ func (l *deltaLog) appendLocked(rec UpdateRecord) error {
 	l.lastSeq = rec.Seq
 	l.memBytes += int64(EncodedUpdateLen(len(rec.Raw)))
 	l.appends.Add(1)
+	l.bytesAppended.Add(int64(EncodedUpdateLen(len(rec.Raw))))
 	return nil
 }
 
@@ -547,7 +549,11 @@ type UpdateLogStats struct {
 	// into the block image; Invalidations counts structural mutations that
 	// reset the window; FallbackWrites counts updates whose log append failed
 	// (they commit overlay-only and stay volatile until the next compaction).
-	Appends         int64 `json:"appends"`
+	Appends int64 `json:"appends"`
+	// BytesAppended is the total framed bytes appended to the log (memory
+	// window and disk mirror alike) — the delta path's write volume, the
+	// counterpart of the device's block BytesWritten.
+	BytesAppended   int64 `json:"bytesAppended"`
 	Compactions     int64 `json:"compactions"`
 	CompactFailures int64 `json:"compactFailures"`
 	Invalidations   int64 `json:"invalidations"`
@@ -578,6 +584,7 @@ func (s *Store) UpdateLogStats() UpdateLogStats {
 	}
 	l.mu.Unlock()
 	out.Appends = l.appends.Load()
+	out.BytesAppended = l.bytesAppended.Load()
 	out.Compactions = l.compactions.Load()
 	out.CompactFailures = l.compactFailures.Load()
 	out.Invalidations = l.invalidations.Load()

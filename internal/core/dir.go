@@ -98,7 +98,7 @@ func initDir(cfg Config) (*Store, error) {
 	}
 	spans, totalBlocks := computeSpans(cfg.Tables)
 	fs, err := nvm.CreateFileStore(filepath.Join(cfg.DataDir, BlocksFileName), totalBlocks,
-		nvm.FileStoreOptions{Sync: cfg.Sync})
+		nvm.FileStoreOptions{Sync: cfg.Sync, Direct: cfg.Direct})
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func reopenDir(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	fs, err := nvm.OpenFileStore(filepath.Join(cfg.DataDir, BlocksFileName),
-		nvm.FileStoreOptions{Sync: cfg.Sync})
+		nvm.FileStoreOptions{Sync: cfg.Sync, Direct: cfg.Direct})
 	if err != nil {
 		return nil, err
 	}

@@ -49,7 +49,7 @@ func migTestTables(numTables, vectorsPerTable, queries int) ([]*table.Table, []*
 // migration deterministically runs. Shared by the crash child and the
 // in-process migration tests.
 func driveAdaptedMigration(dir string, tables []*table.Table, traces []*trace.Trace) (*Store, *AdaptEpochReport, error) {
-	cfg := Config{Backend: BackendFile, DataDir: dir, Seed: 3, DRAMBudgetVectors: 256}
+	cfg := Config{Backend: BackendFile, DataDir: dir, Seed: 3, DRAMBudgetVectors: 256, Direct: testDirect()}
 	if !DirInitialized(dir) {
 		cfg.Tables = tables
 	}
@@ -234,11 +234,17 @@ func TestMigrationKill9Recovery(t *testing.T) {
 	for _, tc := range stages {
 		t.Run(tc.stage, func(t *testing.T) {
 			dir := filepath.Join(t.TempDir(), "store")
+			// The child manages its own backend (always file); only the
+			// direct-vs-buffered choice of the current leg is forwarded.
+			childBackend := ""
+			if testDirect() {
+				childBackend = BackendFile + "-direct"
+			}
 			cmd := exec.Command(os.Args[0], "-test.run", "^TestMigrationCrashChild$", "-test.v")
 			cmd.Env = append(os.Environ(),
 				"BANDANA_MIG_CRASH_DIR="+dir,
 				"BANDANA_MIG_CRASH_STAGE="+tc.stage,
-				"BANDANA_TEST_BACKEND=", // the child manages its own backend
+				"BANDANA_TEST_BACKEND="+childBackend,
 			)
 			out, err := cmd.CombinedOutput()
 			if err == nil {
@@ -249,7 +255,7 @@ func TestMigrationKill9Recovery(t *testing.T) {
 				t.Fatalf("child did not die by SIGKILL: %v\n%s", err, out)
 			}
 
-			reopened, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+			reopened, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3, Direct: testDirect()})
 			if err != nil {
 				t.Fatalf("reopen after kill -9 at %q: %v", tc.stage, err)
 			}
@@ -267,7 +273,7 @@ func TestMigrationKill9Recovery(t *testing.T) {
 				t.Fatalf("migration image still present after recovery: %v", err)
 			}
 			reopened.Close()
-			again, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+			again, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3, Direct: testDirect()})
 			if err != nil {
 				t.Fatalf("second reopen: %v", err)
 			}
@@ -325,7 +331,7 @@ func TestMigrationRecoveryIdempotent(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, MigrationManifestName), savedMani, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		re, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3})
+		re, err := Open(Config{Backend: BackendFile, DataDir: dir, Seed: 3, Direct: testDirect()})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

@@ -695,12 +695,12 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 }
 
 // updateRaw is the write-through (no update log) single-vector update: a
-// journaled read-modify-write of the containing block. raw must be exactly
+// journaled sub-block patch of the vector's slot. raw must be exactly
 // vecBytes long (callers validate). It is also the replica apply path for
 // stores without an overlay.
 func (st *storeTable) updateRaw(device *nvm.Device, id uint32, raw []byte) error {
-	// Serialize concurrent updates: the read-modify-write below would lose
-	// one of two concurrent writes to the same block.
+	// Serialize concurrent updates of the table: two patches of the same
+	// slot must not interleave, and SetRaw/device order must be stable.
 	st.updateMu.Lock()
 	defer st.updateMu.Unlock()
 	if err := st.src.SetRaw(id, raw); err != nil {
@@ -708,43 +708,17 @@ func (st *storeTable) updateRaw(device *nvm.Device, id uint32, raw []byte) error
 	}
 	ts := st.loadState()
 
-	// Read-modify-write the containing block. The read goes through the
-	// I/O scheduler at background (prefetch-class) priority: periodic
-	// model-refresh writes must never starve foreground lookups of device
-	// bandwidth.
-	//
-	// Freshness is load-bearing here: patching one slot into a STALE block
-	// image and writing it back would silently revert every other slot to
-	// its pre-image — a lost update. updateMu excludes concurrent writers,
-	// but a coalesced read can attach to a demand miss's device read whose
-	// bytes were snapshotted before the PREVIOUS update's write completed
-	// (the op lingers in the coalescing window until its batch fans out).
-	// The leader-tag check detects exactly that: epoch cannot move while
-	// we hold updateMu, so a Late result whose leader tag differs from our
-	// epoch was read before some committed write and must be retried (see
-	// readBlockMiss for the monotonicity argument).
+	// Patch exactly the vector's bytes inside its containing block. The
+	// earlier read-modify-write here had to fetch the whole block first —
+	// and carefully fence against coalesced reads returning a stale image,
+	// because writing a stale pre-image back would silently revert every
+	// other slot in the block. The patch write needs no pre-image, so the
+	// lost-update hazard (and the read, and its device bandwidth) is gone
+	// structurally: a vector update is one journal append plus one
+	// sub-block write on the file backend.
 	block := ts.layout.BlockOf(id)
-	bufp := getBlockBuf()
-	defer putBlockBuf(bufp)
-	buf := *bufp
-	if st.sched != nil {
-		epoch := st.epoch.Load()
-		for {
-			res, err := st.sched.ReadBlock(st.blockBase+block, buf, iosched.Prefetch, epoch)
-			if err != nil {
-				return fmt.Errorf("core: table %q: %w", st.name, err)
-			}
-			if res.Late && res.LeaderTag != epoch {
-				continue
-			}
-			break
-		}
-	} else if _, err := device.ReadBlock(st.blockBase+block, buf); err != nil {
-		return fmt.Errorf("core: table %q: %w", st.name, err)
-	}
 	slot := ts.layout.SlotOf(id)
-	copy(buf[slot*st.vecBytes:], raw)
-	if err := device.WriteBlock(st.blockBase+block, buf); err != nil {
+	if err := device.WriteBlockPatch(st.blockBase+block, slot*st.vecBytes, raw); err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
 	// Bump the epoch before invalidating so that a concurrent miss that

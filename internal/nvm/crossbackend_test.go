@@ -8,21 +8,49 @@ import (
 )
 
 // TestCrossBackendPropertyEquivalence drives one randomized op sequence
-// (writes of random lengths, reads, and — for the file backend — periodic
-// close/reopen cycles) against MemStore and FileStore and asserts the two
+// (writes of random lengths, reads, and — for the file backends — periodic
+// close/reopen cycles) against MemStore, a buffered FileStore and (where the
+// filesystem supports O_DIRECT) a direct-I/O FileStore, and asserts all
 // backends expose byte-identical block images throughout and at the end.
 func TestCrossBackendPropertyEquivalence(t *testing.T) {
 	const numBlocks = 24
 	const ops = 600
 
-	path := filepath.Join(t.TempDir(), "nvm.bnd")
+	dir := t.TempDir()
 	mem := NewMemStore(numBlocks)
 	defer mem.Close()
-	file, err := CreateFileStore(path, numBlocks, FileStoreOptions{JournalSlots: 4})
-	if err != nil {
-		t.Fatal(err)
+
+	// Each file leg: path + options; reopened in place mid-sequence.
+	type fileLeg struct {
+		name  string
+		path  string
+		opts  FileStoreOptions
+		store *FileStore
 	}
-	defer func() { file.Close() }()
+	legs := []*fileLeg{
+		{name: "file", path: filepath.Join(dir, "nvm.bnd"), opts: FileStoreOptions{RingBlocks: minRingBlocks}},
+	}
+	if DirectIOSupported(dir) {
+		legs = append(legs, &fileLeg{
+			name: "file-direct",
+			path: filepath.Join(dir, "nvm-direct.bnd"),
+			opts: FileStoreOptions{RingBlocks: minRingBlocks, Direct: true},
+		})
+	} else {
+		t.Log("skipping file-direct leg: filesystem rejects O_DIRECT")
+	}
+	for _, leg := range legs {
+		s, err := CreateFileStore(leg.path, numBlocks, leg.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leg.store = s
+	}
+	defer func() {
+		for _, leg := range legs {
+			leg.store.Close()
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(42))
 	memBuf := make([]byte, BlockSize)
@@ -41,19 +69,23 @@ func TestCrossBackendPropertyEquivalence(t *testing.T) {
 			if err := mem.WriteBlock(idx, src); err != nil {
 				t.Fatal(err)
 			}
-			if err := file.WriteBlock(idx, src); err != nil {
-				t.Fatal(err)
+			for _, leg := range legs {
+				if err := leg.store.WriteBlock(idx, src); err != nil {
+					t.Fatalf("%s: %v", leg.name, err)
+				}
 			}
 		case 4, 5, 6, 7: // single read
 			idx := rng.Intn(numBlocks)
 			if err := mem.ReadBlock(idx, memBuf); err != nil {
 				t.Fatal(err)
 			}
-			if err := file.ReadBlock(idx, fileBuf); err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(memBuf, fileBuf) {
-				t.Fatalf("op %d: block %d diverges between backends", op, idx)
+			for _, leg := range legs {
+				if err := leg.store.ReadBlock(idx, fileBuf); err != nil {
+					t.Fatalf("%s: %v", leg.name, err)
+				}
+				if !bytes.Equal(memBuf, fileBuf) {
+					t.Fatalf("op %d: block %d diverges between mem and %s", op, idx, leg.name)
+				}
 			}
 		case 8: // batched read
 			k := 1 + rng.Intn(5)
@@ -66,33 +98,40 @@ func TestCrossBackendPropertyEquivalence(t *testing.T) {
 			if err := mem.ReadBlocks(idxs, m); err != nil {
 				t.Fatal(err)
 			}
-			if err := file.ReadBlocks(idxs, f); err != nil {
-				t.Fatal(err)
+			for _, leg := range legs {
+				if err := leg.store.ReadBlocks(idxs, f); err != nil {
+					t.Fatalf("%s: %v", leg.name, err)
+				}
+				if !bytes.Equal(m, f) {
+					t.Fatalf("op %d: batched read diverges for blocks %v on %s", op, idxs, leg.name)
+				}
 			}
-			if !bytes.Equal(m, f) {
-				t.Fatalf("op %d: batched read diverges for blocks %v", op, idxs)
-			}
-		case 9: // close + reopen the durable backend mid-sequence
-			if err := file.Close(); err != nil {
-				t.Fatal(err)
-			}
-			file, err = OpenFileStore(path, FileStoreOptions{})
-			if err != nil {
-				t.Fatalf("op %d: reopen: %v", op, err)
+		case 9: // close + reopen the durable backends mid-sequence
+			for _, leg := range legs {
+				if err := leg.store.Close(); err != nil {
+					t.Fatalf("%s: %v", leg.name, err)
+				}
+				s, err := OpenFileStore(leg.path, leg.opts)
+				if err != nil {
+					t.Fatalf("op %d: reopen %s: %v", op, leg.name, err)
+				}
+				leg.store = s
 			}
 		}
 	}
 
-	// Final sweep: every block byte-identical.
+	// Final sweep: every block byte-identical across all backends.
 	for idx := 0; idx < numBlocks; idx++ {
 		if err := mem.ReadBlock(idx, memBuf); err != nil {
 			t.Fatal(err)
 		}
-		if err := file.ReadBlock(idx, fileBuf); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(memBuf, fileBuf) {
-			t.Fatalf("final: block %d diverges between backends", idx)
+		for _, leg := range legs {
+			if err := leg.store.ReadBlock(idx, fileBuf); err != nil {
+				t.Fatalf("%s: %v", leg.name, err)
+			}
+			if !bytes.Equal(memBuf, fileBuf) {
+				t.Fatalf("final: block %d diverges between mem and %s", idx, leg.name)
+			}
 		}
 	}
 }

@@ -40,6 +40,8 @@ type Device struct {
 
 	blocksRead     metrics.Counter
 	blocksWritten  metrics.Counter
+	patchWrites    metrics.Counter
+	patchBytes     metrics.Counter
 	readBatches    metrics.Counter
 	coalescedReads metrics.Counter
 	readLatency    *metrics.Histogram
@@ -192,6 +194,31 @@ func (d *Device) WriteBlock(idx int, src []byte) error {
 	return nil
 }
 
+// WriteBlockPatch updates len(p) bytes of block idx at byte offset off
+// through the store's journaled sub-block path when it has one (PatchWriter),
+// falling back to a read-modify-write of the whole block. This is the
+// single-vector update path: callers must serialize concurrent patches of the
+// same bytes (core's per-table update mutex does), but patches of disjoint
+// byte ranges are safe to issue concurrently on PatchWriter stores.
+func (d *Device) WriteBlockPatch(idx, off int, p []byte) error {
+	if pw, ok := d.store.(PatchWriter); ok {
+		if err := pw.WriteBlockPatch(idx, off, p); err != nil {
+			return err
+		}
+		d.patchWrites.Inc()
+		d.patchBytes.Add(int64(len(p)))
+		return nil
+	}
+	bufp := GetBlockBuf()
+	defer PutBlockBuf(bufp)
+	buf := *bufp
+	if err := d.store.ReadBlock(idx, buf); err != nil {
+		return err
+	}
+	copy(buf[off:], p)
+	return d.WriteBlock(idx, buf)
+}
+
 // WriteBlockBulk writes src as block idx through the backing store's
 // bulk-load path, skipping any write-ahead journal it keeps (stores without
 // one behave exactly like WriteBlock). Use it for multi-block loads whose
@@ -250,9 +277,13 @@ func (d *Device) Close() error { return d.store.Close() }
 type Stats struct {
 	BlocksRead    int64
 	BlocksWritten int64
-	BytesRead     int64
-	BytesWritten  int64
-	ReadLatency   metrics.Snapshot
+	// PatchWrites counts journaled sub-block patch writes (single-vector
+	// updates); their bytes land in BytesWritten at patch size, not block
+	// size — the device-level write volume stays honest.
+	PatchWrites  int64
+	BytesRead    int64
+	BytesWritten int64
+	ReadLatency  metrics.Snapshot
 	// ReadsSubmitted is the total read intents served: blocks actually
 	// read from the device plus reads coalesced onto another read's I/O.
 	ReadsSubmitted int64
@@ -284,8 +315,9 @@ func (d *Device) Stats() Stats {
 	s := Stats{
 		BlocksRead:     br,
 		BlocksWritten:  bw,
+		PatchWrites:    d.patchWrites.Value(),
 		BytesRead:      br * BlockSize,
-		BytesWritten:   bw * BlockSize,
+		BytesWritten:   bw*BlockSize + d.patchBytes.Value(),
 		ReadLatency:    d.readLatency.Snapshot(),
 		ReadsSubmitted: br + coalesced,
 		ReadBatches:    d.readBatches.Value(),
@@ -309,36 +341,13 @@ func (d *Device) Stats() Stats {
 func (d *Device) ResetStats() {
 	d.blocksRead.Reset()
 	d.blocksWritten.Reset()
+	d.patchWrites.Reset()
+	d.patchBytes.Reset()
 	d.readBatches.Reset()
 	d.coalescedReads.Reset()
 	d.maxInflight.Store(0)
 	d.readLatency.Reset()
 }
-
-// batchBufPool recycles multi-block read buffers for batched dispatches
-// (see GetBatchBuf).
-var batchBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 8*BlockSize)
-		return &b
-	},
-}
-
-// GetBatchBuf returns a pooled buffer of blocks*BlockSize bytes for a
-// batched read; release it with PutBatchBuf. Contents are undefined.
-func GetBatchBuf(blocks int) *[]byte {
-	bp := batchBufPool.Get().(*[]byte)
-	need := blocks * BlockSize
-	if cap(*bp) < need {
-		*bp = make([]byte, need)
-	} else {
-		*bp = (*bp)[:need]
-	}
-	return bp
-}
-
-// PutBatchBuf returns a buffer obtained from GetBatchBuf to the pool.
-func PutBatchBuf(b *[]byte) { batchBufPool.Put(b) }
 
 // String describes the device.
 func (d *Device) String() string {

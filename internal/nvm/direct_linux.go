@@ -1,0 +1,36 @@
+//go:build linux
+
+package nvm
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// directIOAvailable reports whether this platform can open files O_DIRECT at
+// all. Individual filesystems may still reject it (tmpfs does); openDirect
+// handles that per file.
+const directIOAvailable = true
+
+// directOpenFlag is OR'd into the open(2) flags to bypass the page cache.
+const directOpenFlag = syscall.O_DIRECT
+
+// isDirectUnsupported reports whether err is the filesystem saying "no
+// O_DIRECT here" (tmpfs and some overlayfs configurations return EINVAL,
+// a few network filesystems ENOTSUP) as opposed to a real failure.
+func isDirectUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
+}
+
+// lockFileExclusive takes a non-blocking exclusive flock on f. The lock
+// belongs to the open file description, so a second open of the same path —
+// by another process or this one — fails until the first is closed.
+func lockFileExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrStoreLocked
+	}
+	return err
+}

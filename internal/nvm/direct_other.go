@@ -1,0 +1,18 @@
+//go:build !linux
+
+package nvm
+
+import "os"
+
+// directIOAvailable: non-Linux platforms fall back to buffered I/O (macOS
+// would need F_NOCACHE, Windows FILE_FLAG_NO_BUFFERING; neither is a target
+// of this reproduction).
+const directIOAvailable = false
+
+const directOpenFlag = 0
+
+func isDirectUnsupported(err error) bool { return false }
+
+// lockFileExclusive is a no-op where flock is unavailable; single-opener
+// discipline is then up to the operator.
+func lockFileExclusive(f *os.File) error { return nil }

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,53 +17,46 @@ import (
 // FileStore is a durable file-backed block store. Unlike MemStore it survives
 // process restarts and is not bounded by RAM, which makes the simulated NVM
 // device behave like the real thing: embedding tables are written once and
-// reopened across runs.
+// reopened across runs. With Direct enabled the file is opened O_DIRECT, so
+// reads and writes hit the device instead of the kernel page cache — the
+// measured I/O is honest, and the kernel stops spending DRAM double-caching
+// a block file whose caching this system manages itself.
 //
-// On-disk layout (all regions are BlockSize-aligned):
+// On-disk layout (format v2; all regions are BlockSize-aligned):
 //
-//	block 0                superblock: magic, format version, geometry, CRC
-//	blocks 1 .. 2J         journal: J slots of (header block, data block)
-//	blocks 2J+1 ..         data blocks 0 .. NumBlocks-1
+//	block 0            superblock: magic, format version, geometry, CRC
+//	blocks 1..2        journal head watermark, two alternating slots
+//	blocks 3..3+R-1    ring journal region (R = RingBlocks)
+//	blocks 3+R..       data blocks 0 .. NumBlocks-1
 //
-// Every WriteBlock first writes the full 4 KB image and a checksummed header
-// to a free journal slot, then writes the block in place. The journal slot is
-// only reused after the in-place write completed, so at any instant the
-// newest write of a block is either fully in place or fully described by a
-// valid journal record. Open replays valid journal records (in sequence
-// order) over the data region, which repairs any torn in-place write; a torn
-// journal record fails its CRC and is ignored, which rolls the write back to
-// the previous block contents. With SyncAlways the file is opened O_SYNC so
-// the journal-before-data ordering also holds across power loss; the other
-// modes guarantee consistency across process crashes only.
+// Every WriteBlock appends one checksummed record to the ring journal (a
+// single sequential pwrite), then writes the block in place — 2 pwrites per
+// block on the steady state. Records are retired lazily, in bulk, by
+// advancing the persisted head watermark once their in-place writes are
+// durable (see ringJournal). Open replays the valid record chain from the
+// watermark in sequence order, which repairs any torn in-place write; a torn
+// append fails its CRC (or breaks the sequence chain) and rolls back to the
+// previous block contents. With SyncAlways the file is opened O_SYNC so the
+// journal-before-data ordering also holds across power loss; the other modes
+// guarantee consistency across process crashes only.
 //
 // Reads and writes use offset I/O (pread/pwrite) with per-block-stripe
 // RW locks, so independent blocks are accessed with no shared lock at all and
 // concurrent reads of the same block never block each other.
 type FileStore struct {
-	f            *os.File
-	n            int
-	journalSlots int
-	dataOff      int64
-	sync         SyncMode
+	f          *os.File
+	n          int
+	ringBlocks int
+	dataOff    int64
+	sync       SyncMode
+	direct     bool
 
-	seq       atomic.Uint64
-	freeSlots chan int
-	// quarantined[slot] marks a slot whose record must survive until its
-	// target block is written successfully again or the next open repairs
-	// it: the write's in-place (or retire) pwrite failed, so the record is
-	// the authoritative copy. Quarantined slots are not recycled and
-	// clearJournal leaves them alone; a later successful write of the same
-	// block destroys the now-stale record and returns the slot to the pool
-	// (releaseQuarantined).
-	quarantined []atomic.Bool
-	quarTargets []int // target block per quarantined slot
-	quarCount   atomic.Int64
-	quarMu      sync.Mutex
-	locks       [blockStripes]sync.RWMutex
+	ring  *ringJournal
+	locks [blockStripes]sync.RWMutex
 
-	journalWrites atomic.Int64
-	flushes       atomic.Int64
-	recovered     int64
+	dataWrites atomic.Int64
+	flushes    atomic.Int64
+	recovered  int64
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -74,26 +68,37 @@ type FileStore struct {
 	// (a torn write) and it and every later pwrite fail.
 	faultArmed     atomic.Bool
 	faultCountdown atomic.Int64
+
+	// ioCheck, when set (tests only), observes every pread/pwrite with the
+	// buffer and offset actually handed to the kernel — the hook behind the
+	// alignment-invariant property tests and the pwrite-count pinning test.
+	ioCheck func(op string, off int64, p []byte)
 }
 
 const (
-	superMagic   = "BNDNVM01"
-	journalMagic = "BNDJRNL1"
+	superMagic = "BNDNVM01"
 
 	// FormatVersion is the on-disk format version written to the superblock.
-	FormatVersion = 1
+	// v2 replaced the fixed J-slot journal with the appending ring journal
+	// (and added the watermark blocks); v1 files are not readable.
+	FormatVersion = 2
 
-	// DefaultJournalSlots bounds how many block writes can be in flight at
-	// once; each slot costs two blocks of file space.
-	DefaultJournalSlots = 16
+	// DefaultRingBlocks sizes the ring journal region (create only). 256
+	// blocks = 1 MiB ≈ 128 in-flight block records between retirements.
+	DefaultRingBlocks = 256
+
+	// minRingBlocks keeps the ring large enough for a handful of in-flight
+	// records plus a wrap pad.
+	minRingBlocks = 8
 
 	// DefaultFlushInterval is the SyncPeriodic background flush cadence.
 	DefaultFlushInterval = time.Second
 
 	blockStripes = 128
 
-	superblockBytes = 32 // magic(8) version(4) blockSize(4) numBlocks(8) slots(4) crc(4)
-	journalHdrBytes = 32 // magic(8) seq(8) target(8) dataCRC(4) crc(4)
+	superblockBytes = 32 // magic(8) version(4) blockSize(4) numBlocks(8) ringBlocks(4) crc(4)
+
+	metaBlocks = 3 // superblock + two watermark slots
 )
 
 // ErrBadSuperblock is returned by OpenFileStore when the superblock is
@@ -103,6 +108,11 @@ var ErrBadSuperblock = errors.New("nvm: invalid or corrupt superblock")
 // ErrVersionMismatch is returned by OpenFileStore when the superblock carries
 // an unsupported format version.
 var ErrVersionMismatch = errors.New("nvm: unsupported file store format version")
+
+// ErrStoreLocked is returned when another process (or another handle in this
+// one) holds the store file open; concurrent openers would interleave
+// journal appends and corrupt state, so the second opener fails fast.
+var ErrStoreLocked = errors.New("nvm: store file is locked by another process")
 
 var errInjectedFault = errors.New("nvm: injected write fault")
 
@@ -150,20 +160,28 @@ func ParseSyncMode(s string) (SyncMode, error) {
 
 // FileStoreOptions configures CreateFileStore / OpenFileStore.
 type FileStoreOptions struct {
-	// JournalSlots is the number of write-ahead journal slots (create only;
-	// an existing file keeps the count in its superblock). Defaults to
-	// DefaultJournalSlots.
-	JournalSlots int
+	// RingBlocks is the size of the ring journal region in blocks (create
+	// only; an existing file keeps the count in its superblock). Defaults
+	// to DefaultRingBlocks.
+	RingBlocks int
 	// Sync selects the durability mode. Defaults to SyncNone.
 	Sync SyncMode
 	// FlushInterval is the SyncPeriodic flush cadence. Defaults to
 	// DefaultFlushInterval.
 	FlushInterval time.Duration
+	// Direct requests O_DIRECT (page-cache-bypassing) I/O. It is
+	// auto-negotiated: filesystems that reject O_DIRECT (tmpfs, some
+	// overlayfs) silently fall back to buffered I/O — check
+	// BackendStats().DirectIO for the outcome.
+	Direct bool
 }
 
 func (o *FileStoreOptions) defaults() {
-	if o.JournalSlots <= 0 {
-		o.JournalSlots = DefaultJournalSlots
+	if o.RingBlocks <= 0 {
+		o.RingBlocks = DefaultRingBlocks
+	}
+	if o.RingBlocks < minRingBlocks {
+		o.RingBlocks = minRingBlocks
 	}
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = DefaultFlushInterval
@@ -178,6 +196,62 @@ func openFlags(mode SyncMode) int {
 	return flags
 }
 
+// openStoreFile opens (or creates) the store file, negotiating O_DIRECT and
+// taking the exclusive flock. directOn reports whether direct I/O is
+// actually in effect after negotiation.
+func openStoreFile(path string, opts FileStoreOptions, create bool) (f *os.File, directOn bool, err error) {
+	flags := openFlags(opts.Sync)
+	if create {
+		flags |= os.O_CREATE
+	}
+	if opts.Direct && directIOAvailable {
+		f, err = os.OpenFile(path, flags|directOpenFlag, 0o644)
+		if err == nil {
+			directOn = true
+		} else if !isDirectUnsupported(err) {
+			return nil, false, err
+		}
+	}
+	if f == nil {
+		f, err = os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if err := lockFileExclusive(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrStoreLocked) {
+			return nil, false, fmt.Errorf("%w: %s", ErrStoreLocked, path)
+		}
+		return nil, false, fmt.Errorf("nvm: lock store file: %w", err)
+	}
+	return f, directOn, nil
+}
+
+// DirectIOSupported probes whether files in dir can be opened and written
+// with O_DIRECT (tmpfs, for one, rejects it). Used by tests and CI to
+// skip-with-notice rather than silently fall back.
+func DirectIOSupported(dir string) bool {
+	if !directIOAvailable {
+		return false
+	}
+	path := filepath.Join(dir, ".bnd-direct-probe")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|directOpenFlag, 0o644)
+	if err != nil {
+		return false
+	}
+	defer os.Remove(path)
+	defer f.Close()
+	bp := GetBlockBuf()
+	defer PutBlockBuf(bp)
+	buf := *bp
+	for i := range buf {
+		buf[i] = 0
+	}
+	_, werr := f.WriteAt(buf, 0)
+	return werr == nil
+}
+
 // CreateFileStore creates (or overwrites) a journaled file store of numBlocks
 // data blocks at path.
 func CreateFileStore(path string, numBlocks int, opts FileStoreOptions) (*FileStore, error) {
@@ -185,31 +259,59 @@ func CreateFileStore(path string, numBlocks int, opts FileStoreOptions) (*FileSt
 		return nil, fmt.Errorf("nvm: invalid block count %d", numBlocks)
 	}
 	opts.defaults()
-	f, err := os.OpenFile(path, openFlags(opts.Sync)|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, direct, err := openStoreFile(path, opts, true)
 	if err != nil {
 		return nil, fmt.Errorf("nvm: create file store: %w", err)
 	}
-	totalBlocks := 1 + 2*opts.JournalSlots + numBlocks
+	// Truncate to zero first so a recreate over an old store cannot leave
+	// stale ring records that a fresh watermark would mistake for its own
+	// chain; the regrow punches holes, which read back as zeros.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: truncate file store: %w", err)
+	}
+	totalBlocks := metaBlocks + opts.RingBlocks + numBlocks
 	if err := f.Truncate(int64(totalBlocks) * BlockSize); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("nvm: size file store: %w", err)
 	}
-	sb := make([]byte, superblockBytes)
-	copy(sb, superMagic)
-	binary.LittleEndian.PutUint32(sb[8:], FormatVersion)
-	binary.LittleEndian.PutUint32(sb[12:], BlockSize)
-	binary.LittleEndian.PutUint64(sb[16:], uint64(numBlocks))
-	binary.LittleEndian.PutUint32(sb[24:], uint32(opts.JournalSlots))
-	binary.LittleEndian.PutUint32(sb[28:], crc32.Checksum(sb[:28], castagnoli))
-	if _, err := f.WriteAt(sb, 0); err != nil {
+	s := newFileStore(f, numBlocks, opts, direct)
+	if err := s.writeSuperblock(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("nvm: write superblock: %w", err)
+		return nil, err
+	}
+	// Initial watermark: generation 1, empty ring at offset 0, first seq 1.
+	s.ring.gen = 0
+	s.ring.nextSeq = 1
+	if err := s.ring.retireAll(); err != nil {
+		f.Close()
+		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("nvm: sync superblock: %w", err)
 	}
-	return newFileStore(f, numBlocks, opts), nil
+	s.ring.start()
+	return s, nil
+}
+
+func (s *FileStore) writeSuperblock() error {
+	bp := GetBlockBuf()
+	defer PutBlockBuf(bp)
+	buf := *bp
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, superMagic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], BlockSize)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.n))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(s.ringBlocks))
+	binary.LittleEndian.PutUint32(buf[28:], crc32.Checksum(buf[:28], castagnoli))
+	if err := s.writeAt(buf, 0); err != nil {
+		return fmt.Errorf("nvm: write superblock: %w", err)
+	}
+	return nil
 }
 
 // OpenFileStore opens an existing journaled file store, validating its
@@ -217,54 +319,68 @@ func CreateFileStore(path string, numBlocks int, opts FileStoreOptions) (*FileSt
 // before returning.
 func OpenFileStore(path string, opts FileStoreOptions) (*FileStore, error) {
 	opts.defaults()
-	f, err := os.OpenFile(path, openFlags(opts.Sync), 0o644)
+	f, direct, err := openStoreFile(path, opts, false)
 	if err != nil {
+		if errors.Is(err, ErrStoreLocked) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("nvm: open file store: %w", err)
 	}
-	sb := make([]byte, superblockBytes)
-	if _, err := f.ReadAt(sb, 0); err != nil {
+	// The superblock read must already obey direct-I/O alignment, so read a
+	// whole aligned block.
+	bp := GetBlockBuf()
+	sbuf := *bp
+	if _, err := f.ReadAt(sbuf, 0); err != nil {
+		PutBlockBuf(bp)
 		f.Close()
 		return nil, fmt.Errorf("%w: short superblock read: %v", ErrBadSuperblock, err)
 	}
+	sb := sbuf[:superblockBytes]
 	if string(sb[:8]) != superMagic {
+		PutBlockBuf(bp)
 		f.Close()
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSuperblock, sb[:8])
 	}
 	if got := crc32.Checksum(sb[:28], castagnoli); got != binary.LittleEndian.Uint32(sb[28:]) {
+		PutBlockBuf(bp)
 		f.Close()
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
 	}
 	if v := binary.LittleEndian.Uint32(sb[8:]); v != FormatVersion {
+		PutBlockBuf(bp)
 		f.Close()
 		return nil, fmt.Errorf("%w: file has version %d, this build supports %d",
 			ErrVersionMismatch, v, FormatVersion)
 	}
 	if bs := binary.LittleEndian.Uint32(sb[12:]); bs != BlockSize {
+		PutBlockBuf(bp)
 		f.Close()
 		return nil, fmt.Errorf("%w: file has block size %d, want %d", ErrBadSuperblock, bs, BlockSize)
 	}
 	numBlocks := int(binary.LittleEndian.Uint64(sb[16:]))
-	slots := int(binary.LittleEndian.Uint32(sb[24:]))
-	if numBlocks <= 0 || slots <= 0 {
+	ringBlocks := int(binary.LittleEndian.Uint32(sb[24:]))
+	PutBlockBuf(bp)
+	if numBlocks <= 0 || ringBlocks < minRingBlocks {
 		f.Close()
-		return nil, fmt.Errorf("%w: implausible geometry (%d blocks, %d journal slots)",
-			ErrBadSuperblock, numBlocks, slots)
+		return nil, fmt.Errorf("%w: implausible geometry (%d blocks, %d ring blocks)",
+			ErrBadSuperblock, numBlocks, ringBlocks)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if want := int64(1+2*slots+numBlocks) * BlockSize; fi.Size() < want {
+	if want := int64(metaBlocks+ringBlocks+numBlocks) * BlockSize; fi.Size() < want {
 		f.Close()
 		return nil, fmt.Errorf("%w: file is %d bytes, geometry needs %d", ErrBadSuperblock, fi.Size(), want)
 	}
-	opts.JournalSlots = slots
-	s := newFileStore(f, numBlocks, opts)
+	opts.RingBlocks = ringBlocks
+	s := newFileStore(f, numBlocks, opts, direct)
 	if err := s.replayJournal(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	s.ring.start()
 	return s, nil
 }
 
@@ -293,20 +409,22 @@ func NewFileStore(path string, numBlocks int) (*FileStore, error) {
 	return CreateFileStore(path, numBlocks, FileStoreOptions{})
 }
 
-func newFileStore(f *os.File, numBlocks int, opts FileStoreOptions) *FileStore {
+// ioCheckHook, when non-nil at store construction (tests only), becomes the
+// new store's ioCheck observer — the way to watch the I/O of the create and
+// open/replay paths, which run before the caller holds the store.
+var ioCheckHook func(op string, off int64, p []byte)
+
+func newFileStore(f *os.File, numBlocks int, opts FileStoreOptions, direct bool) *FileStore {
 	s := &FileStore{
-		f:            f,
-		n:            numBlocks,
-		journalSlots: opts.JournalSlots,
-		dataOff:      int64(1+2*opts.JournalSlots) * BlockSize,
-		sync:         opts.Sync,
-		freeSlots:    make(chan int, opts.JournalSlots),
-		quarantined:  make([]atomic.Bool, opts.JournalSlots),
-		quarTargets:  make([]int, opts.JournalSlots),
+		ioCheck:    ioCheckHook,
+		f:          f,
+		n:          numBlocks,
+		ringBlocks: opts.RingBlocks,
+		dataOff:    int64(metaBlocks+opts.RingBlocks) * BlockSize,
+		sync:       opts.Sync,
+		direct:     direct,
 	}
-	for i := 0; i < opts.JournalSlots; i++ {
-		s.freeSlots <- i
-	}
+	s.ring = newRingJournal(s, opts.RingBlocks, int64(metaBlocks)*BlockSize)
 	if opts.Sync == SyncPeriodic {
 		s.stopFlush = make(chan struct{})
 		s.flushDone = make(chan struct{})
@@ -315,20 +433,79 @@ func newFileStore(f *os.File, numBlocks int, opts FileStoreOptions) *FileStore {
 	return s
 }
 
-func (s *FileStore) journalHdrOff(slot int) int64  { return int64(1+2*slot) * BlockSize }
-func (s *FileStore) journalDataOff(slot int) int64 { return int64(2+2*slot) * BlockSize }
+// readAt is the single pread choke point. In direct mode an unaligned
+// destination is bounced through an aligned pool buffer; the hot read paths
+// (core block buffers, iosched batch buffers) are already aligned, so the
+// bounce is for stray callers only.
+func (s *FileStore) readAt(p []byte, off int64) error {
+	if s.direct && !isAligned(p) {
+		nb := (len(p) + BlockSize - 1) / BlockSize
+		bp := GetBatchBuf(nb)
+		defer PutBatchBuf(bp)
+		buf := (*bp)[:len(p)]
+		if ic := s.ioCheck; ic != nil {
+			ic("pread", off, buf)
+		}
+		if _, err := s.f.ReadAt(buf, off); err != nil {
+			return err
+		}
+		copy(p, buf)
+		return nil
+	}
+	if ic := s.ioCheck; ic != nil {
+		ic("pread", off, p)
+	}
+	_, err := s.f.ReadAt(p, off)
+	return err
+}
 
 // writeAt is the single pwrite choke point; crash tests inject torn writes
-// here.
+// here. In direct mode an unaligned source is bounced through aligned pool
+// buffers in ring-sized chunks (only the bulk-load paths can hit this; the
+// journaled write path always writes aligned pool memory).
 func (s *FileStore) writeAt(p []byte, off int64) error {
+	if s.direct && !isAligned(p) {
+		const chunk = 256 * BlockSize
+		bp := GetBatchBuf(256)
+		defer PutBatchBuf(bp)
+		for len(p) > 0 {
+			n := len(p)
+			if n > chunk {
+				n = chunk
+			}
+			buf := (*bp)[:n]
+			copy(buf, p[:n])
+			if err := s.writeAtAligned(buf, off); err != nil {
+				return err
+			}
+			p = p[n:]
+			off += int64(n)
+		}
+		return nil
+	}
+	return s.writeAtAligned(p, off)
+}
+
+func (s *FileStore) writeAtAligned(p []byte, off int64) error {
+	if ic := s.ioCheck; ic != nil {
+		ic("pwrite", off, p)
+	}
 	if s.faultArmed.Load() {
 		left := s.faultCountdown.Add(-1)
 		if left < 0 {
 			return errInjectedFault
 		}
 		if left == 0 {
-			// Tear the write: persist only a prefix, then fail.
-			_, _ = s.f.WriteAt(p[:len(p)/2], off)
+			// Tear the write: persist only a prefix, then fail. Under
+			// O_DIRECT the prefix is trimmed to a block boundary (an
+			// unaligned tear would be rejected by the kernel, not torn).
+			tear := len(p) / 2
+			if s.direct {
+				tear &^= BlockSize - 1
+			}
+			if tear > 0 {
+				_, _ = s.f.WriteAt(p[:tear], off)
+			}
 			return errInjectedFault
 		}
 	}
@@ -343,46 +520,16 @@ func (s *FileStore) failAfterWrites(n int) {
 	s.faultArmed.Store(true)
 }
 
-// quarantineSlot parks a slot whose record must outlive this process's
-// journal lifecycle (see the field comment).
-func (s *FileStore) quarantineSlot(slot, target int) {
-	s.quarMu.Lock()
-	s.quarTargets[slot] = target
-	s.quarantined[slot].Store(true)
-	s.quarCount.Add(1)
-	s.quarMu.Unlock()
-}
-
-// releaseQuarantined destroys any quarantined records targeting block and
-// returns their slots to the pool. Called after a successful write of that
-// block (journaled or bulk): the new image supersedes the quarantined one,
-// which must not be replayed over it at the next open.
-func (s *FileStore) releaseQuarantined(block int) error {
-	if s.quarCount.Load() == 0 {
-		return nil
-	}
-	s.quarMu.Lock()
-	defer s.quarMu.Unlock()
-	var zero [8]byte
-	for slot := 0; slot < s.journalSlots; slot++ {
-		if !s.quarantined[slot].Load() || s.quarTargets[slot] != block {
-			continue
-		}
-		if _, err := s.f.WriteAt(zero[:], s.journalHdrOff(slot)); err != nil {
-			return fmt.Errorf("nvm: retire quarantined slot %d: %w", slot, err)
-		}
-		s.quarantined[slot].Store(false)
-		s.quarCount.Add(-1)
-		s.freeSlots <- slot // buffered to journalSlots; never blocks
-	}
-	return nil
-}
-
 // NumBlocks implements BlockStore.
 func (s *FileStore) NumBlocks() int { return s.n }
 
-// JournalSlots returns the number of write-ahead journal slots.
-func (s *FileStore) JournalSlots() int { return s.journalSlots }
+// RingBlocks returns the size of the ring journal region in blocks.
+func (s *FileStore) RingBlocks() int { return s.ringBlocks }
+
+// DirectIO reports whether the store is running on O_DIRECT I/O (false when
+// the Direct option was refused by the filesystem and the store fell back
+// to buffered I/O).
+func (s *FileStore) DirectIO() bool { return s.direct }
 
 // ReadBlock implements BlockStore.
 func (s *FileStore) ReadBlock(idx int, dst []byte) error {
@@ -395,8 +542,7 @@ func (s *FileStore) ReadBlock(idx int, dst []byte) error {
 	lock := &s.locks[idx%blockStripes]
 	lock.RLock()
 	defer lock.RUnlock()
-	_, err := s.f.ReadAt(dst[:BlockSize], s.dataOff+int64(idx)*BlockSize)
-	return err
+	return s.readAt(dst[:BlockSize], s.dataOff+int64(idx)*BlockSize)
 }
 
 // ReadBlocks implements BlockStore: it reads block idxs[i] into
@@ -414,15 +560,14 @@ func (s *FileStore) ReadBlocks(idxs []int, dst []byte) error {
 	return nil
 }
 
-// WriteBlock implements BlockStore: journal first, then write in place,
-// then retire the journal record. The slot is held until the record is
-// retired, so a crash at any point either rolls the write back (torn
-// journal record) or replays it (valid record) on the next open — the data
-// region never keeps a torn block image. Retiring the record on completion
-// is what makes this sound: at most the single in-flight write per block
-// can have a live record, so recovery can never replay a stale image over
-// bytes written later (by a newer journaled write or by the bulk
-// WriteBlockUnjournaled path).
+// WriteBlock implements BlockStore: one sequential ring-journal append, then
+// one in-place write. A crash at any point either rolls the write back (a
+// torn append fails its CRC or breaks the sequence chain) or replays it (a
+// valid record REDOes in sequence order) at the next open — the data region
+// never keeps a torn block image. Records are retired lazily by the ring
+// GC; replaying an already-in-place record rewrites identical bytes, and a
+// record made stale by a newer write of the same block is replayed before
+// that newer record, so sequence order keeps recovery exact.
 func (s *FileStore) WriteBlock(idx int, src []byte) error {
 	if idx < 0 || idx >= s.n {
 		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
@@ -438,95 +583,93 @@ func (s *FileStore) WriteBlock(idx int, src []byte) error {
 		buf[i] = 0
 	}
 
-	// Acquire a journal slot. If every slot is quarantined the pool can
-	// only be replenished by a successful write, which needs a slot — fail
-	// instead of parking forever on a wedged store. The periodic re-check
-	// (rather than a single check before blocking) closes the race where
-	// the last in-flight writer quarantines its slot after we started
-	// waiting.
-	var slot int
-	for acquired := false; !acquired; {
-		select {
-		case slot = <-s.freeSlots:
-			acquired = true
-		case <-time.After(50 * time.Millisecond):
-			if s.quarCount.Load() >= int64(s.journalSlots) {
-				return fmt.Errorf("nvm: all %d journal slots quarantined by failed writes; reopen the store to repair", s.journalSlots)
-			}
-		}
-	}
-	recycle := true
-	defer func() {
-		if recycle {
-			s.freeSlots <- slot
-		}
-	}()
-	seq := s.seq.Add(1)
-
-	var hdr [journalHdrBytes]byte
-	copy(hdr[:], journalMagic)
-	binary.LittleEndian.PutUint64(hdr[8:], seq)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(idx))
-	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(buf, castagnoli))
-	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:28], castagnoli))
-
-	// Journal record: data before header, so a valid header implies valid
-	// data (modulo the CRC re-check at replay).
-	if err := s.writeAt(buf, s.journalDataOff(slot)); err != nil {
-		return fmt.Errorf("nvm: journal write: %w", err)
-	}
-	if err := s.writeAt(hdr[:], s.journalHdrOff(slot)); err != nil {
-		return fmt.Errorf("nvm: journal write: %w", err)
-	}
-	s.journalWrites.Add(1)
-
-	lock := &s.locks[idx%blockStripes]
-	lock.Lock()
-	err := s.writeAt(buf, s.dataOff+int64(idx)*BlockSize)
-	lock.Unlock()
+	seq, err := s.ring.append(uint64(idx), buf)
 	if err != nil {
-		// The failed pwrite may have torn the block, and the journal record
-		// is now the only good copy: quarantine the slot so the record
-		// survives until the next open repairs the block or a later
-		// successful write of it supersedes the record. The cost is
-		// redo-log semantics — a write whose error the caller observed can
-		// still surface after recovery — and one parked slot meanwhile.
-		s.quarantineSlot(slot, idx)
-		recycle = false
-		return fmt.Errorf("nvm: block write: %w", err)
-	}
-
-	// The new image supersedes any quarantined record for this block; that
-	// record must not be replayed over it at the next open. On failure our
-	// own live record joins the quarantine (it matches the in-place bytes,
-	// so replaying it is harmless until a later write supersedes it too).
-	if err := s.releaseQuarantined(idx); err != nil {
-		s.quarantineSlot(slot, idx)
-		recycle = false
 		return err
 	}
 
-	// The block image is in place: retire the record by destroying the
-	// header magic. A crash before (or a tear during) this write leaves a
-	// record that replays the exact bytes already in place — idempotent. On
-	// failure the live record is quarantined like a torn write: replaying
-	// it is harmless now, but it would become stale after a later write of
-	// this block, so it must stay under quarantine bookkeeping.
-	var dead [8]byte
-	if err := s.writeAt(dead[:], s.journalHdrOff(slot)); err != nil {
-		s.quarantineSlot(slot, idx)
-		recycle = false
-		return fmt.Errorf("nvm: journal retire: %w", err)
+	lock := &s.locks[idx%blockStripes]
+	lock.Lock()
+	err = s.writeAt(buf, s.dataOff+int64(idx)*BlockSize)
+	lock.Unlock()
+	if err != nil {
+		// The failed pwrite may have torn the block, and the journal record
+		// is now the only good copy: mark it failed so it pins the GC head
+		// and survives until the next open repairs the block or a later
+		// successful write of it supersedes the record. The cost is
+		// redo-log semantics — a write whose error the caller observed can
+		// still surface after recovery.
+		s.ring.fail(seq)
+		return fmt.Errorf("nvm: block write: %w", err)
 	}
+	s.dataWrites.Add(1)
+	s.ring.complete(seq)
+
+	// The new image supersedes any failed (pinned) record for this block;
+	// tombstoning it unpins the ring GC. Sequence-ordered replay keeps
+	// recovery correct either way.
+	if err := s.ring.supersedeFailed(uint64(idx), seq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteBlockPatch implements PatchWriter: a journaled sub-block write. The
+// patch bytes land in the ring as a one-page patch record, then in place as a
+// sub-block pwrite (buffered) or an aligned read-modify-write of the
+// containing block (direct — O_DIRECT cannot issue sub-page writes). This is
+// the single-vector update path: a 128-byte embedding update costs one 4 KB
+// journal append plus one tiny in-place write, instead of a block read plus
+// two full-page writes. Crash guarantees match WriteBlock — a valid patch
+// record REDOes over the block image in sequence order, repairing a torn
+// in-place patch; a torn append rolls back.
+func (s *FileStore) WriteBlockPatch(idx, off int, p []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if off < 0 || len(p) == 0 || off+len(p) > BlockSize {
+		return fmt.Errorf("nvm: patch [%d,%d) outside block", off, off+len(p))
+	}
+
+	seq, err := s.ring.append(patchTargetOf(idx, off), p)
+	if err != nil {
+		return err
+	}
+
+	base := s.dataOff + int64(idx)*BlockSize
+	lock := &s.locks[idx%blockStripes]
+	lock.Lock()
+	if s.direct {
+		bp := GetBlockBuf()
+		buf := *bp
+		if err = s.readAt(buf, base); err == nil {
+			copy(buf[off:], p)
+			err = s.writeAt(buf, base)
+		}
+		PutBlockBuf(bp)
+	} else {
+		err = s.writeAt(p, base+int64(off))
+	}
+	lock.Unlock()
+	if err != nil {
+		// As in WriteBlock: the record is now the only good copy of these
+		// bytes — it pins the GC head until the next open replays it. (A
+		// later full-block write of idx supersedes it; a later patch does
+		// not, since it may cover different bytes.)
+		s.ring.fail(seq)
+		return fmt.Errorf("nvm: block patch write: %w", err)
+	}
+	s.dataWrites.Add(1)
+	s.ring.complete(seq)
 	return nil
 }
 
 // WriteBlockUnjournaled implements BulkWriter: it writes a block in place
 // with no write-ahead journal record, which makes bulk loads (initial table
-// ingest, whole-table layout rewrites) one pwrite per block instead of
-// three. Crash-safety contract: a torn write can surface a mixed block, so
-// callers must wrap the load in their own commit point and redo it entirely
-// if interrupted. Single-block updates should use WriteBlock.
+// ingest, whole-table layout rewrites) one pwrite per block instead of two.
+// Crash-safety contract: a torn write can surface a mixed block, so callers
+// must wrap the load in their own commit point and redo it entirely if
+// interrupted. Single-block updates should use WriteBlock.
 func (s *FileStore) WriteBlockUnjournaled(idx int, src []byte) error {
 	if idx < 0 || idx >= s.n {
 		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
@@ -541,6 +684,11 @@ func (s *FileStore) WriteBlockUnjournaled(idx int, src []byte) error {
 	for i := len(src); i < BlockSize; i++ {
 		buf[i] = 0
 	}
+	// Any live journal record for this block is stale the moment the bulk
+	// bytes land; tombstone first so a crash cannot replay it over them.
+	if err := s.ring.supersedeRange(idx, 1); err != nil {
+		return err
+	}
 	lock := &s.locks[idx%blockStripes]
 	lock.Lock()
 	err := s.writeAt(buf, s.dataOff+int64(idx)*BlockSize)
@@ -548,8 +696,7 @@ func (s *FileStore) WriteBlockUnjournaled(idx int, src []byte) error {
 	if err != nil {
 		return fmt.Errorf("nvm: block write: %w", err)
 	}
-	// As in WriteBlock: the new image supersedes any quarantined record.
-	return s.releaseQuarantined(idx)
+	return nil
 }
 
 // WriteBlocksUnjournaled implements RangeBulkWriter: a contiguous run of
@@ -568,6 +715,12 @@ func (s *FileStore) WriteBlocksUnjournaled(base int, src []byte) error {
 	}
 	if base < 0 || base+n > s.n {
 		return fmt.Errorf("nvm: bulk write [%d,%d) out of range [0,%d)", base, base+n, s.n)
+	}
+	// As in WriteBlockUnjournaled: stale journal records must die before
+	// the bulk bytes land. In the common bulk-load case no record targets
+	// the range and this issues no I/O.
+	if err := s.ring.supersedeRange(base, n); err != nil {
+		return err
 	}
 	stripes := n
 	if stripes > blockStripes {
@@ -588,93 +741,55 @@ func (s *FileStore) WriteBlocksUnjournaled(base int, src []byte) error {
 	if err != nil {
 		return fmt.Errorf("nvm: bulk write: %w", err)
 	}
-	// The new images supersede any quarantined records for these blocks.
-	for b := base; b < base+n; b++ {
-		if err := s.releaseQuarantined(b); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
-// replayJournal scans every journal slot and re-applies valid records to the
-// data region in sequence order. Applying a record whose in-place write had
-// already completed rewrites identical bytes, so replay is idempotent.
+// replayJournal scans the ring record chain from the persisted watermark and
+// REDOes valid block records over the data region in sequence order.
+// Applying a record whose in-place write had already completed rewrites
+// identical bytes, so replay is idempotent.
 func (s *FileStore) replayJournal() error {
-	type record struct {
-		seq    uint64
-		target int
-		data   []byte
+	applies, err := s.ring.recover(s.n)
+	if err != nil {
+		return err
 	}
-	var records []record
-	hdr := make([]byte, journalHdrBytes)
-	maxSeq := uint64(0)
-	for slot := 0; slot < s.journalSlots; slot++ {
-		if _, err := s.f.ReadAt(hdr, s.journalHdrOff(slot)); err != nil {
-			return fmt.Errorf("nvm: read journal slot %d: %w", slot, err)
+	if len(applies) > 0 {
+		// Record payloads sit at +36 bytes inside the aligned ring image,
+		// so bounce each through an aligned block buffer for the REDO. Patch
+		// records read-modify-write their block: sequence order means the
+		// image they patch already includes every earlier record.
+		bp := GetBlockBuf()
+		buf := *bp
+		for _, a := range applies {
+			base := s.dataOff + int64(a.target)*BlockSize
+			if len(a.data) == BlockSize && a.off == 0 {
+				copy(buf, a.data)
+			} else {
+				if err := s.readAt(buf, base); err != nil {
+					PutBlockBuf(bp)
+					return fmt.Errorf("nvm: replay block %d: %w", a.target, err)
+				}
+				copy(buf[a.off:], a.data)
+			}
+			if err := s.writeAt(buf, base); err != nil {
+				PutBlockBuf(bp)
+				return fmt.Errorf("nvm: replay block %d: %w", a.target, err)
+			}
 		}
-		if string(hdr[:8]) != journalMagic {
-			continue // never used (or torn header magic)
-		}
-		if crc32.Checksum(hdr[:28], castagnoli) != binary.LittleEndian.Uint32(hdr[28:]) {
-			continue // torn header: the write never reached the data region
-		}
-		seq := binary.LittleEndian.Uint64(hdr[8:])
-		target := binary.LittleEndian.Uint64(hdr[16:])
-		if seq > maxSeq {
-			maxSeq = seq
-		}
-		if target >= uint64(s.n) {
-			continue
-		}
-		data := make([]byte, BlockSize)
-		if _, err := s.f.ReadAt(data, s.journalDataOff(slot)); err != nil {
-			return fmt.Errorf("nvm: read journal slot %d: %w", slot, err)
-		}
-		if crc32.Checksum(data, castagnoli) != binary.LittleEndian.Uint32(hdr[24:]) {
-			continue // torn data under a stale header: already superseded
-		}
-		records = append(records, record{seq: seq, target: int(target), data: data})
-	}
-	sort.Slice(records, func(i, j int) bool { return records[i].seq < records[j].seq })
-	for _, r := range records {
-		if _, err := s.f.WriteAt(r.data, s.dataOff+int64(r.target)*BlockSize); err != nil {
-			return fmt.Errorf("nvm: replay block %d: %w", r.target, err)
-		}
-	}
-	if len(records) > 0 {
-		// Make the replayed blocks durable, then retire the records so the
-		// next open reports only genuinely recovered writes.
+		PutBlockBuf(bp)
+		// Make the replayed blocks durable before retiring their records,
+		// so the next open reports only genuinely recovered writes.
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("nvm: sync after replay: %w", err)
 		}
-		if err := s.clearJournal(); err != nil {
-			return err
-		}
 	}
-	s.seq.Store(maxSeq)
-	s.recovered = int64(len(records))
-	return nil
-}
-
-// clearJournal invalidates every non-quarantined journal slot (by zeroing
-// the header magic) and syncs. Callers must ensure all in-place block writes
-// the journal protects are durable first; quarantined slots hold the only
-// good copy of a block whose in-place write failed and must survive for the
-// next open's replay.
-func (s *FileStore) clearJournal() error {
-	zero := make([]byte, 8)
-	for slot := 0; slot < s.journalSlots; slot++ {
-		if s.quarantined[slot].Load() {
-			continue
-		}
-		if _, err := s.f.WriteAt(zero, s.journalHdrOff(slot)); err != nil {
-			return fmt.Errorf("nvm: clear journal slot %d: %w", slot, err)
-		}
+	if err := s.ring.retireAll(); err != nil {
+		return err
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("nvm: sync journal clear: %w", err)
+		return fmt.Errorf("nvm: sync journal watermark: %w", err)
 	}
+	s.recovered = int64(len(applies))
 	return nil
 }
 
@@ -701,24 +816,34 @@ func (s *FileStore) flushLoop(interval time.Duration) {
 // BackendStats implements BackendStatser.
 func (s *FileStore) BackendStats() BackendStats {
 	return BackendStats{
-		Backend:          "file",
-		JournalWrites:    s.journalWrites.Load(),
-		Flushes:          s.flushes.Load(),
-		RecoveredRecords: s.recovered,
+		Backend:              "file",
+		DirectIO:             s.direct,
+		JournalWrites:        s.ring.appends.Load(),
+		JournalBytesAppended: s.ring.bytesAppended.Load(),
+		JournalGCRuns:        s.ring.gcRuns.Load(),
+		RingUtilization:      s.ring.utilization(),
+		DataWrites:           s.dataWrites.Load(),
+		FailedWriteRecords:   s.ring.failedRecs.Load(),
+		Flushes:              s.flushes.Load(),
+		RecoveredRecords:     s.recovered,
 	}
 }
 
-// Close flushes, retires the journal (a clean shutdown leaves nothing to
-// recover) and closes the backing file. It is idempotent.
+// Close flushes, retires completed journal records (a clean shutdown leaves
+// nothing to recover) and closes the backing file. It is idempotent.
 func (s *FileStore) Close() error {
 	s.closeOnce.Do(func() {
 		if s.stopFlush != nil {
 			close(s.stopFlush)
 			<-s.flushDone
 		}
-		flushErr := s.f.Sync()
-		if flushErr == nil {
-			flushErr = s.clearJournal()
+		s.ring.stop()
+		// Retire whatever is durable; failed records deliberately survive
+		// for the next open's repair, and a GC error here only means extra
+		// (idempotent) replay work then.
+		flushErr := s.ring.gc()
+		if err := s.f.Sync(); flushErr == nil {
+			flushErr = err
 		}
 		s.closeErr = s.f.Close()
 		if s.closeErr == nil && flushErr != nil {
@@ -727,22 +852,6 @@ func (s *FileStore) Close() error {
 	})
 	return s.closeErr
 }
-
-// blockBufPool recycles BlockSize scratch buffers for this package and its
-// callers (see GetBlockBuf).
-var blockBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, BlockSize)
-		return &b
-	},
-}
-
-// GetBlockBuf returns a pooled BlockSize scratch buffer; release it with
-// PutBlockBuf. Contents are undefined.
-func GetBlockBuf() *[]byte { return blockBufPool.Get().(*[]byte) }
-
-// PutBlockBuf returns a buffer obtained from GetBlockBuf to the pool.
-func PutBlockBuf(b *[]byte) { blockBufPool.Put(b) }
 
 // ensure FileStore satisfies the optional capability interfaces.
 var (

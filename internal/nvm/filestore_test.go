@@ -89,9 +89,9 @@ func TestFileStoreRecoveryReplaysTornDataWrite(t *testing.T) {
 	if err := s.WriteBlock(2, old); err != nil {
 		t.Fatal(err)
 	}
-	// A write is 3 pwrites: journal data, journal header, in-place data.
-	// Fail on the 3rd: the in-place image is torn but the journal is valid.
-	s.failAfterWrites(3)
+	// A write is 2 pwrites: ring-journal append, in-place data. Fail on the
+	// 2nd: the in-place image is torn but the journal record is valid.
+	s.failAfterWrites(2)
 	newData := fillBlock(0x55)
 	if err := s.WriteBlock(2, newData); err == nil {
 		t.Fatal("expected injected write fault")
@@ -115,57 +115,56 @@ func TestFileStoreRecoveryReplaysTornDataWrite(t *testing.T) {
 	}
 }
 
-// Torn journal write: the in-place write never started, so reopening must
-// keep the OLD content intact (rollback).
+// Torn journal append: the in-place write never started, so reopening must
+// keep the OLD content intact (rollback). The torn record fails its payload
+// CRC (or breaks the sequence chain), which is where the scan stops.
 func TestFileStoreRecoveryRollsBackTornJournalWrite(t *testing.T) {
-	for fail := 1; fail <= 2; fail++ { // 1 = torn journal data, 2 = torn journal header
-		path := filepath.Join(t.TempDir(), "nvm.bnd")
-		s, err := CreateFileStore(path, 4, FileStoreOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		old := fillBlock(0xAA)
-		if err := s.WriteBlock(2, old); err != nil {
-			t.Fatal(err)
-		}
-		s.failAfterWrites(fail)
-		if err := s.WriteBlock(2, fillBlock(0x55)); err == nil {
-			t.Fatal("expected injected write fault")
-		}
-		s.f.Close()
-
-		r, err := OpenFileStore(path, FileStoreOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		dst := make([]byte, BlockSize)
-		if err := r.ReadBlock(2, dst); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(dst, old) {
-			t.Fatalf("fail=%d: torn journal write must leave the old block intact", fail)
-		}
-		r.Close()
+	path := filepath.Join(t.TempDir(), "nvm.bnd")
+	s, err := CreateFileStore(path, 4, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	old := fillBlock(0xAA)
+	if err := s.WriteBlock(2, old); err != nil {
+		t.Fatal(err)
+	}
+	s.failAfterWrites(1) // tear the ring append itself
+	if err := s.WriteBlock(2, fillBlock(0x55)); err == nil {
+		t.Fatal("expected injected write fault")
+	}
+	s.f.Close()
+
+	r, err := OpenFileStore(path, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, BlockSize)
+	if err := r.ReadBlock(2, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, old) {
+		t.Fatal("torn journal append must leave the old block intact")
+	}
+	r.Close()
 }
 
-// Completed writes retire their journal records, so a crash after a clean
-// write replays nothing; a crash between the in-place write and the
-// retirement replays the newest image (idempotent), never an older one.
+// Sequence-ordered replay: when an older completed write and a newer torn
+// write of the same block are both still in the ring, recovery must end at
+// the NEWER image — the older record replays first and is then overwritten.
 func TestFileStoreRecoveryNeverRollsBackCompletedWrites(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nvm.bnd")
-	s, err := CreateFileStore(path, 4, FileStoreOptions{JournalSlots: 2})
+	s, err := CreateFileStore(path, 4, FileStoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.WriteBlock(1, fillBlock(0x11)); err != nil {
 		t.Fatal(err)
 	}
-	// Second write to the same block: tear its in-place write (pwrite #3
-	// from here; a journaled write is jdata, jhdr, in-place, retire). Its
-	// journal record stays live; the first write's record was retired, so
-	// replay must produce 0x22 — never roll back to 0x11.
-	s.failAfterWrites(3)
+	// Second write to the same block: tear its in-place write (pwrite #2
+	// from here; a journaled write is append, in-place). Both records are
+	// still in the ring (no GC ran), so replay applies 0x11 then 0x22 —
+	// never ending at the older image.
+	s.failAfterWrites(2)
 	if err := s.WriteBlock(1, fillBlock(0x22)); err == nil {
 		t.Fatal("expected injected write fault")
 	}
@@ -182,21 +181,22 @@ func TestFileStoreRecoveryNeverRollsBackCompletedWrites(t *testing.T) {
 	if !bytes.Equal(dst, fillBlock(0x22)) {
 		t.Fatalf("replay did not restore the newest write of block 1")
 	}
-	if r.BackendStats().RecoveredRecords != 1 {
-		t.Fatalf("recovered %d records, want 1", r.BackendStats().RecoveredRecords)
+	if got := r.BackendStats().RecoveredRecords; got != 2 {
+		t.Fatalf("recovered %d records, want both live records", got)
 	}
-	if r.seq.Load() == 0 {
-		t.Fatalf("sequence counter must resume after replay")
+	if r.ring.nextSeq <= 2 {
+		t.Fatalf("sequence counter must resume after replay, got %d", r.ring.nextSeq)
 	}
 	r.Close()
 }
 
-// A failed in-place write quarantines its journal slot: later writes must
-// not recycle it and a clean Close must not retire it, so the torn block is
-// still repaired at the next open.
-func TestFileStoreQuarantinesSlotOfFailedWrite(t *testing.T) {
+// A failed in-place write pins its journal record (the ring-journal
+// analogue of the old slot quarantine): GC must not retire it and a clean
+// Close must keep it alive, so the torn block is still repaired at the next
+// open.
+func TestFileStoreFailedWritePinsJournalRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nvm.bnd")
-	s, err := CreateFileStore(path, 8, FileStoreOptions{JournalSlots: 2})
+	s, err := CreateFileStore(path, 8, FileStoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,21 +205,24 @@ func TestFileStoreQuarantinesSlotOfFailedWrite(t *testing.T) {
 	}
 	// Tear the in-place write of block 2's new image, then heal the fault
 	// so later writes succeed.
-	s.failAfterWrites(3)
+	s.failAfterWrites(2)
 	newData := fillBlock(0x55)
 	if err := s.WriteBlock(2, newData); err == nil {
 		t.Fatal("expected injected write fault")
 	}
 	s.faultArmed.Store(false)
+	if got := s.BackendStats().FailedWriteRecords; got != 1 {
+		t.Fatalf("FailedWriteRecords = %d, want 1", got)
+	}
 
-	// More writes than remaining slots: none may claim the quarantined slot
-	// and destroy block 2's repair record.
+	// Later writes of other blocks must not disturb the pinned record.
 	for _, b := range []int{0, 1, 3, 4} {
 		if err := s.WriteBlock(b, fillBlock(byte(b))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Clean Close must keep the quarantined record alive too.
+	// Clean Close must keep the pinned record (and, behind it in the FIFO,
+	// everything newer) alive.
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -229,15 +232,15 @@ func TestFileStoreQuarantinesSlotOfFailedWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if got := r.BackendStats().RecoveredRecords; got != 1 {
-		t.Fatalf("recovered %d records, want the quarantined one", got)
+	if got := r.BackendStats().RecoveredRecords; got < 1 {
+		t.Fatalf("recovered %d records, want at least the pinned one", got)
 	}
 	dst := make([]byte, BlockSize)
 	if err := r.ReadBlock(2, dst); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(dst, newData) {
-		t.Fatal("torn block not repaired from the quarantined journal record")
+		t.Fatal("torn block not repaired from the pinned journal record")
 	}
 	for _, b := range []int{0, 1, 3, 4} {
 		if err := r.ReadBlock(b, dst); err != nil {
@@ -249,25 +252,30 @@ func TestFileStoreQuarantinesSlotOfFailedWrite(t *testing.T) {
 	}
 }
 
-// A later successful write of a block must destroy the quarantined record
-// targeting it (and return the slot to the pool) — otherwise the next open
-// would replay the stale pre-failure image over the newer bytes. Covers the
+// A later successful write of a block must tombstone the failed (pinned)
+// record targeting it — otherwise the record would pin the ring GC head
+// forever — and recovery must end at the superseding bytes. Covers the
 // journaled and the bulk (unjournaled) superseding write.
 func TestFileStoreQuarantineReleasedBySupersedingWrite(t *testing.T) {
 	for _, bulk := range []bool{false, true} {
 		path := filepath.Join(t.TempDir(), "nvm.bnd")
-		s, err := CreateFileStore(path, 8, FileStoreOptions{JournalSlots: 2})
+		s, err := CreateFileStore(path, 8, FileStoreOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Fail an in-place write of block 2, quarantining a slot.
-		s.failAfterWrites(3)
+		// Fail an in-place write of block 2, pinning its record.
+		s.failAfterWrites(2)
 		if err := s.WriteBlock(2, fillBlock(0x55)); err == nil {
 			t.Fatal("expected injected write fault")
 		}
 		s.faultArmed.Store(false)
-		if s.quarCount.Load() != 1 {
-			t.Fatalf("bulk=%v: quarantined %d slots, want 1", bulk, s.quarCount.Load())
+		pinned := func() int {
+			s.ring.mu.Lock()
+			defer s.ring.mu.Unlock()
+			return s.ring.nFailed
+		}
+		if got := pinned(); got != 1 {
+			t.Fatalf("bulk=%v: %d pinned records, want 1", bulk, got)
 		}
 
 		// Supersede block 2 with new content via the chosen path.
@@ -280,10 +288,16 @@ func TestFileStoreQuarantineReleasedBySupersedingWrite(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if s.quarCount.Load() != 0 {
-			t.Fatalf("bulk=%v: quarantine not released by superseding write", bulk)
+		if got := pinned(); got != 0 {
+			t.Fatalf("bulk=%v: pinned record not released by superseding write", bulk)
 		}
-		// Both slots usable again: two concurrent-capacity writes succeed.
+		// The ring is unpinned: GC can advance past the tombstone.
+		if err := s.ring.gc(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.BackendStats().JournalGCRuns; got == 0 {
+			t.Fatalf("bulk=%v: GC did not advance past the tombstoned record", bulk)
+		}
 		if err := s.WriteBlock(0, fillBlock(1)); err != nil {
 			t.Fatal(err)
 		}
@@ -466,7 +480,8 @@ func TestFileStoreSyncModes(t *testing.T) {
 
 func TestFileStoreConcurrentReadWrite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nvm.bnd")
-	s, err := CreateFileStore(path, 32, FileStoreOptions{JournalSlots: 4})
+	// A small ring forces wraps, pads and inline GC under concurrency.
+	s, err := CreateFileStore(path, 32, FileStoreOptions{RingBlocks: minRingBlocks})
 	if err != nil {
 		t.Fatal(err)
 	}

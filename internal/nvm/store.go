@@ -36,6 +36,17 @@ type BulkWriter interface {
 	WriteBlockUnjournaled(idx int, src []byte) error
 }
 
+// PatchWriter is implemented by block stores with a journaled sub-block
+// write path: WriteBlockPatch updates len(p) bytes of block idx starting at
+// byte offset off, with the same crash guarantees as WriteBlock but without
+// the caller having to read, patch and rewrite the whole block. It is the
+// single-vector update path — on the file backend a patch costs one journal
+// append plus one sub-block pwrite instead of a block read plus two
+// full-page writes.
+type PatchWriter interface {
+	WriteBlockPatch(idx, off int, p []byte) error
+}
+
 // RangeBulkWriter is implemented by block stores that can install a
 // contiguous run of blocks in one operation (a single pwrite on the file
 // backend). It is the copy-in path of background layout migration: the
@@ -53,8 +64,29 @@ type RangeBulkWriter interface {
 type BackendStats struct {
 	// Backend names the backing medium ("mem" or "file").
 	Backend string
-	// JournalWrites counts write-ahead journal records written (file only).
+	// DirectIO reports whether the file backend is running O_DIRECT
+	// (page-cache-bypassing) I/O after auto-negotiation.
+	DirectIO bool
+	// JournalWrites counts write-ahead journal records appended (file only;
+	// one per WriteBlock or WriteBlockPatch).
 	JournalWrites int64
+	// JournalBytesAppended counts bytes appended to the ring journal,
+	// including record headers, alignment padding and wrap pads (file only).
+	JournalBytesAppended int64
+	// JournalGCRuns counts watermark advances that retired journal records
+	// (file only).
+	JournalGCRuns int64
+	// RingUtilization is the live fraction of the ring journal region at
+	// snapshot time — sustained values near 1.0 mean writers outrun
+	// retirement (file only).
+	RingUtilization float64
+	// DataWrites counts journaled in-place data-region writes (file only;
+	// one per successful WriteBlock or WriteBlockPatch — with JournalWrites
+	// this pins the 2-pwrites-per-write steady state).
+	DataWrites int64
+	// FailedWriteRecords counts journal records pinned by a failed in-place
+	// write; they replay at the next open (file only).
+	FailedWriteRecords int64
 	// Flushes counts explicit or periodic fsyncs (file only).
 	Flushes int64
 	// RecoveredRecords counts journal records replayed at open (file only).
@@ -135,6 +167,20 @@ func (s *MemStore) WriteBlock(idx int, src []byte) error {
 	for i := off + len(src); i < off+BlockSize; i++ {
 		s.data[i] = 0
 	}
+	s.mu.Unlock()
+	return nil
+}
+
+// WriteBlockPatch implements PatchWriter: an in-place sub-block copy.
+func (s *MemStore) WriteBlockPatch(idx, off int, p []byte) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("nvm: block %d out of range [0,%d)", idx, s.n)
+	}
+	if off < 0 || len(p) == 0 || off+len(p) > BlockSize {
+		return fmt.Errorf("nvm: patch [%d,%d) outside block", off, off+len(p))
+	}
+	s.mu.Lock()
+	copy(s.data[idx*BlockSize+off:], p)
 	s.mu.Unlock()
 	return nil
 }

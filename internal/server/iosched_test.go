@@ -63,16 +63,20 @@ func TestStatsIOSchedSection(t *testing.T) {
 		t.Fatalf("device queue-depth counters: %+v", out.Device)
 	}
 
-	// The background class has seen no traffic yet; an update routes its
-	// read-modify-write through it.
+	// An update is a journaled sub-block patch: it issues no device read at
+	// all (the old read-modify-write routed one through the background
+	// class), so the scheduler's read counters must not move.
 	if err := store.UpdateVector(0, 9, make([]float32, 16)); err != nil {
 		t.Fatal(err)
 	}
 	if code := getJSON(t, ts.URL+"/v1/stats", &out); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
-	if out.IOSched.PrefetchReads != 1 {
-		t.Fatalf("update's RMW read not counted in the background class: %+v", out.IOSched)
+	if out.IOSched.PrefetchReads != 0 || out.IOSched.DemandReads != 3 {
+		t.Fatalf("update issued device reads (want none: it is a sub-block patch): %+v", out.IOSched)
+	}
+	if out.Device.PatchWrites != 1 {
+		t.Fatalf("update not counted as a patch write: %+v", out.Device)
 	}
 }
 

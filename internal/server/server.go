@@ -464,8 +464,11 @@ type serverStats struct {
 }
 
 type deviceStats struct {
-	BlocksRead    int64   `json:"blocksRead"`
-	BlocksWritten int64   `json:"blocksWritten"`
+	BlocksRead    int64 `json:"blocksRead"`
+	BlocksWritten int64 `json:"blocksWritten"`
+	// PatchWrites counts journaled sub-block patch writes (single-vector
+	// updates, which no longer rewrite whole blocks).
+	PatchWrites   int64   `json:"patchWrites"`
 	BytesRead     int64   `json:"bytesRead"`
 	DriveWrites   float64 `json:"driveWrites"`
 	EnduranceDWPD float64 `json:"enduranceDWPD"`
@@ -480,10 +483,21 @@ type deviceStats struct {
 	CoalescedReads int64   `json:"coalescedReads"`
 	// Backend names the block store behind the device ("mem" or "file");
 	// the journal/flush counters are non-zero for the file backend only.
-	Backend          string `json:"backend"`
-	JournalWrites    int64  `json:"journalWrites"`
-	Flushes          int64  `json:"flushes"`
-	RecoveredRecords int64  `json:"recoveredRecords"`
+	// DirectIO reports whether the block file is open with O_DIRECT (false
+	// also when it was requested but the filesystem fell back to buffered
+	// I/O). JournalBytesAppended / JournalGCRuns / RingUtilization describe
+	// the ring journal: total bytes appended, head-advancing GC watermark
+	// writes, and the live fraction of the ring region.
+	Backend              string  `json:"backend"`
+	DirectIO             bool    `json:"directIO"`
+	JournalWrites        int64   `json:"journalWrites"`
+	JournalBytesAppended int64   `json:"journalBytesAppended"`
+	JournalGCRuns        int64   `json:"journalGCRuns"`
+	RingUtilization      float64 `json:"ringUtilization"`
+	DataWrites           int64   `json:"dataWrites"`
+	FailedWriteRecords   int64   `json:"failedWriteRecords"`
+	Flushes              int64   `json:"flushes"`
+	RecoveredRecords     int64   `json:"recoveredRecords"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -492,20 +506,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Tables: store.Stats(),
 		Device: deviceStats{
-			BlocksRead:       dev.BlocksRead,
-			BlocksWritten:    dev.BlocksWritten,
-			BytesRead:        dev.BytesRead,
-			DriveWrites:      dev.DriveWrites,
-			EnduranceDWPD:    dev.EnduranceDWPD,
-			ReadsSubmitted:   dev.ReadsSubmitted,
-			ReadBatches:      dev.ReadBatches,
-			AvgReadBatch:     dev.AvgReadBatch,
-			MaxQueueDepth:    dev.MaxQueueDepth,
-			CoalescedReads:   dev.CoalescedReads,
-			Backend:          dev.Store.Backend,
-			JournalWrites:    dev.Store.JournalWrites,
-			Flushes:          dev.Store.Flushes,
-			RecoveredRecords: dev.Store.RecoveredRecords,
+			BlocksRead:           dev.BlocksRead,
+			BlocksWritten:        dev.BlocksWritten,
+			PatchWrites:          dev.PatchWrites,
+			BytesRead:            dev.BytesRead,
+			DriveWrites:          dev.DriveWrites,
+			EnduranceDWPD:        dev.EnduranceDWPD,
+			ReadsSubmitted:       dev.ReadsSubmitted,
+			ReadBatches:          dev.ReadBatches,
+			AvgReadBatch:         dev.AvgReadBatch,
+			MaxQueueDepth:        dev.MaxQueueDepth,
+			CoalescedReads:       dev.CoalescedReads,
+			Backend:              dev.Store.Backend,
+			DirectIO:             dev.Store.DirectIO,
+			JournalWrites:        dev.Store.JournalWrites,
+			JournalBytesAppended: dev.Store.JournalBytesAppended,
+			JournalGCRuns:        dev.Store.JournalGCRuns,
+			RingUtilization:      dev.Store.RingUtilization,
+			DataWrites:           dev.Store.DataWrites,
+			FailedWriteRecords:   dev.Store.FailedWriteRecords,
+			Flushes:              dev.Store.Flushes,
+			RecoveredRecords:     dev.Store.RecoveredRecords,
 		},
 		IOSched: renderIOSchedStats(store),
 		Wire:    s.renderWireStats(),

@@ -195,6 +195,12 @@ func TestStatsFileBackend(t *testing.T) {
 	if out.Device.JournalWrites == 0 {
 		t.Fatalf("journal writes not reported: %+v", out.Device)
 	}
+	if out.Device.JournalBytesAppended == 0 || out.Device.DataWrites == 0 {
+		t.Fatalf("ring journal counters not reported: %+v", out.Device)
+	}
+	if out.Device.RingUtilization < 0 || out.Device.RingUtilization > 1 {
+		t.Fatalf("ring utilization out of range: %+v", out.Device)
+	}
 	if out.Device.Flushes == 0 {
 		t.Fatalf("flushes not reported (Persist flushes at init): %+v", out.Device)
 	}
