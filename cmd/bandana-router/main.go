@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,7 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 20*time.Millisecond, "hedge to a replica when the primary is slower than this (negative disables)")
 		nodeTimeout = flag.Duration("node-timeout", 2*time.Second, "per-node request timeout")
 		maxInflight = flag.Int("max-inflight", 128, "max concurrent requests per node")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -74,9 +76,23 @@ func main() {
 		}
 	}()
 
+	handler := http.Handler(rt.Handler())
+	if *pprofOn {
+		// Explicit registration (not the net/http/pprof DefaultServeMux side
+		// effect) keeps profiling opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof profiling handlers enabled under /debug/pprof/")
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           rt.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	sigc := make(chan os.Signal, 1)

@@ -38,6 +38,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -106,6 +107,10 @@ func main() {
 
 		replicaOf   = flag.String("replica-of", "", "bootstrap from this primary's snapshot stream and serve read-only (requires --data-dir)")
 		replicaPoll = flag.Duration("replica-poll", 2*time.Second, "how often a replica polls the primary's snapshot seq")
+
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+		slowMS  = flag.Int("slow-ms", 0, "log a structured per-stage breakdown for requests slower than this many milliseconds (0 = off; emission is rate-limited under overload)")
+
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -177,7 +182,7 @@ func main() {
 		if *direct {
 			logDirectIO(store)
 		}
-		serve(store, *addr, *wireAddr, nil, rep)
+		serve(store, *addr, *wireAddr, nil, rep, *pprofOn, *slowMS)
 		return
 	}
 
@@ -240,7 +245,7 @@ func main() {
 		if *direct {
 			logDirectIO(store)
 		}
-		serve(store, *addr, *wireAddr, adaptOpts, nil)
+		serve(store, *addr, *wireAddr, adaptOpts, nil, *pprofOn, *slowMS)
 		return
 	}
 
@@ -267,7 +272,7 @@ func main() {
 		}
 		log.Printf("trained state written to %s", *stateOut)
 	}
-	serve(store, *addr, *wireAddr, adaptOpts, nil)
+	serve(store, *addr, *wireAddr, adaptOpts, nil, *pprofOn, *slowMS)
 }
 
 // writeStateFile dumps the store's trained state to path.
@@ -321,6 +326,21 @@ func openAndMaybeTrain(cfg core.Config, workload *trace.Workload, train bool, re
 	return store, nil
 }
 
+// withPProf mounts the net/http/pprof handlers under /debug/pprof/ in front
+// of next. The handlers are registered explicitly rather than by importing
+// the package for its DefaultServeMux side effect, so profiling is opt-in
+// (--pprof) and never reachable on a server started without the flag.
+func withPProf(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}
+
 // logDirectIO reports the negotiated O_DIRECT outcome for a --direct run:
 // the open silently falls back to buffered I/O on filesystems that reject
 // O_DIRECT, and the operator should know which mode they actually got.
@@ -332,7 +352,7 @@ func logDirectIO(store *core.Store) {
 	}
 }
 
-func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica) {
+func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOptions, rep *cluster.Replica, pprofOn bool, slowMS int) {
 	if adaptOpts != nil {
 		if err := store.StartAdaptation(*adaptOpts); err != nil {
 			store.Close()
@@ -342,7 +362,15 @@ func serve(store *core.Store, addr, wireAddr string, adaptOpts *core.AdaptOption
 			adaptOpts.Interval, adaptOpts.RelayoutEvery, adaptOpts.RelayoutStrategy)
 	}
 	srv := server.New(store)
+	if slowMS > 0 {
+		srv.SetSlowRequestThreshold(time.Duration(slowMS) * time.Millisecond)
+		log.Printf("slow-request log enabled: threshold %dms", slowMS)
+	}
 	handler := http.Handler(srv.Handler())
+	if pprofOn {
+		handler = withPProf(handler)
+		log.Printf("pprof profiling handlers enabled under /debug/pprof/")
+	}
 	if rep != nil {
 		// Follow the primary: each re-sync opens the new snapshot and swaps
 		// it in; the server drains and closes the superseded store. Most seq

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bandana/internal/core"
+	"bandana/internal/metrics"
 	"bandana/internal/synth"
 )
 
@@ -35,6 +36,9 @@ type adaptBenchJSON struct {
 	WallClockMS    float64 `json:"wallClockMS"`
 	LastEpochMS    float64 `json:"lastEpochMS"`
 	LastRelayoutMS float64 `json:"lastRelayoutMS"`
+	// BatchLatencyUS summarizes the adaptive store's per-batch serving
+	// latency (microseconds), including P90/P999 tails.
+	BatchLatencyUS metrics.Snapshot `json:"batchLatencyUS"`
 }
 
 type phase struct {
@@ -128,6 +132,7 @@ func adaptBenchCmd(args []string) error {
 		Drift: *drift, AdaptEach: *adapt, Seed: *seed,
 	}
 	var adaptTotal, staticTotal struct{ hits, lookups int64 }
+	batchLat := metrics.NewLatencyHistogram()
 	start := time.Now()
 	for served := 0; served < *requests; served += *adapt {
 		end := served + *adapt
@@ -141,9 +146,11 @@ func adaptBenchCmd(args []string) error {
 				if len(tr.Queries[q]) == 0 {
 					continue
 				}
+				t0 := time.Now()
 				if _, err := adaptive.LookupBatch(ti, tr.Queries[q]); err != nil {
 					return err
 				}
+				batchLat.ObserveDuration(time.Since(t0))
 				if _, err := static.LookupBatch(ti, tr.Queries[q]); err != nil {
 					return err
 				}
@@ -172,6 +179,9 @@ func adaptBenchCmd(args []string) error {
 	sAgg := float64(staticTotal.hits) / float64(staticTotal.lookups)
 	fmt.Printf("\naggregate: adaptive %.4f vs static %.4f (%+.1f%%), wall clock %s\n",
 		aAgg, sAgg, (aAgg/sAgg-1)*100, elapsed.Round(time.Millisecond))
+	ls := batchLat.Snapshot()
+	fmt.Printf("batch latency (adaptive, us): mean %.1f p50 %.1f p90 %.1f p99 %.1f p999 %.1f\n",
+		ls.Mean, ls.P50, ls.P90, ls.P99, ls.P999)
 	as := adaptive.AdaptationStats()
 	fmt.Printf("adaptation: %d epochs, %d relayouts, last epoch %s, last relayout %s\n",
 		as.EpochsCompleted, as.Relayouts,
@@ -200,6 +210,7 @@ func adaptBenchCmd(args []string) error {
 			jout.NsPerLookup = float64(elapsed.Nanoseconds()) / 2 / float64(jout.Lookups)
 		}
 		jout.WallClockMS = float64(elapsed.Nanoseconds()) / 1e6
+		jout.BatchLatencyUS = ls
 		raw, err := json.MarshalIndent(jout, "", "  ")
 		if err != nil {
 			return err

@@ -149,11 +149,11 @@ func main() {
 		fmt.Printf("serving sweep, %s backend, %d vectors x dim %d (fp16), %d concurrent clients\n",
 			*backend, res.Vectors, res.Dim, res.Concurrent)
 		fmt.Printf("byte-identical across local/bwp/http: %v\n\n", res.ByteIdentical)
-		fmt.Printf("%-10s %-8s %-10s %-16s %-20s %-18s\n",
-			"transport", "batch", "requests", "vectors/sec", "mean batch lat (us)", "p99 batch lat (us)")
+		fmt.Printf("%-10s %-8s %-10s %-16s %-20s %-18s %-18s\n",
+			"transport", "batch", "requests", "vectors/sec", "mean batch lat (us)", "p99 batch lat (us)", "p999 batch lat (us)")
 		for _, p := range res.Points {
-			fmt.Printf("%-10s %-8d %-10d %-16.0f %-20.1f %-18.1f\n",
-				p.Transport, p.Batch, p.Requests, p.VectorsPerSec, p.MeanBatchLatencyUS, p.P99BatchLatencyUS)
+			fmt.Printf("%-10s %-8d %-10d %-16.0f %-20.1f %-18.1f %-18.1f\n",
+				p.Transport, p.Batch, p.Requests, p.VectorsPerSec, p.MeanBatchLatencyUS, p.P99BatchLatencyUS, p.P999BatchLatencyUS)
 		}
 		fmt.Printf("\nbwp speedup vs HTTP/JSON at batch 64: %.2fx\n", res.BwpSpeedupAtBatch64)
 		if *jsonOut != "" {
@@ -277,11 +277,11 @@ func main() {
 		}
 	case "qd":
 		fmt.Printf("4 KB random reads, %d jobs, device %s\n\n", *jobs, device)
-		fmt.Printf("%-12s %-18s %-18s %-16s\n", "queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)")
+		fmt.Printf("%-12s %-18s %-18s %-18s %-16s\n", "queue depth", "mean latency (us)", "p99 latency (us)", "p999 latency (us)", "bandwidth (GB/s)")
 		out.Jobs, out.Ops = *jobs, *ops
 		out.QueueDepth = nvm.QueueDepthSweep(device, *jobs, []int{1, 2, 4, 8}, *ops, *seed)
 		for _, res := range out.QueueDepth {
-			fmt.Printf("%-12d %-18.1f %-18.1f %-16.2f\n", res.QueueDepth, res.MeanLatencyUS, res.P99LatencyUS, res.BandwidthGBs)
+			fmt.Printf("%-12d %-18.1f %-18.1f %-18.1f %-16.2f\n", res.QueueDepth, res.MeanLatencyUS, res.P99LatencyUS, res.P999LatencyUS, res.BandwidthGBs)
 		}
 	case "load":
 		model := device.Model()

@@ -29,7 +29,9 @@ type servePoint struct {
 	Requests           int     `json:"requests"`
 	VectorsPerSec      float64 `json:"vectorsPerSec"`
 	MeanBatchLatencyUS float64 `json:"meanBatchLatencyUS"`
+	P90BatchLatencyUS  float64 `json:"p90BatchLatencyUS"`
 	P99BatchLatencyUS  float64 `json:"p99BatchLatencyUS"`
+	P999BatchLatencyUS float64 `json:"p999BatchLatencyUS"`
 }
 
 // serveSweepResult is the --mode serve-sweep section of the JSON artifact.
@@ -298,7 +300,9 @@ func measureServePoint(fn func([]uint32) ([][]float32, error), batch, requests, 
 	}
 	if len(latencies) > 0 {
 		p.MeanBatchLatencyUS = sum / float64(len(latencies))
+		p.P90BatchLatencyUS = latencies[(len(latencies)*90)/100]
 		p.P99BatchLatencyUS = latencies[(len(latencies)*99)/100]
+		p.P999BatchLatencyUS = latencies[(len(latencies)*999)/1000]
 	}
 	return p, nil
 }

@@ -1,0 +1,75 @@
+// Command promcheck validates a Prometheus text-format exposition: it parses
+// the input, checks syntax, metric/label naming, TYPE declarations and
+// duplicate series, and exits non-zero on the first violation. CI scrapes a
+// live bandana-server's /metrics endpoint and pipes the body through this
+// tool so an exposition regression fails the build rather than a scrape.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck metrics.txt
+//	promcheck --require bandana_stage_duration_us --require bandana_http_requests_total metrics.txt
+//
+// --require asserts a substring appears in the exposition (repeatable) —
+// CI uses it to pin that the stage histograms actually show up, not just
+// that whatever was exposed parses.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bandana/internal/metrics"
+)
+
+// requireList collects repeated --require flags.
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var required requireList
+	flag.Var(&required, "require", "fail unless this substring appears in the exposition (repeatable)")
+	minSamples := flag.Int("min-samples", 1, "fail if fewer than this many sample lines parse")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promcheck: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	var buf bytes.Buffer
+	n, err := metrics.ValidateExposition(io.TeeReader(in, &buf))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if n < *minSamples {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: only %d sample line(s), want >= %d\n", name, n, *minSamples)
+		os.Exit(1)
+	}
+	body := buf.String()
+	for _, want := range required {
+		if !strings.Contains(body, want) {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: required substring %q not found\n", name, want)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("promcheck: %s: %d samples OK\n", name, n)
+}

@@ -167,6 +167,7 @@ func NewRouter(cfg *Config, opts RouterOptions) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/lookup", rt.handleLookup)
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.Handle("GET /metrics", rt.metricsRegistry().Handler())
 	return rt, nil
 }
 

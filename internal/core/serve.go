@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"bandana/internal/fp16"
 	"bandana/internal/iosched"
@@ -42,7 +43,7 @@ func (s *Store) Lookup(tableIdx int, id uint32) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.lookup(s.device, id)
+	return st.lookup(s.device, id, nil)
 }
 
 // LookupByName is Lookup with a table name.
@@ -65,7 +66,7 @@ func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
 		return nil, err
 	}
 	out := make([][]float32, len(ids))
-	if err := st.serveBatch(s.device, ids, out, nil); err != nil {
+	if err := st.serveBatch(s.device, ids, out, nil, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -87,7 +88,7 @@ func (s *Store) LookupBatchRaw(tableIdx int, ids []uint32) ([][]byte, error) {
 		return nil, err
 	}
 	out := make([][]byte, len(ids))
-	if err := st.serveBatch(s.device, ids, nil, out); err != nil {
+	if err := st.serveBatch(s.device, ids, nil, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -298,21 +299,21 @@ func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, membe
 // the device read) and now, making the bytes current; any write in between
 // leaves leaderTag behind the current epoch and forces a re-read. Returns
 // the epoch the bytes are consistent with.
-func (st *storeTable) readBlockMiss(device *nvm.Device, abs int, buf []byte, epoch uint64) (lat float64, coalesced bool, outEpoch uint64, err error) {
+func (st *storeTable) readBlockMiss(device *nvm.Device, abs int, buf []byte, epoch uint64) (lat, wait float64, coalesced bool, outEpoch uint64, err error) {
 	if st.sched == nil {
 		lat, err = device.ReadBlock(abs, buf)
-		return lat, false, epoch, err
+		return lat, 0, false, epoch, err
 	}
 	for {
 		res, err := st.sched.ReadBlock(abs, buf, iosched.Demand, epoch)
 		if err != nil {
-			return 0, false, epoch, err
+			return 0, 0, false, epoch, err
 		}
 		if res.Late && res.LeaderTag != st.epoch.Load() {
 			epoch = st.epoch.Load()
 			continue
 		}
-		return res.LatencyUS, res.Coalesced, epoch, nil
+		return res.LatencyUS, res.WaitUS, res.Coalesced, epoch, nil
 	}
 }
 
@@ -323,15 +324,15 @@ func (st *storeTable) readBlockMiss(device *nvm.Device, abs int, buf []byte, epo
 // contract applies (see readBlockMiss): if any block was served Late by a
 // leader whose tag no longer matches the current epoch, the whole set is
 // re-submitted.
-func (st *storeTable) readBlocksMiss(device *nvm.Device, abs []int, dst []byte, epoch uint64) (lat float64, coalesced []bool, outEpoch uint64, err error) {
+func (st *storeTable) readBlocksMiss(device *nvm.Device, abs []int, dst []byte, epoch uint64) (lat, wait float64, coalesced []bool, outEpoch uint64, err error) {
 	if st.sched == nil {
 		lat, err = device.ReadBlocks(abs, dst)
-		return lat, nil, epoch, err
+		return lat, 0, nil, epoch, err
 	}
 	for {
 		results, err := st.sched.ReadBlocks(abs, dst, iosched.Demand, epoch)
 		if err != nil {
-			return 0, nil, epoch, err
+			return 0, 0, nil, epoch, err
 		}
 		stale := false
 		for _, r := range results {
@@ -349,6 +350,9 @@ func (st *storeTable) readBlocksMiss(device *nvm.Device, abs []int, dst []byte, 
 			if r.LatencyUS > lat {
 				lat = r.LatencyUS
 			}
+			if r.WaitUS > wait {
+				wait = r.WaitUS
+			}
 			anyCoalesced = anyCoalesced || r.Coalesced
 		}
 		if anyCoalesced {
@@ -357,25 +361,77 @@ func (st *storeTable) readBlocksMiss(device *nvm.Device, abs []int, dst []byte, 
 				coalesced[i] = r.Coalesced
 			}
 		}
-		return lat, coalesced, epoch, nil
+		return lat, wait, coalesced, epoch, nil
 	}
 }
 
-// lookup serves one vector read for this table.
-func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
+// observeMissIO records the wait/service decomposition of one miss-path
+// device read into the table's stage histograms and the optional trace.
+// LatencyUS (service) keeps its historical meaning in lookupLatency; the
+// queue-wait component is only meaningful (and only recorded) when reads go
+// through the I/O scheduler.
+func (st *storeTable) observeMissIO(lat, wait float64, tr *StageTrace) {
+	st.lookupLatency.Observe(lat)
+	if st.sched != nil {
+		st.queueWaitLatency.Observe(wait)
+	}
+	if tr != nil {
+		tr.ServiceUS += lat
+		tr.QueueWaitUS += wait
+	}
+}
+
+// observeDecode records one requested-vector fp16 decode that started at
+// start into the table's decode-stage histogram and the optional trace.
+func (st *storeTable) observeDecode(start time.Time, tr *StageTrace) {
+	d := usSince(start)
+	st.decodeLatency.Observe(d)
+	if tr != nil {
+		tr.DecodeUS += d
+	}
+}
+
+// lookup serves one vector read for this table. tr, when non-nil,
+// accumulates the per-stage latency breakdown (and forces the sampled
+// probe-stage timer on).
+func (st *storeTable) lookup(device *nvm.Device, id uint32, tr *StageTrace) ([]float32, error) {
 	if int(id) >= st.src.NumVectors() {
 		return nil, fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
 	}
 	ts := st.loadState()
 	h := hashID(id)
-	st.lookups.Inc(h)
+	nth := st.lookups.Inc(h)
+	if tr != nil {
+		tr.Lookups++
+	}
 	if r := st.recorder.Load(); r != nil {
 		r.Record1(id)
 	}
 	if ts.policy != nil {
 		ts.policy.OnAccess(id)
 	}
-	if out := st.cacheGet(ts, id, h); out != nil {
+	// The probe stage is timed on a sampled subset of lookups (always under
+	// a trace): two time.Now calls would be a measurable tax on the ~120 ns
+	// all-DRAM hit path, and a sampled probe histogram answers the same
+	// operator question. The decision reuses the lookup counter's returned
+	// value (see StripedCounter.Inc), which is free.
+	probeTimed := tr != nil || nth&probeSampleMask == 1
+	var probeStart time.Time
+	if probeTimed {
+		probeStart = time.Now()
+	}
+	out := st.cacheGet(ts, id, h)
+	if probeTimed {
+		d := usSince(probeStart)
+		st.probeLatency.Observe(d)
+		if tr != nil {
+			tr.ProbeUS += d
+		}
+	}
+	if out != nil {
+		if tr != nil {
+			tr.Hits++
+		}
 		return out, nil
 	}
 	if st.overlay != nil {
@@ -389,13 +445,21 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 		if raw := st.overlay.get(id); raw != nil {
 			st.hits.Inc(h)
 			st.deltaHits.Inc(h)
+			if tr != nil {
+				tr.Hits++
+			}
+			decStart := time.Now()
 			dec := make([]float32, st.dim)
 			fp16.DecodeSlice(dec, raw)
+			st.observeDecode(decStart, tr)
 			st.cacheInsert(ts, id, dec, raw, 0, false, epoch)
 			return dec, nil
 		}
 	}
 	st.misses.Inc(h)
+	if tr != nil {
+		tr.Misses++
+	}
 
 	// Hold the rewrite lock shared for the block read + decode: under it,
 	// the published layout is guaranteed to match the bytes on NVM.
@@ -410,7 +474,7 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 	bufp := getBlockBuf()
 	defer putBlockBuf(bufp)
 	buf := *bufp
-	lat, coalesced, epoch, err := st.readBlockMiss(device, st.blockBase+block, buf, epoch)
+	lat, wait, coalesced, epoch, err := st.readBlockMiss(device, st.blockBase+block, buf, epoch)
 	if err != nil {
 		return nil, fmt.Errorf("core: table %q: %w", st.name, err)
 	}
@@ -427,13 +491,16 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 			}
 		})
 		if got != nil {
-			st.lookupLatency.Observe(lat)
+			st.observeMissIO(lat, wait, tr)
 			return got, nil
 		}
 	} else {
 		st.blockReads.Inc(h)
+		if tr != nil {
+			tr.BlockReads++
+		}
 	}
-	st.lookupLatency.Observe(lat)
+	st.observeMissIO(lat, wait, tr)
 
 	if st.overlay != nil {
 		// Updated between the overlay probe above and this block read: the
@@ -443,17 +510,21 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 		// post-update block re-read that makes write-through safe here still
 		// returns pre-update bytes.
 		if oraw := st.overlay.get(id); oraw != nil {
+			decStart := time.Now()
 			dec := make([]float32, st.dim)
 			fp16.DecodeSlice(dec, oraw)
+			st.observeDecode(decStart, tr)
 			return dec, nil
 		}
 	}
 
 	// Decode the requested vector once; the cache and the caller share the
 	// same immutable slice.
+	decStart := time.Now()
 	slot := ts.layout.SlotOf(id)
 	want := make([]float32, st.dim)
 	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+	st.observeDecode(decStart, tr)
 	st.cacheInsert(ts, id, want, nil, 0, false, epoch)
 
 	// Prefetch co-located vectors that pass the admission policy.
@@ -469,8 +540,9 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32) ([]float32, error) {
 // one of out (decoded float32 views) and outRaw (fp16 views, the wire
 // protocol's zero-decode read path) is non-nil; both modes share the full
 // serving machinery — counters, dedupe, admission, prefetch, cache fill —
-// and differ only in what they hand back.
-func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float32, outRaw [][]byte) error {
+// and differ only in what they hand back. tr, when non-nil, accumulates the
+// per-stage latency breakdown.
+func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float32, outRaw [][]byte, tr *StageTrace) error {
 	for _, id := range ids {
 		if int(id) >= st.src.NumVectors() {
 			return fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
@@ -534,16 +606,25 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 	var dupMisses [][2]int // {duplicate position, first position} to backfill
 	for i, id := range ids {
 		h := hashID(id)
-		st.lookups.Inc(h)
+		nth := st.lookups.Inc(h)
+		if tr != nil {
+			tr.Lookups++
+		}
 		if ts.policy != nil {
 			ts.policy.OnAccess(id)
 		}
 		if j, ok := firstOf(i, id); ok {
 			if have(j) {
 				st.hits.Inc(h)
+				if tr != nil {
+					tr.Hits++
+				}
 				copyPos(i, j)
 			} else {
 				st.misses.Inc(h)
+				if tr != nil {
+					tr.Misses++
+				}
 				dupMisses = append(dupMisses, [2]int{i, j})
 			}
 			continue
@@ -551,13 +632,34 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 		if firstPos != nil {
 			firstPos[id] = i
 		}
+		// Per-unique-id probe timing, sampled exactly like lookup() so batch
+		// and single-lookup probes land in one comparable histogram.
+		probeTimed := tr != nil || nth&probeSampleMask == 1
+		var probeStart time.Time
+		if probeTimed {
+			probeStart = time.Now()
+		}
+		var hit bool
 		if outRaw != nil {
 			if got := st.cacheGetRaw(ts, id, h); got != nil {
 				outRaw[i] = got
-				continue
+				hit = true
 			}
 		} else if got := st.cacheGet(ts, id, h); got != nil {
 			out[i] = got
+			hit = true
+		}
+		if probeTimed {
+			d := usSince(probeStart)
+			st.probeLatency.Observe(d)
+			if tr != nil {
+				tr.ProbeUS += d
+			}
+		}
+		if hit {
+			if tr != nil {
+				tr.Hits++
+			}
 			continue
 		}
 		if st.overlay != nil {
@@ -567,8 +669,13 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			if raw := st.overlay.get(id); raw != nil {
 				st.hits.Inc(h)
 				st.deltaHits.Inc(h)
+				if tr != nil {
+					tr.Hits++
+				}
+				decStart := time.Now()
 				dec := make([]float32, st.dim)
 				fp16.DecodeSlice(dec, raw)
+				st.observeDecode(decStart, tr)
 				if outRaw != nil {
 					outRaw[i] = raw
 				} else {
@@ -579,6 +686,9 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			}
 		}
 		st.misses.Inc(h)
+		if tr != nil {
+			tr.Misses++
+		}
 		missed = append(missed, missRef{pos: i, id: id})
 	}
 	if len(missed) == 0 {
@@ -626,11 +736,11 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 		abs[i] = st.blockBase + block
 	}
 	epoch := st.epoch.Load()
-	lat, coalesced, epoch, err := st.readBlocksMiss(device, abs, batch, epoch)
+	lat, wait, coalesced, epoch, err := st.readBlocksMiss(device, abs, batch, epoch)
 	if err != nil {
 		return fmt.Errorf("core: table %q: %w", st.name, err)
 	}
-	st.lookupLatency.Observe(lat)
+	st.observeMissIO(lat, wait, tr)
 
 	var members []uint32
 	for bi, block := range blocks {
@@ -640,6 +750,9 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			st.coalescedReads.Inc(uint64(block))
 		} else {
 			st.blockReads.Inc(uint64(block))
+			if tr != nil {
+				tr.BlockReads++
+			}
 		}
 
 		requested := make(map[uint32]struct{}, len(refs))
@@ -653,8 +766,10 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 					if outRaw != nil {
 						outRaw[ref.pos] = oraw
 					} else {
+						decStart := time.Now()
 						dec := make([]float32, st.dim)
 						fp16.DecodeSlice(dec, oraw)
+						st.observeDecode(decStart, tr)
 						out[ref.pos] = dec
 					}
 					requested[ref.id] = struct{}{}
@@ -667,8 +782,10 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			// lookups must be able to hit it); a raw request additionally
 			// copies the fp16 bytes straight off the block image — no
 			// decode-encode round trip on what it returns.
+			decStart := time.Now()
 			dec := make([]float32, st.dim)
 			fp16.DecodeSlice(dec, rawSlot)
+			st.observeDecode(decStart, tr)
 			var rawCopy []byte
 			if outRaw != nil {
 				rawCopy = append(make([]byte, 0, st.vecBytes), rawSlot...)

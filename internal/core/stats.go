@@ -38,8 +38,18 @@ type TableStats struct {
 	// times the vector size over block reads times the block size.
 	EffectiveBandwidth float64
 	// Latency summarises the NVM block read latency observed by this
-	// table's misses (microseconds).
+	// table's misses (microseconds) — the device-service component of the
+	// stage decomposition below.
 	Latency metrics.Snapshot
+	// Stage latency decomposition (all microseconds). ProbeLatency is the
+	// DRAM cache/overlay probe, timed on a sampled subset of lookups (~1/64,
+	// always under a slow-request trace). QueueWaitLatency is time miss
+	// reads spent queued in the I/O scheduler before dispatch (empty with
+	// the scheduler off). DecodeLatency is requested-vector fp16 decode
+	// time (prefetch admission decodes excluded).
+	ProbeLatency     metrics.Snapshot
+	QueueWaitLatency metrics.Snapshot
+	DecodeLatency    metrics.Snapshot
 }
 
 // Stats returns per-table serving statistics.
@@ -48,21 +58,24 @@ func (s *Store) Stats() []TableStats {
 	for i, st := range s.tables {
 		state := st.loadState()
 		ts := TableStats{
-			Name:           st.name,
-			Lookups:        st.lookups.Value(),
-			Hits:           st.hits.Value(),
-			DeltaHits:      st.deltaHits.Value(),
-			Misses:         st.misses.Value(),
-			BlockReads:     st.blockReads.Value(),
-			CoalescedReads: st.coalescedReads.Value(),
-			PrefetchAdds:   st.prefetchAdds.Value(),
-			PrefetchHits:   st.prefetchHits.Value(),
-			CacheVectors:   state.cacheCap,
-			CacheUsed:      state.cache.Len(),
-			CacheShards:    state.cache.NumShards(),
-			Threshold:      state.threshold,
-			Prefetching:    state.prefetch,
-			Latency:        st.lookupLatency.Snapshot(),
+			Name:             st.name,
+			Lookups:          st.lookups.Value(),
+			Hits:             st.hits.Value(),
+			DeltaHits:        st.deltaHits.Value(),
+			Misses:           st.misses.Value(),
+			BlockReads:       st.blockReads.Value(),
+			CoalescedReads:   st.coalescedReads.Value(),
+			PrefetchAdds:     st.prefetchAdds.Value(),
+			PrefetchHits:     st.prefetchHits.Value(),
+			CacheVectors:     state.cacheCap,
+			CacheUsed:        state.cache.Len(),
+			CacheShards:      state.cache.NumShards(),
+			Threshold:        state.threshold,
+			Prefetching:      state.prefetch,
+			Latency:          st.lookupLatency.Snapshot(),
+			ProbeLatency:     st.probeLatency.Snapshot(),
+			QueueWaitLatency: st.queueWaitLatency.Snapshot(),
+			DecodeLatency:    st.decodeLatency.Snapshot(),
 		}
 		if st.overlay != nil {
 			ts.OverlayEntries = st.overlay.size()
@@ -97,6 +110,9 @@ func (s *Store) ResetStats() {
 		st.prefetchAdds.Reset()
 		st.prefetchHits.Reset()
 		st.lookupLatency.Reset()
+		st.probeLatency.Reset()
+		st.queueWaitLatency.Reset()
+		st.decodeLatency.Reset()
 	}
 }
 

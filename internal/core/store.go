@@ -119,6 +119,14 @@ func newVecCache(capacity, shards int) *vecCache {
 // counterStripes is the stripe count for the per-table serving counters.
 const counterStripes = 64
 
+// newStageHistogram builds the layout used by the per-stage latency
+// histograms (probe, queue wait, decode): the sub-microsecond stages need
+// finer resolution than the device-latency layout, so buckets start at 10 ns
+// (0.01 us) and run to 1 s with the usual ~5% relative bucket error.
+func newStageHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(0.01, 1.05, 1e6)
+}
+
 // tableState is the trained state of one table. It is immutable once
 // published: mutators build a modified copy and atomically swap the pointer,
 // so the serving path reads a consistent snapshot with a single atomic load.
@@ -190,7 +198,15 @@ type storeTable struct {
 	coalescedReads *metrics.StripedCounter
 	prefetchAdds   *metrics.StripedCounter
 	prefetchHits   *metrics.StripedCounter
-	lookupLatency  *metrics.Histogram
+	// lookupLatency is the device-service component of miss reads (the
+	// historical "lookup latency"); the histograms below decompose the rest
+	// of a lookup's time. probeLatency is sampled (see probeSampleMask),
+	// queueWaitLatency is only fed when the I/O scheduler is on, and
+	// decodeLatency covers requested-vector fp16 decodes.
+	lookupLatency    *metrics.Histogram
+	probeLatency     *metrics.Histogram
+	queueWaitLatency *metrics.Histogram
+	decodeLatency    *metrics.Histogram
 }
 
 // loadState returns the current trained-state snapshot.
@@ -344,25 +360,28 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 	}
 	for i, t := range cfg.Tables {
 		st := &storeTable{
-			index:          i,
-			name:           t.Name,
-			src:            t,
-			dim:            t.Dim,
-			vecBytes:       t.VectorBytes(),
-			blockVectors:   spans[i].blockVectors,
-			blockBase:      spans[i].base,
-			numBlocks:      spans[i].blocks,
-			shards:         shards,
-			lookups:        metrics.NewStripedCounter(counterStripes),
-			hits:           metrics.NewStripedCounter(counterStripes),
-			deltaHits:      metrics.NewStripedCounter(counterStripes),
-			misses:         metrics.NewStripedCounter(counterStripes),
-			blockReads:     metrics.NewStripedCounter(counterStripes),
-			coalescedReads: metrics.NewStripedCounter(counterStripes),
-			prefetchAdds:   metrics.NewStripedCounter(counterStripes),
-			prefetchHits:   metrics.NewStripedCounter(counterStripes),
-			lookupLatency:  metrics.NewLatencyHistogram(),
-			sched:          s.sched,
+			index:            i,
+			name:             t.Name,
+			src:              t,
+			dim:              t.Dim,
+			vecBytes:         t.VectorBytes(),
+			blockVectors:     spans[i].blockVectors,
+			blockBase:        spans[i].base,
+			numBlocks:        spans[i].blocks,
+			shards:           shards,
+			lookups:          metrics.NewStripedCounter(counterStripes),
+			hits:             metrics.NewStripedCounter(counterStripes),
+			deltaHits:        metrics.NewStripedCounter(counterStripes),
+			misses:           metrics.NewStripedCounter(counterStripes),
+			blockReads:       metrics.NewStripedCounter(counterStripes),
+			coalescedReads:   metrics.NewStripedCounter(counterStripes),
+			prefetchAdds:     metrics.NewStripedCounter(counterStripes),
+			prefetchHits:     metrics.NewStripedCounter(counterStripes),
+			lookupLatency:    metrics.NewLatencyHistogram(),
+			probeLatency:     newStageHistogram(),
+			queueWaitLatency: newStageHistogram(),
+			decodeLatency:    newStageHistogram(),
+			sched:            s.sched,
 		}
 		st.state.Store(&tableState{
 			layout:   layout.Identity(t.NumVectors(), spans[i].blockVectors),

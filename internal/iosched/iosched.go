@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bandana/internal/metrics"
 	"bandana/internal/nvm"
 )
 
@@ -149,13 +150,21 @@ type op struct {
 	refs atomic.Int32
 
 	enqueued time.Time
+	// waitUS is the time this op spent queued before the dispatcher took it
+	// into a batch (set by issue, before done closes).
+	waitUS float64
 }
 
 // ReadResult describes how one submitted read was served.
 type ReadResult struct {
 	// LatencyUS is the simulated device latency of the batch that carried
-	// this read (the completion time of its slowest member).
+	// this read (the completion time of its slowest member) — the device
+	// service component of the read's total latency.
 	LatencyUS float64
+	// WaitUS is the wall-clock time the read that touched the device spent
+	// in the submission queue before dispatch (the queue-wait component).
+	// For a coalesced read this is the leader's queue wait.
+	WaitUS float64
 	// Coalesced reports that this read shared another op's device read
 	// instead of causing one itself.
 	Coalesced bool
@@ -199,6 +208,13 @@ type Scheduler struct {
 	coalescedLate atomic.Int64
 	rejected      atomic.Int64
 	simBusyUS     atomic.Uint64 // float64 bits
+
+	// queueWait tracks wall-clock submission-to-dispatch time per read;
+	// service tracks simulated device time per dispatched batch. Together
+	// they decompose the old single LatencyUS into where a miss actually
+	// spent its time: waiting for a batch slot vs on the device.
+	queueWait *metrics.Histogram
+	service   *metrics.Histogram
 }
 
 // Stats is a snapshot of scheduler counters.
@@ -229,6 +245,12 @@ type Stats struct {
 	// SimBusyUS is the accumulated simulated device busy time across all
 	// dispatched batches — the denominator of simulated-time throughput.
 	SimBusyUS float64
+	// QueueWait summarizes wall-clock submission-to-dispatch time per read
+	// (microseconds); Service summarizes simulated device time per
+	// dispatched batch. QueueWait + Service decompose the total miss-path
+	// I/O latency.
+	QueueWait metrics.Snapshot
+	Service   metrics.Snapshot
 }
 
 // New creates a scheduler over device and starts its dispatcher. Close must
@@ -241,12 +263,14 @@ func New(device *nvm.Device, cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	s := &Scheduler{
-		device:  device,
-		cfg:     cfg,
-		pending: make(map[int]*op),
-		wake:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		device:    device,
+		cfg:       cfg,
+		pending:   make(map[int]*op),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		queueWait: metrics.NewLatencyHistogram(),
+		service:   metrics.NewLatencyHistogram(),
 	}
 	go s.dispatch()
 	return s, nil
@@ -271,6 +295,7 @@ func (s *Scheduler) ReadBlock(block int, dst []byte, pri Priority, tag uint64) (
 	}
 	<-o.done
 	res.LatencyUS = o.lat
+	res.WaitUS = o.waitUS
 	err = o.err
 	if err == nil && res.Coalesced {
 		// The dispatcher wrote the leader's dst directly; waiters copy out
@@ -311,6 +336,7 @@ func (s *Scheduler) ReadBlocks(blocks []int, dst []byte, pri Priority, tag uint6
 		}
 		<-o.done
 		results[i].LatencyUS = o.lat
+		results[i].WaitUS = o.waitUS
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
@@ -525,8 +551,12 @@ func (s *Scheduler) issue(batch []*op) {
 	}
 
 	idxs := make([]int, len(batch))
+	now := time.Now()
 	for i, o := range batch {
 		idxs[i] = o.block
+		// Queue wait ends here: the op is leaving the queue for the device.
+		o.waitUS = float64(now.Sub(o.enqueued)) / float64(time.Microsecond)
+		s.queueWait.Observe(o.waitUS)
 	}
 	bufp := nvm.GetBatchBuf(len(batch))
 	// One batch in flight at a time: submissions arriving while this read
@@ -610,6 +640,7 @@ func (s *Scheduler) accountBatch(n int, latUS float64) {
 			break
 		}
 	}
+	s.service.Observe(latUS)
 }
 
 // Stats returns a snapshot of the scheduler's counters.
@@ -631,6 +662,8 @@ func (s *Scheduler) Stats() Stats {
 		Rejected:         s.rejected.Load(),
 		QueuedNow:        queued,
 		SimBusyUS:        math.Float64frombits(s.simBusyUS.Load()),
+		QueueWait:        s.queueWait.Snapshot(),
+		Service:          s.service.Snapshot(),
 	}
 	if st.Batches > 0 {
 		st.AvgBatchSize = float64(st.DeviceReads) / float64(st.Batches)

@@ -501,6 +501,39 @@ func TestReadBlocksMulti(t *testing.T) {
 	}
 }
 
+// TestWaitServiceDecomposition pins the queue-wait vs device-service split:
+// every completed read reports a non-negative WaitUS and a positive
+// LatencyUS, and the scheduler's stats expose matching QueueWait/Service
+// histograms whose counts reconcile with the dispatch counters.
+func TestWaitServiceDecomposition(t *testing.T) {
+	dev, _ := newTestDevice(t, 32)
+	s := mustNew(t, dev, Config{QueueDepth: 4})
+	blocks := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]byte, len(blocks)*nvm.BlockSize)
+	results, err := s.ReadBlocks(blocks, dst, Demand, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.WaitUS < 0 {
+			t.Fatalf("read %d: negative WaitUS %g", i, r.WaitUS)
+		}
+		if r.LatencyUS <= 0 {
+			t.Fatalf("read %d: service latency %g, want > 0", i, r.LatencyUS)
+		}
+	}
+	st := s.Stats()
+	if st.QueueWait.Count != int64(len(blocks)) {
+		t.Fatalf("QueueWait count = %d, want %d", st.QueueWait.Count, len(blocks))
+	}
+	if st.Service.Count != st.Batches {
+		t.Fatalf("Service count = %d, batches = %d", st.Service.Count, st.Batches)
+	}
+	if st.Service.Mean <= 0 {
+		t.Fatalf("Service mean = %g, want > 0", st.Service.Mean)
+	}
+}
+
 // TestCloseDrainsAndRejects: Close completes queued reads, then rejects new
 // submissions; it is idempotent.
 func TestCloseDrainsAndRejects(t *testing.T) {

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refHistogram is the original mutex-guarded log-linear histogram, kept here
+// as the reference implementation for quantile-equivalence tests against the
+// lock-free rewrite. Its bucket layout intentionally matches NewHistogram's
+// (final bound clamped to maxBound).
+type refHistogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newRefHistogram(first, growth, maxBound float64) *refHistogram {
+	var bounds []float64
+	for b := first; b < maxBound; b *= growth {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, maxBound)
+	return &refHistogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+func (h *refHistogram) observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+func (h *refHistogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// TestHistogramQuantileEquivalence feeds identical streams to the lock-free
+// histogram and the mutex reference and requires every quantile to agree
+// within one bucket (one growth factor of relative error).
+func TestHistogramQuantileEquivalence(t *testing.T) {
+	const growth = 1.05
+	streams := map[string]func(*rand.Rand) float64{
+		"exponential": func(r *rand.Rand) float64 { return r.ExpFloat64() * 100 },
+		"uniform":     func(r *rand.Rand) float64 { return r.Float64() * 5000 },
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 2000 + r.Float64()*3000
+			}
+			return 1 + r.Float64()*10
+		},
+		"heavy-tail": func(r *rand.Rand) float64 { return math.Pow(r.Float64(), -0.5) },
+	}
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for name, gen := range streams {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram(1, growth, 1e7)
+			ref := newRefHistogram(1, growth, 1e7)
+			r := rand.New(rand.NewSource(7))
+			for i := 0; i < 50000; i++ {
+				v := gen(r)
+				h.Observe(v)
+				ref.observe(v)
+			}
+			if h.Count() != ref.count {
+				t.Fatalf("count = %d, ref = %d", h.Count(), ref.count)
+			}
+			if math.Abs(h.Mean()-ref.sum/float64(ref.count)) > 1e-6*ref.sum {
+				t.Fatalf("mean = %g, ref = %g", h.Mean(), ref.sum/float64(ref.count))
+			}
+			for _, q := range quantiles {
+				got, want := h.Quantile(q), ref.quantile(q)
+				// Same layout, same stream: quantiles must agree within one
+				// bucket, i.e. a factor of `growth` in either direction.
+				if got < want/growth-1e-9 || got > want*growth+1e-9 {
+					t.Errorf("q=%g: got %g, ref %g (outside one bucket)", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramBoundsClampedToMax pins the fix for the old loop that
+// allocated one bound past maxBound: the final bound must now be exactly
+// maxBound, and values above it must land in the overflow bucket (reported
+// as Max by quantile queries).
+func TestHistogramBoundsClampedToMax(t *testing.T) {
+	h := NewHistogram(1, 2, 1000)
+	if got := h.bounds[len(h.bounds)-1]; got != 1000 {
+		t.Fatalf("final bound = %g, want exactly 1000", got)
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, h.bounds)
+		}
+	}
+	// A quantile answered from any non-overflow bucket can now overestimate
+	// by at most maxBound.
+	for _, v := range []float64{999, 1000} {
+		hh := NewHistogram(1, 2, 1000)
+		for i := 0; i < 100; i++ {
+			hh.Observe(v)
+		}
+		if p := hh.P50(); p > 1000 {
+			t.Fatalf("p50 of %g = %g, exceeds maxBound", v, p)
+		}
+	}
+	// Overflow values fall back to the observed max.
+	h.Observe(5000)
+	if p := h.P50(); p != 5000 {
+		t.Fatalf("overflow p50 = %g, want observed max 5000", p)
+	}
+}
+
+// TestHistogramConcurrentStress hammers one histogram from many goroutines
+// (run under -race in CI) and checks the totals reconcile.
+func TestHistogramConcurrentStress(t *testing.T) {
+	h := NewLatencyHistogram()
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(r.ExpFloat64() * 50)
+				if i%1000 == 0 {
+					// Concurrent readers must not race with observers.
+					_ = h.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if s.Min < 0 || s.Max < s.Min {
+		t.Fatalf("min/max inconsistent: %+v", s)
+	}
+}
+
+// TestSnapshotP999 checks the new tail quantile lands above p99 on a
+// heavy-tailed stream.
+func TestSnapshotP999(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(9000)
+	}
+	s := h.Snapshot()
+	if s.P99 > 11 {
+		t.Fatalf("p99 = %g, want ~10", s.P99)
+	}
+	if s.P999 < 8000 {
+		t.Fatalf("p999 = %g, want ~9000 (tail invisible below p999)", s.P999)
+	}
+}
+
+// BenchmarkHistogramObserve pins the hot-path cost: Observe must be
+// lock-free and allocation-free.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 0.5
+			if v > 1e6 {
+				v = 1.0
+			}
+		}
+	})
+	if testing.AllocsPerRun(100, func() { h.Observe(42) }) != 0 {
+		b.Fatalf("Observe allocates")
+	}
+}

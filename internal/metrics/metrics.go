@@ -9,8 +9,8 @@ package metrics
 import (
 	"fmt"
 	"math"
+	randv2 "math/rand/v2"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -56,8 +56,12 @@ func NewStripedCounter(stripes int) *StripedCounter {
 	return &StripedCounter{slots: make([]paddedInt64, n), mask: uint64(n - 1)}
 }
 
-// Inc increments the stripe selected by hash.
-func (c *StripedCounter) Inc(hash uint64) { c.slots[hash&c.mask].v.Add(1) }
+// Inc increments the stripe selected by hash and returns the stripe's new
+// value. The return value gives hot paths a free 1-in-N sampling signal
+// (e.g. new&(N-1) == 1, N a power of two — the ==1 phase fires on a stripe's
+// first increment, so low-traffic callers sample too): the add returns the sum,
+// so deriving the decision from it costs nothing, unlike a random draw.
+func (c *StripedCounter) Inc(hash uint64) int64 { return c.slots[hash&c.mask].v.Add(1) }
 
 // Add increments the stripe selected by hash by delta.
 func (c *StripedCounter) Add(hash uint64, delta int64) { c.slots[hash&c.mask].v.Add(delta) }
@@ -136,36 +140,62 @@ func (r *Ratio) Reset() {
 	r.den.Reset()
 }
 
-// Histogram is a log-linear histogram of non-negative values (latencies in
-// microseconds, sizes in bytes, ...). It supports approximate percentile
-// queries with bounded relative error determined by the bucket layout:
-// buckets grow geometrically by `growth` starting at `first`.
+// Histogram is a lock-free log-linear histogram of non-negative values
+// (latencies in microseconds, sizes in bytes, ...). It supports approximate
+// percentile queries with bounded relative error determined by the bucket
+// layout: buckets grow geometrically by `growth` starting at `first`, with
+// the final bound clamped to exactly maxBound.
+//
+// The bucket layout is fixed at construction; Observe is one binary search
+// plus an atomic add into a randomly selected stripe, so the store's ~120 ns
+// hit path can record into it without a mutex or an allocation. Reads
+// (Count, Quantile, Snapshot, ...) sum the stripes; like any relaxed
+// counter they may miss concurrent in-flight observations.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // upper bounds, ascending
-	counts []int64
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
+	bounds  []float64 // upper bounds, ascending; immutable after construction
+	stripes []histStripe
+	mask    uint32
+	minBits atomic.Uint64 // float64 bits of the smallest observation
+	maxBits atomic.Uint64 // float64 bits of the largest observation
 }
 
+// histStripe holds one stripe's bucket counts and value sum. Stripes are
+// selected per-observation by a cheap per-P random draw, so concurrent
+// observers of the same value land on different cache lines.
+type histStripe struct {
+	counts  []atomic.Int64 // len(bounds)+1; last bucket is the overflow
+	sumBits atomic.Uint64  // float64 bits of the stripe's value sum
+	_       [40]byte       // keep adjacent stripe headers off one cache line
+}
+
+// histStripes is the number of stripes per histogram. Four stripes cut
+// same-bucket contention enough for the hit path while keeping the memory
+// cost of the ~330-bucket latency layout around 10 KB per histogram.
+const histStripes = 4
+
 // NewHistogram creates a histogram with geometric bucket bounds
-// [first, first*growth, ...] until maxBound is covered. growth must be > 1.
+// [first, first*growth, ...] clamped so the final bound is exactly maxBound.
+// growth must be > 1.
 func NewHistogram(first, growth, maxBound float64) *Histogram {
 	if first <= 0 || growth <= 1 || maxBound <= first {
 		panic("metrics: invalid histogram parameters")
 	}
 	var bounds []float64
-	for b := first; b < maxBound*growth; b *= growth {
+	for b := first; b < maxBound; b *= growth {
 		bounds = append(bounds, b)
 	}
-	return &Histogram{
-		bounds: bounds,
-		counts: make([]int64, len(bounds)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+	bounds = append(bounds, maxBound)
+	h := &Histogram{
+		bounds:  bounds,
+		stripes: make([]histStripe, histStripes),
+		mask:    histStripes - 1,
 	}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // NewLatencyHistogram returns a histogram suitable for microsecond latencies
@@ -174,23 +204,35 @@ func NewLatencyHistogram() *Histogram {
 	return NewHistogram(1, 1.05, 1e7)
 }
 
-// Observe records a single value.
+// Observe records a single value. It is lock-free and allocation-free: a
+// binary search over the immutable bounds, one atomic add on a striped
+// bucket, a striped CAS-add for the sum, and min/max CASes that settle into
+// plain loads once the extremes are established.
 func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		return
 	}
-	h.mu.Lock()
 	idx := sort.SearchFloat64s(h.bounds, v)
-	h.counts[idx]++
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	s := &h.stripes[randv2.Uint32()&h.mask]
+	s.counts[idx].Add(1)
+	for {
+		old := s.sumBits.Load()
+		if s.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
 	}
-	if v > h.max {
-		h.max = v
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
 	}
-	h.mu.Unlock()
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 }
 
 // ObserveDuration records a duration in microseconds.
@@ -198,89 +240,136 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Microsecond))
 }
 
+// totals sums the stripes into one per-bucket count slice. The scratch
+// slice, when non-nil and large enough, is reused to avoid allocating.
+func (h *Histogram) totals(scratch []int64) (counts []int64, count int64) {
+	n := len(h.bounds) + 1
+	if cap(scratch) >= n {
+		counts = scratch[:n]
+		for i := range counts {
+			counts[i] = 0
+		}
+	} else {
+		counts = make([]int64, n)
+	}
+	for s := range h.stripes {
+		for i := range counts {
+			c := h.stripes[s].counts[i].Load()
+			counts[i] += c
+			count += c
+		}
+	}
+	return counts, count
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var count int64
+	for s := range h.stripes {
+		for i := range h.stripes[s].counts {
+			count += h.stripes[s].counts[i].Load()
+		}
+	}
+	return count
+}
+
+// sum returns the total of all observed values.
+func (h *Histogram) sum() float64 {
+	var sum float64
+	for s := range h.stripes {
+		sum += math.Float64frombits(h.stripes[s].sumBits.Load())
+	}
+	return sum
 }
 
 // Mean returns the arithmetic mean of all observations (0 if empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.sum() / float64(count)
 }
+
+// Sum returns the total of all observed values (0 if empty).
+func (h *Histogram) Sum() float64 { return h.sum() }
 
 // Min returns the smallest observation (0 if empty).
 func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	m := math.Float64frombits(h.minBits.Load())
+	if math.IsInf(m, 1) {
 		return 0
 	}
-	return h.min
+	return m
 }
 
 // Max returns the largest observation (0 if empty).
 func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	m := math.Float64frombits(h.maxBits.Load())
+	if math.IsInf(m, -1) {
 		return 0
 	}
-	return h.max
+	return m
 }
 
 // Quantile returns an approximation of the q-th quantile (0 <= q <= 1).
 // The answer is the upper bound of the bucket containing the quantile, which
 // overestimates by at most one bucket's relative width.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	counts, count := h.totals(nil)
+	return h.quantileFrom(counts, count, q)
+}
+
+// quantileFrom answers a quantile query against a pre-summed count slice so
+// Snapshot can serve several quantiles from one consistent pass.
+func (h *Histogram) quantileFrom(counts []int64, count int64, q float64) float64 {
+	if count == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return h.Min()
 	}
 	if q >= 1 {
-		return h.max
+		return h.Max()
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(count)))
 	var cum int64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		cum += c
 		if cum >= target {
 			if i < len(h.bounds) {
 				return h.bounds[i]
 			}
-			return h.max
+			return h.Max()
 		}
 	}
-	return h.max
+	return h.Max()
 }
 
 // P50 is shorthand for Quantile(0.50).
 func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
 
+// P90 is shorthand for Quantile(0.90).
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+
 // P99 is shorthand for Quantile(0.99).
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
-// Reset clears all recorded observations.
+// P999 is shorthand for Quantile(0.999).
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
+// Reset clears all recorded observations. Like StripedCounter.Reset it is
+// racy-tolerant: observations concurrent with the reset may be partially
+// retained.
 func (h *Histogram) Reset() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i := range h.counts {
-		h.counts[i] = 0
+	for s := range h.stripes {
+		for i := range h.stripes[s].counts {
+			h.stripes[s].counts[i].Store(0)
+		}
+		h.stripes[s].sumBits.Store(0)
 	}
-	h.count = 0
-	h.sum = 0
-	h.min = math.Inf(1)
-	h.max = math.Inf(-1)
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 }
 
 // Snapshot is an immutable summary of a histogram.
@@ -292,25 +381,34 @@ type Snapshot struct {
 	P50   float64
 	P90   float64
 	P99   float64
+	P999  float64
 }
 
-// Snapshot captures the current summary statistics.
+// Snapshot captures the current summary statistics. All quantiles are
+// derived from a single pass over the bucket counts, so they are mutually
+// consistent even while observations continue concurrently.
 func (h *Histogram) Snapshot() Snapshot {
+	counts, count := h.totals(nil)
+	mean := 0.0
+	if count > 0 {
+		mean = h.sum() / float64(count)
+	}
 	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
+		Count: count,
+		Mean:  mean,
 		Min:   h.Min(),
 		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		P50:   h.quantileFrom(counts, count, 0.50),
+		P90:   h.quantileFrom(counts, count, 0.90),
+		P99:   h.quantileFrom(counts, count, 0.99),
+		P999:  h.quantileFrom(counts, count, 0.999),
 	}
 }
 
 // String renders the snapshot compactly.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
-		s.Count, s.Mean, s.P50, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f p999=%.2f max=%.2f",
+		s.Count, s.Mean, s.P50, s.P99, s.P999, s.Max)
 }
 
 // Welford computes a streaming mean/variance (not concurrency-safe; used by

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Register("test_requests_total", "counter", "Total requests.", func() []Sample {
+		return CounterSample(L("path", "/v1/lookup"), 42)
+	})
+	r.Register("test_latency_us", "summary", "Request latency.", func() []Sample {
+		h := NewLatencyHistogram()
+		for i := 1; i <= 100; i++ {
+			h.Observe(float64(i))
+		}
+		return SummarySamples(L("table", "t0"), h.Snapshot())
+	})
+	r.Register("test_empty", "gauge", "Never has samples.", func() []Sample { return nil })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Total requests.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{path="/v1/lookup"} 42`,
+		"# TYPE test_latency_us summary",
+		`test_latency_us{table="t0",quantile="0.5"}`,
+		`test_latency_us{table="t0",quantile="0.999"}`,
+		`test_latency_us_sum{table="t0"} 5050`,
+		`test_latency_us_count{table="t0"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "test_empty") {
+		t.Errorf("family with no samples should be omitted:\n%s", out)
+	}
+	n, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition does not validate: %v\n%s", err, out)
+	}
+	if n != 7 {
+		t.Fatalf("sample count = %d, want 7", n)
+	}
+}
+
+func TestRegistryEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Register("test_escape", "gauge", "help with \\ and\nnewline", func() []Sample {
+		return CounterSample(L("k", "a\"b\\c\nd"), 1)
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `{k="a\"b\\c\nd"}`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad name", func() { r.Register("9bad", "counter", "", nil) })
+	mustPanic("bad type", func() { r.Register("ok_name", "exotic", "", nil) })
+	r.Register("dup_name", "counter", "", func() []Sample { return nil })
+	mustPanic("dup", func() { r.Register("dup_name", "counter", "", nil) })
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Register("test_up", "gauge", "Always one.", func() []Sample {
+		return CounterSample(nil, 1)
+	})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	n, err := ValidateExposition(resp.Body)
+	if err != nil || n != 1 {
+		t.Fatalf("validate: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad value":        "foo bar\n",
+		"bad name":         "9foo 1\n",
+		"bad label name":   `foo{9k="v"} 1` + "\n",
+		"unquoted label":   `foo{k=v} 1` + "\n",
+		"unterminated":     `foo{k="v} 1` + "\n",
+		"bad escape":       `foo{k="\q"} 1` + "\n",
+		"duplicate series": "foo{a=\"1\"} 1\nfoo{a=\"1\"} 2\n",
+		"bad type":         "# TYPE foo exotic\n",
+		"conflicting type": "# TYPE foo counter\n# TYPE foo gauge\n",
+		"bad timestamp":    "foo 1 notatime\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error for %q", name, in)
+		}
+	}
+	good := "# random comment\n# TYPE foo counter\nfoo{a=\"x\",b=\"y\"} 1 1700000000000\nfoo{a=\"z\"} +Inf\nbar 3.5e-9\n"
+	n, err := ValidateExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good exposition rejected: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("sample count = %d, want 3", n)
+	}
+}

@@ -68,6 +68,22 @@ type Server struct {
 	inflight metrics.Gauge
 	swaps    metrics.Counter
 	latency  *metrics.Histogram
+	// serialize times JSON response encoding on the serving handlers (the
+	// "serialize" stage of the latency decomposition).
+	serialize *metrics.Histogram
+
+	// registry renders GET /metrics (built lazily on first scrape).
+	registryOnce sync.Once
+	registry     *metrics.Registry
+
+	// Slow-request logging (see SetSlowRequestThreshold). slowNS == 0 means
+	// disabled; emission is token-bucket limited so an overloaded server
+	// logs a sample of its slow requests instead of one line per request.
+	slowNS         atomic.Int64
+	slowSuppressed atomic.Int64
+	slowMu         sync.Mutex
+	slowTokens     float64
+	slowLast       time.Time
 
 	// export caches the last built snapshot so a replica's chunked download
 	// does not rebuild the image per chunk; invalidated when the store's
@@ -81,13 +97,15 @@ type Server struct {
 // New creates a Server around an opened (and usually trained) store.
 func New(store *core.Store) *Server {
 	s := &Server{
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		latency: metrics.NewLatencyHistogram(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		latency:   metrics.NewLatencyHistogram(),
+		serialize: metrics.NewHistogram(0.01, 1.05, 1e6),
 	}
 	s.ref.Store(&storeRef{store: store})
 	s.wire = &wire.Server{Backend: wireBackend{s}, MaxBatch: MaxBatchIDs}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/lookup", s.handleLookup)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -103,6 +121,32 @@ func New(store *core.Store) *Server {
 
 // storeCtxKey carries the request's pinned store through the context.
 type storeCtxKey struct{}
+
+// traceCtxKey carries the request's stage trace (slow-request logging only).
+type traceCtxKey struct{}
+
+// requestTrace is one HTTP request's stage breakdown: the store-side stages
+// plus the server-side serialization stage.
+type requestTrace struct {
+	core.StageTrace
+	SerializeUS float64
+}
+
+// reqTrace returns the request's stage trace, or nil when slow-request
+// logging is off (the serving handlers then skip per-request stage timing).
+func (s *Server) reqTrace(r *http.Request) *requestTrace {
+	rt, _ := r.Context().Value(traceCtxKey{}).(*requestTrace)
+	return rt
+}
+
+// stageTrace unwraps the core-level trace for handlers that pass it to the
+// store's *Traced lookup variants; nil when tracing is off.
+func stageTrace(rt *requestTrace) *core.StageTrace {
+	if rt == nil {
+		return nil
+	}
+	return &rt.StageTrace
+}
 
 // store returns the store pinned to this request by the instrument
 // middleware. Handlers must use it instead of CurrentStore so a concurrent
@@ -135,6 +179,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		ref := s.acquireRef()
+		slowNS := s.slowNS.Load()
+		var rt *requestTrace
+		if slowNS > 0 {
+			// With slow logging armed, every request carries a trace so a
+			// request discovered to be slow at the end has its breakdown.
+			// The store times all stages under a trace (a handful of clock
+			// reads — noise next to a multi-millisecond threshold).
+			rt = &requestTrace{}
+		}
 		// Deferred so a panicking handler (net/http recovers it per
 		// connection) cannot leak the in-flight count, the store ref or
 		// drop the request from the latency/error metrics.
@@ -144,9 +197,17 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			if rec.status >= 400 {
 				s.errors.Inc()
 			}
-			s.latency.ObserveDuration(time.Since(start))
+			elapsed := time.Since(start)
+			s.latency.ObserveDuration(elapsed)
+			if slowNS > 0 && elapsed >= time.Duration(slowNS) {
+				s.logSlowRequest(r, rec.status, elapsed, rt)
+			}
 		}()
-		r = r.WithContext(context.WithValue(r.Context(), storeCtxKey{}, ref.store))
+		ctx := context.WithValue(r.Context(), storeCtxKey{}, ref.store)
+		if rt != nil {
+			ctx = context.WithValue(ctx, traceCtxKey{}, rt)
+		}
+		r = r.WithContext(ctx)
 		next.ServeHTTP(rec, r)
 	})
 }
@@ -173,6 +234,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 	if buf.Cap() <= maxPooledJSONBuf {
 		jsonBufPool.Put(buf)
+	}
+}
+
+// writeServingJSON is writeJSON for the serving handlers (lookup, batch,
+// request): it additionally times the response encode + write as the
+// "serialize" stage, feeding the server's stage histogram and, when slow
+// logging armed a trace, the request's breakdown.
+func (s *Server) writeServingJSON(w http.ResponseWriter, rt *requestTrace, status int, v any) {
+	start := time.Now()
+	writeJSON(w, status, v)
+	d := float64(time.Since(start)) / float64(time.Microsecond)
+	s.serialize.Observe(d)
+	if rt != nil {
+		rt.SerializeUS += d
 	}
 }
 
@@ -236,12 +311,22 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid id %q", idStr)
 		return
 	}
-	vec, err := s.store(r).LookupByName(tableName, uint32(id))
+	store := s.store(r)
+	rt := s.reqTrace(r)
+	var vec []float32
+	if tr := stageTrace(rt); tr != nil {
+		var idx int
+		if idx, err = store.TableIndex(tableName); err == nil {
+			vec, err = store.LookupTraced(idx, uint32(id), tr)
+		}
+	} else {
+		vec, err = store.LookupByName(tableName, uint32(id))
+	}
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, lookupResponse{Table: tableName, ID: uint32(id), Vector: vec})
+	s.writeServingJSON(w, rt, http.StatusOK, lookupResponse{Table: tableName, ID: uint32(id), Vector: vec})
 }
 
 // batchRequest asks for several vectors from one table.
@@ -276,12 +361,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	vecs, err := store.LookupBatch(idx, req.IDs)
+	rt := s.reqTrace(r)
+	var vecs [][]float32
+	if tr := stageTrace(rt); tr != nil {
+		vecs, err = store.LookupBatchTraced(idx, req.IDs, tr)
+	} else {
+		vecs, err = store.LookupBatch(idx, req.IDs)
+	}
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Table: req.Table, Vectors: vecs})
+	s.writeServingJSON(w, rt, http.StatusOK, batchResponse{Table: req.Table, Vectors: vecs})
 }
 
 // rankingRequest is one full recommendation request: the vector IDs to read
@@ -309,12 +400,19 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request with %d lookups exceeds the limit of %d (split the request)", total, MaxBatchIDs)
 		return
 	}
-	out, err := s.store(r).ServeRequest(core.Request(req.Lookups))
+	rt := s.reqTrace(r)
+	var out [][][]float32
+	var err error
+	if tr := stageTrace(rt); tr != nil {
+		out, err = s.store(r).ServeRequestTraced(core.Request(req.Lookups), tr)
+	} else {
+		out, err = s.store(r).ServeRequest(core.Request(req.Lookups))
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rankingResponse{Tables: out})
+	s.writeServingJSON(w, rt, http.StatusOK, rankingResponse{Tables: out})
 }
 
 // statsResponse bundles per-table, device, I/O scheduler, server, store,
@@ -362,6 +460,11 @@ type ioschedStats struct {
 	// accumulated simulated device busy time.
 	QueuedNow int     `json:"queuedNow"`
 	SimBusyUS float64 `json:"simBusyUS"`
+	// QueueWait summarises per-read time spent queued before dispatch;
+	// Service summarises per-dispatch simulated device time (its count is
+	// Batches, not DeviceReads). Both in microseconds.
+	QueueWait metrics.Snapshot `json:"queueWaitUS"`
+	Service   metrics.Snapshot `json:"serviceUS"`
 }
 
 func renderIOSchedStats(store *core.Store) ioschedStats {
@@ -384,6 +487,8 @@ func renderIOSchedStats(store *core.Store) ioschedStats {
 		CoalescedLate:        st.CoalescedLate,
 		QueuedNow:            st.QueuedNow,
 		SimBusyUS:            st.SimBusyUS,
+		QueueWait:            st.QueueWait,
+		Service:              st.Service,
 	}
 }
 
@@ -455,12 +560,15 @@ func renderAdaptationStats(st core.AdaptationStats) adaptationStats {
 	return out
 }
 
-// serverStats reports the HTTP layer's own counters.
+// serverStats reports the HTTP layer's own counters. Serialize is the
+// response-encoding stage of the serving handlers (lookup/batch/request),
+// in microseconds.
 type serverStats struct {
-	Requests int64            `json:"requests"`
-	Errors   int64            `json:"errors"`
-	InFlight int64            `json:"inFlight"`
-	Latency  metrics.Snapshot `json:"latencyUS"`
+	Requests  int64            `json:"requests"`
+	Errors    int64            `json:"errors"`
+	InFlight  int64            `json:"inFlight"`
+	Latency   metrics.Snapshot `json:"latencyUS"`
+	Serialize metrics.Snapshot `json:"serializeUS"`
 }
 
 type deviceStats struct {
@@ -531,10 +639,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IOSched: renderIOSchedStats(store),
 		Wire:    s.renderWireStats(),
 		Server: serverStats{
-			Requests: s.requests.Value(),
-			Errors:   s.errors.Value(),
-			InFlight: s.inflight.Value(),
-			Latency:  s.latency.Snapshot(),
+			Requests:  s.requests.Value(),
+			Errors:    s.errors.Value(),
+			InFlight:  s.inflight.Value(),
+			Latency:   s.latency.Snapshot(),
+			Serialize: s.serialize.Snapshot(),
 		},
 		Store: storeStats{
 			ReadOnly:    store.ReadOnly(),

@@ -68,13 +68,16 @@ func (b wireBackend) UpdateRaw(table string, id uint32, raw []byte) error {
 }
 
 // wireStats is the JSON rendering of the wire listener's counters under
-// "wire" in /v1/stats. Enabled is false until ServeWire is called.
+// "wire" in /v1/stats. Enabled is false until ServeWire is called. Ops holds
+// the per-opcode breakdown (requests, error frames, handle latency) for each
+// opcode the listener has seen.
 type wireStats struct {
-	Enabled     bool  `json:"enabled"`
-	ConnsTotal  int64 `json:"connsTotal"`
-	ConnsActive int64 `json:"connsActive"`
-	Requests    int64 `json:"requests"`
-	Errors      int64 `json:"errors"`
+	Enabled     bool                    `json:"enabled"`
+	ConnsTotal  int64                   `json:"connsTotal"`
+	ConnsActive int64                   `json:"connsActive"`
+	Requests    int64                   `json:"requests"`
+	Errors      int64                   `json:"errors"`
+	Ops         map[string]wire.OpStats `json:"ops,omitempty"`
 }
 
 func (s *Server) renderWireStats() wireStats {
@@ -85,5 +88,6 @@ func (s *Server) renderWireStats() wireStats {
 		ConnsActive: st.ConnsActive,
 		Requests:    st.Requests,
 		Errors:      st.Errors,
+		Ops:         st.Ops,
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"bandana/internal/metrics"
 )
 
 // Backend serves bwp requests. Implementations return raw fp16 vector bytes
@@ -29,6 +32,51 @@ type ServerStats struct {
 	ConnsActive int64 `json:"conns_active"`
 	Requests    int64 `json:"requests"`
 	Errors      int64 `json:"errors"` // error frames sent
+	// Ops breaks requests down by opcode; only opcodes that have been seen
+	// appear. Latency covers the full handle time of one request frame
+	// (parse, backend call, response encode) in microseconds.
+	Ops map[string]OpStats `json:"ops,omitempty"`
+}
+
+// OpStats are the per-opcode counters inside ServerStats.
+type OpStats struct {
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"` // error frames sent for this opcode
+	Latency  metrics.Snapshot `json:"latency"`
+}
+
+// Opcode dispatch indexes for per-opcode metrics. Unknown opcodes share the
+// "other" slot so a misbehaving client cannot grow the metric set unboundedly.
+const (
+	opIdxLookup = iota
+	opIdxUpdate
+	opIdxPing
+	opIdxOther
+	opIdxCount
+)
+
+// OpNames maps the per-opcode metric slots to their wire names, in slot
+// order. Exposed so metric renderers label series consistently.
+var OpNames = [opIdxCount]string{"lookup", "update", "ping", "other"}
+
+func opIndex(op uint8) int {
+	switch op {
+	case OpLookup:
+		return opIdxLookup
+	case OpUpdate:
+		return opIdxUpdate
+	case OpPing:
+		return opIdxPing
+	}
+	return opIdxOther
+}
+
+// opMetrics are one opcode's counters. The latency histogram is lock-free,
+// so the multiplexed handler goroutines record without coordination.
+type opMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  *metrics.Histogram
 }
 
 // Server accepts bwp/1 connections and dispatches frames to a Backend.
@@ -44,16 +92,47 @@ type Server struct {
 	connsActive atomic.Int64
 	requests    atomic.Int64
 	errorFrames atomic.Int64
+
+	// Per-opcode metrics are built lazily because Server is constructed as a
+	// zero value (&Server{Backend: ...}); opsOnce gives every goroutine a
+	// happens-before edge to the histogram allocations.
+	opsOnce sync.Once
+	ops     *[opIdxCount]opMetrics
+}
+
+// opsTable returns the per-opcode metric slots, building them on first use.
+func (s *Server) opsTable() *[opIdxCount]opMetrics {
+	s.opsOnce.Do(func() {
+		arr := new([opIdxCount]opMetrics)
+		for i := range arr {
+			arr[i].latency = metrics.NewLatencyHistogram()
+		}
+		s.ops = arr
+	})
+	return s.ops
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		ConnsTotal:  s.connsTotal.Load(),
 		ConnsActive: s.connsActive.Load(),
 		Requests:    s.requests.Load(),
 		Errors:      s.errorFrames.Load(),
 	}
+	ops := s.opsTable()
+	for i := range ops {
+		om := &ops[i]
+		req, errs := om.requests.Load(), om.errors.Load()
+		if req == 0 && errs == 0 {
+			continue
+		}
+		if st.Ops == nil {
+			st.Ops = make(map[string]OpStats, opIdxCount)
+		}
+		st.Ops[OpNames[i]] = OpStats{Requests: req, Errors: errs, Latency: om.latency.Snapshot()}
+	}
+	return st
 }
 
 func (s *Server) maxBatch() int {
@@ -157,8 +236,25 @@ func (s *Server) readLoop(conn net.Conn, out chan<- []byte, handlers *sync.WaitG
 	}
 }
 
-// handle services one request frame and queues the response.
+// handle services one request frame and queues the response, recording the
+// opcode's request count, error count, and full handle latency (parse +
+// backend call + response encode).
 func (s *Server) handle(h Header, payload []byte, out chan<- []byte) {
+	om := &s.opsTable()[opIndex(h.Opcode)]
+	om.requests.Add(1)
+	start := time.Now()
+	defer func() {
+		om.latency.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	}()
+	fail := func(code uint16, msg string) {
+		om.errors.Add(1)
+		s.sendError(out, h.ReqID, h.Flags&FlagCRC != 0, code, msg)
+	}
+	failBackend := func(err error) {
+		om.errors.Add(1)
+		s.sendBackendError(out, h.ReqID, h.Flags&FlagCRC != 0, err)
+	}
+
 	withCRC := h.Flags&FlagCRC != 0
 	resp := Header{Opcode: h.Opcode, ReqID: h.ReqID}
 	if withCRC {
@@ -168,16 +264,16 @@ func (s *Server) handle(h Header, payload []byte, out chan<- []byte) {
 	case OpLookup:
 		table, ids, err := parseLookupRequest(payload)
 		if err != nil {
-			s.sendError(out, h.ReqID, withCRC, CodeBadRequest, err.Error())
+			fail(CodeBadRequest, err.Error())
 			return
 		}
 		if len(ids) > s.maxBatch() {
-			s.sendError(out, h.ReqID, withCRC, CodeTooLarge, "batch exceeds server limit")
+			fail(CodeTooLarge, "batch exceeds server limit")
 			return
 		}
 		dim, vecs, err := s.Backend.LookupBatchRaw(table, ids)
 		if err != nil {
-			s.sendBackendError(out, h.ReqID, withCRC, err)
+			failBackend(err)
 			return
 		}
 		pay := appendLookupResponse(make([]byte, 0, lookupResponseHeaderLen+len(vecs)*dim*2), dim, vecs)
@@ -185,18 +281,18 @@ func (s *Server) handle(h Header, payload []byte, out chan<- []byte) {
 	case OpUpdate:
 		table, id, raw, err := parseUpdateRequest(payload)
 		if err != nil {
-			s.sendError(out, h.ReqID, withCRC, CodeBadRequest, err.Error())
+			fail(CodeBadRequest, err.Error())
 			return
 		}
 		if err := s.Backend.UpdateRaw(table, id, raw); err != nil {
-			s.sendBackendError(out, h.ReqID, withCRC, err)
+			failBackend(err)
 			return
 		}
 		out <- appendFrame(nil, resp, nil)
 	case OpPing:
 		out <- appendFrame(nil, resp, nil)
 	default:
-		s.sendError(out, h.ReqID, withCRC, CodeBadRequest, "unknown opcode")
+		fail(CodeBadRequest, "unknown opcode")
 	}
 }
 

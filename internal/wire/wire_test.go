@@ -174,6 +174,41 @@ func TestRoundTrip(t *testing.T) {
 			if st.Requests == 0 || st.ConnsTotal != 1 {
 				t.Fatalf("stats not counting: %+v", st)
 			}
+			// Per-opcode breakdown: 1 ping, 4 lookups, 1 update, no errors,
+			// and every counted request has a latency observation.
+			if got := st.Ops["ping"].Requests; got != 1 {
+				t.Fatalf("ping requests = %d, want 1: %+v", got, st.Ops)
+			}
+			if got := st.Ops["lookup"].Requests; got != 4 {
+				t.Fatalf("lookup requests = %d, want 4: %+v", got, st.Ops)
+			}
+			if got := st.Ops["update"].Requests; got != 1 {
+				t.Fatalf("update requests = %d, want 1: %+v", got, st.Ops)
+			}
+			for op, os := range st.Ops {
+				if os.Errors != 0 {
+					t.Fatalf("%s errors = %d, want 0", op, os.Errors)
+				}
+			}
+			// Latency is observed after the response frame is queued, so it
+			// can trail the response by a beat: poll until it catches up.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				lagging := false
+				st = srv.Stats()
+				for op, os := range st.Ops {
+					if os.Latency.Count != os.Requests {
+						if time.Now().After(deadline) {
+							t.Fatalf("%s latency count = %d, requests = %d", op, os.Latency.Count, os.Requests)
+						}
+						lagging = true
+					}
+				}
+				if !lagging {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 		})
 	}
 }
