@@ -139,6 +139,18 @@ const (
 	BackendFile = core.BackendFile
 )
 
+// Cache engine selection for Config.CacheEngine. Both engines implement
+// identical caching semantics (hit ratios and eviction sequences do not
+// change with this switch); they differ in memory representation.
+const (
+	// CacheEngineLRU is the classic per-entry heap representation with
+	// stable zero-alloc float views.
+	CacheEngineLRU = core.CacheEngineLRU
+	// CacheEngineArena (the default) stores fp16 payloads in pointer-free
+	// slab arenas: ~2.5x less heap per cached vector and no GC scan cost.
+	CacheEngineArena = core.CacheEngineArena
+)
+
 // SyncMode selects the file backend's durability mode (Config.Sync).
 type SyncMode = nvm.SyncMode
 

@@ -32,6 +32,13 @@ type servePoint struct {
 	P90BatchLatencyUS  float64 `json:"p90BatchLatencyUS"`
 	P99BatchLatencyUS  float64 `json:"p99BatchLatencyUS"`
 	P999BatchLatencyUS float64 `json:"p999BatchLatencyUS"`
+	// AllocsPerOp is process-wide heap allocations per batch over the
+	// measurement window (clients + server side for the loopback
+	// transports).
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// GCPauseP99US is the p99 GC stop-the-world pause observed during the
+	// measurement window; 0 when no GC cycle ran.
+	GCPauseP99US float64 `json:"gcPauseP99US"`
 }
 
 // serveSweepResult is the --mode serve-sweep section of the JSON artifact.
@@ -250,6 +257,8 @@ func measureServePoint(fn func([]uint32) ([][]float32, error), batch, requests, 
 	latencies := make([]float64, 0, total)
 	var firstErr error
 	var wg sync.WaitGroup
+	pauses0 := readGCPauses()
+	mallocs0 := readMallocs()
 	start := time.Now()
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
@@ -284,6 +293,8 @@ func measureServePoint(fn func([]uint32) ([][]float32, error), batch, requests, 
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	mallocs1 := readMallocs()
+	pauses1 := readGCPauses()
 	if firstErr != nil {
 		return servePoint{}, firstErr
 	}
@@ -297,6 +308,8 @@ func measureServePoint(fn func([]uint32) ([][]float32, error), batch, requests, 
 		Batch:         batch,
 		Requests:      total,
 		VectorsPerSec: float64(total*batch) / elapsed.Seconds(),
+		AllocsPerOp:   float64(mallocs1-mallocs0) / float64(total),
+		GCPauseP99US:  gcPauseP99US(pauses0, pauses1),
 	}
 	if len(latencies) > 0 {
 		p.MeanBatchLatencyUS = sum / float64(len(latencies))

@@ -21,15 +21,21 @@ import (
 //
 // Golden values (seed 1, scale 0.001): baseline 0.54/0.48, trained
 // 0.58/0.49.
+//
+// The matrix crosses backends with both cache engines: the engines promise
+// identical hit/miss/eviction behaviour (Config.CacheEngine is a pure
+// representation switch), so the goldens must hold bit-for-bit on each.
 func TestGoldenQuickstartHitRatios(t *testing.T) {
 	for _, backend := range []string{bandana.BackendMem, bandana.BackendFile} {
-		t.Run(backend, func(t *testing.T) {
-			runGoldenQuickstart(t, backend)
-		})
+		for _, engine := range []string{bandana.CacheEngineLRU, bandana.CacheEngineArena} {
+			t.Run(backend+"/"+engine, func(t *testing.T) {
+				runGoldenQuickstart(t, backend, engine)
+			})
+		}
 	}
 }
 
-func runGoldenQuickstart(t *testing.T, backend string) {
+func runGoldenQuickstart(t *testing.T, backend, engine string) {
 	profiles := bandana.DefaultProfiles(0.001)[:2]
 	workload := bandana.GenerateWorkload(profiles, 1200)
 	tables := make([]*bandana.Table, len(profiles))
@@ -43,7 +49,7 @@ func runGoldenQuickstart(t *testing.T, backend string) {
 		})
 		tables[i] = g.Table
 	}
-	cfg := bandana.Config{Tables: tables, DRAMBudgetVectors: 1200, Seed: 1}
+	cfg := bandana.Config{Tables: tables, DRAMBudgetVectors: 1200, Seed: 1, CacheEngine: engine}
 	if backend == bandana.BackendFile {
 		cfg.Backend = bandana.BackendFile
 		cfg.DataDir = filepath.Join(t.TempDir(), "store")

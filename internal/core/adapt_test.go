@@ -294,10 +294,13 @@ func TestAdaptationResizeKeepsWorkingSet(t *testing.T) {
 // TestLookupHitZeroAllocWithRecorder pins the serving-path cost of
 // recording: a cache-hit Lookup must stay allocation-free while the
 // adaptation recorder is installed (Record1 keeps the one-ID buffer on the
-// stack).
+// stack). Pinned on the LRU engine, whose float hits return a shared slice;
+// the arena engine decodes a fresh vector per float hit by design (its
+// zero-alloc contract covers the raw path and is pinned in internal/vcache's
+// TestHitPathZeroAlloc).
 func TestLookupHitZeroAllocWithRecorder(t *testing.T) {
 	tables, _ := buildTestTables(t, 1, 1024, 10)
-	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1})
+	s, err := Open(Config{Tables: tables, DRAMBudgetVectors: 256, Seed: 1, CacheEngine: CacheEngineLRU})
 	if err != nil {
 		t.Fatal(err)
 	}

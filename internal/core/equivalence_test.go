@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bandana/internal/fp16"
+)
+
+// TestCacheEngineEquivalence drives two identically configured stores — one
+// per cache engine — through the same trained workload and asserts they are
+// observationally identical: every lookup returns bitwise-equal vectors, raw
+// lookups return decode-identical bytes, and the serving counters (hits,
+// misses, block reads, prefetch accounting) match exactly. This is the
+// contract that makes Config.CacheEngine a pure representation switch.
+func TestCacheEngineEquivalence(t *testing.T) {
+	const (
+		numTables = 2
+		vectors   = 2048
+		queries   = 400
+	)
+	open := func(engine string) (*Store, [][]uint32) {
+		// buildTestTables is deterministic (fixed seeds), so both stores get
+		// identical tables and training traces, hence identical layouts,
+		// thresholds and admission policies after Train.
+		tables, traces := buildTestTables(t, numTables, vectors, 400)
+		s, err := Open(Config{
+			Tables:            tables,
+			DRAMBudgetVectors: 256,
+			Seed:              7,
+			CacheShards:       4,
+			CacheEngine:       engine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Train(traces, TrainOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		// A deterministic serving stream, shared by both stores.
+		serveRng := rand.New(rand.NewSource(99))
+		serve := make([][]uint32, queries)
+		for i := range serve {
+			n := 1 + serveRng.Intn(8)
+			ids := make([]uint32, n)
+			for j := range ids {
+				ids[j] = uint32(serveRng.Intn(vectors) % (1 + serveRng.Intn(vectors)))
+			}
+			serve[i] = ids
+		}
+		return s, serve
+	}
+
+	lruStore, stream := open(CacheEngineLRU)
+	defer lruStore.Close()
+	arenaStore, _ := open(CacheEngineArena)
+	defer arenaStore.Close()
+
+	for qi, ids := range stream {
+		ti := qi % numTables
+		switch qi % 3 {
+		case 0: // single lookups
+			for _, id := range ids {
+				a, err := lruStore.Lookup(ti, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := arenaStore.Lookup(ti, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := equalVecs(a, b); err != nil {
+					t.Fatalf("query %d id %d: %v", qi, id, err)
+				}
+			}
+		case 1: // float batch
+			a, err := lruStore.LookupBatch(ti, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := arenaStore.LookupBatch(ti, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a {
+				if err := equalVecs(a[i], b[i]); err != nil {
+					t.Fatalf("query %d pos %d: %v", qi, i, err)
+				}
+			}
+		case 2: // raw batch: decode-identical bytes
+			a, err := lruStore.LookupBatchRaw(ti, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := arenaStore.LookupBatchRaw(ti, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a {
+				av := decodeRaw(t, a[i])
+				bv := decodeRaw(t, b[i])
+				if err := equalVecs(av, bv); err != nil {
+					t.Fatalf("query %d pos %d (raw): %v", qi, i, err)
+				}
+			}
+		}
+	}
+
+	as, bs := lruStore.Stats(), arenaStore.Stats()
+	for i := range as {
+		a, b := as[i], bs[i]
+		if a.Lookups != b.Lookups || a.Hits != b.Hits || a.Misses != b.Misses ||
+			a.BlockReads != b.BlockReads || a.PrefetchAdds != b.PrefetchAdds ||
+			a.PrefetchHits != b.PrefetchHits || a.CacheUsed != b.CacheUsed {
+			t.Fatalf("table %d counters diverge:\n lru:   %+v\n arena: %+v", i, summarize(a), summarize(b))
+		}
+		if a.CacheEngine != CacheEngineLRU || b.CacheEngine != CacheEngineArena {
+			t.Fatalf("engines misreported: %q / %q", a.CacheEngine, b.CacheEngine)
+		}
+		if b.CacheUsed > 0 {
+			if b.CacheBytesResident <= 0 || b.CacheArenaBytes < b.CacheBytesResident || b.CacheSlabs == 0 {
+				t.Fatalf("arena byte accounting inconsistent: %+v", summarize(b))
+			}
+		}
+	}
+
+	// Live resize equivalence: shrink and regrow both stores identically and
+	// confirm contents still agree.
+	for _, s := range []*Store{lruStore, arenaStore} {
+		for ti := 0; ti < numTables; ti++ {
+			s.tables[ti].resizeCacheLive(32)
+			s.tables[ti].resizeCacheLive(128)
+		}
+	}
+	if lru, arena := lruStore.Stats(), arenaStore.Stats(); true {
+		for i := range lru {
+			if lru[i].CacheUsed != arena[i].CacheUsed {
+				t.Fatalf("table %d: post-resize CacheUsed %d vs %d", i, lru[i].CacheUsed, arena[i].CacheUsed)
+			}
+		}
+	}
+}
+
+func equalVecs(a, b []float32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("element %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func decodeRaw(t *testing.T, raw []byte) []float32 {
+	t.Helper()
+	if raw == nil {
+		t.Fatal("nil raw vector")
+	}
+	out := make([]float32, len(raw)/fp16.ByteSize)
+	fp16.DecodeSlice(out, raw)
+	return out
+}
+
+func summarize(s TableStats) string {
+	return fmt.Sprintf("lookups=%d hits=%d misses=%d blockReads=%d prefetchAdds=%d prefetchHits=%d cacheUsed=%d bytesResident=%d arenaBytes=%d slabs=%d",
+		s.Lookups, s.Hits, s.Misses, s.BlockReads, s.PrefetchAdds, s.PrefetchHits, s.CacheUsed, s.CacheBytesResident, s.CacheArenaBytes, s.CacheSlabs)
+}

@@ -8,7 +8,6 @@ import (
 
 	"bandana/internal/fp16"
 	"bandana/internal/iosched"
-	"bandana/internal/lru"
 	"bandana/internal/nvm"
 	"bandana/internal/table"
 )
@@ -66,7 +65,7 @@ func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
 		return nil, err
 	}
 	out := make([][]float32, len(ids))
-	if err := st.serveBatch(s.device, ids, out, nil, nil); err != nil {
+	if err := st.serveBatch(s.device, ids, out, nil, nil, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -74,24 +73,70 @@ func (s *Store) LookupBatch(tableIdx int, ids []uint32) ([][]float32, error) {
 
 // LookupBatchRaw is LookupBatch without the decode: each returned slice is
 // the vector's fp16 encoding, handed straight off the cached copy or the
-// block image — the zero-copy read path of the binary wire protocol. It
+// block image — the zero-decode read path of the binary wire protocol. It
 // runs the full serving machinery (counters, admission, prefetch, cache
 // fill), so a raw lookup warms the cache for float lookups and vice versa.
-// Returned slices are read-only views with Lookup's lifetime contract.
+// Returned slices are owned by the caller when the store runs the arena
+// cache engine (copied out of the arenas before return) and are read-only
+// views with Lookup's lifetime contract under the LRU engine; servers on
+// the hot path use LookupBatchRawLeased to skip the copy.
 //
-// Raw views are the canonical fp16 encoding of the served value: NaN
-// payloads come back quieted, exactly as the float path would re-encode
-// them; every other bit pattern is byte-identical to the block image.
+// Raw bytes are a valid fp16 encoding of the served value, decode-identical
+// to the block image; under the LRU engine a hit on a float-cached entry is
+// re-encoded, which quiets NaN payloads.
 func (s *Store) LookupBatchRaw(tableIdx int, ids []uint32) ([][]byte, error) {
-	st, err := s.tableAt(tableIdx)
+	out, release, err := s.LookupBatchRawLeased(tableIdx, ids)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]byte, len(ids))
-	if err := st.serveBatch(s.device, ids, nil, out, nil); err != nil {
-		return nil, err
+	st := s.tables[tableIdx]
+	if !st.loadState().cache.StableViews() {
+		copyRawViews(out)
 	}
+	release()
 	return out, nil
+}
+
+// LookupBatchRawLeased is LookupBatchRaw returning arena views directly:
+// zero copies on the wire protocol's read path. The returned slices are
+// valid until release is called, which the caller must do exactly once,
+// after it has finished reading (or serializing) them. release is non-nil
+// iff err is nil.
+func (s *Store) LookupBatchRawLeased(tableIdx int, ids []uint32) ([][]byte, func(), error) {
+	st, err := s.tableAt(tableIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]byte, len(ids))
+	var release func()
+	if err := st.serveBatch(s.device, ids, nil, out, nil, &release); err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, nil, err
+	}
+	return out, release, nil
+}
+
+// copyRawViews rewrites every view in out into one freshly allocated buffer,
+// so the results survive the lease release.
+func copyRawViews(out [][]byte) {
+	n := 0
+	for _, v := range out {
+		n += len(v)
+	}
+	if n == 0 {
+		return
+	}
+	buf := make([]byte, 0, n)
+	for i, v := range out {
+		if v == nil {
+			continue
+		}
+		off := len(buf)
+		buf = append(buf, v...)
+		out[i] = buf[off:len(buf):len(buf)]
+	}
 }
 
 // LookupBatchRawByName is LookupBatchRaw with a table name.
@@ -187,16 +232,8 @@ func (s *Store) UpdateVectorRaw(tableIdx int, id uint32, raw []byte) error {
 // updating counters. It returns the cached vector or nil on a miss. h is
 // hashID(id), shared between shard routing and counter striping.
 func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
-	var out []float32
-	var wasPrefetch bool
-	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-		if e, ok := c.Get(id); ok {
-			out = e.vec
-			wasPrefetch = e.prefetched
-			e.prefetched = false
-		}
-	})
-	if out == nil {
+	out, wasPrefetch, ok := ts.cache.GetFloat(id)
+	if !ok {
 		return nil
 	}
 	st.hits.Inc(h)
@@ -207,23 +244,13 @@ func (st *storeTable) cacheGet(ts *tableState, id uint32, h uint64) []float32 {
 }
 
 // cacheGetRaw is cacheGet for the raw-fp16 read path: it returns the
-// entry's fp16 view, re-encoding the decoded vector once (under the shard
-// lock) if the entry was cached by the float path and has never been served
-// raw before.
+// entry's fp16 view. Under the arena engine the view points into a slab and
+// is only valid while the operation's lease is held; the LRU engine's views
+// are stable heap slices (re-encoded once, lazily, on the first raw hit of
+// a float-cached entry).
 func (st *storeTable) cacheGetRaw(ts *tableState, id uint32, h uint64) []byte {
-	var out []byte
-	var wasPrefetch bool
-	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-		if e, ok := c.Get(id); ok {
-			if e.raw == nil {
-				e.raw = fp16.EncodeSlice(make([]byte, 0, len(e.vec)*fp16.ByteSize), e.vec)
-			}
-			out = e.raw
-			wasPrefetch = e.prefetched
-			e.prefetched = false
-		}
-	})
-	if out == nil {
+	out, wasPrefetch, ok := ts.cache.GetRaw(id)
+	if !ok {
 		return nil
 	}
 	st.hits.Inc(h)
@@ -233,34 +260,25 @@ func (st *storeTable) cacheGetRaw(ts *tableState, id uint32, h uint64) []byte {
 	return out
 }
 
-// cacheInsert caches a decoded vector at queue position pos unless the table
-// was rewritten since epoch was read (in which case the decode may be
-// stale). Requested vectors pass pos 0 and prefetched=false; admitted
-// prefetches carry the policy's position. raw optionally carries the
-// vector's fp16 encoding (a raw miss has it at hand); nil leaves the raw
-// view to be built lazily on the first raw hit.
-func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, raw []byte, pos float64, prefetched bool, epoch uint64) bool {
-	inserted := false
-	ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-		if st.epoch.Load() != epoch {
-			return
-		}
-		if prefetched && c.Contains(id) {
-			// A concurrent lookup already cached this vector as a
-			// requested one; do not demote it to a prefetch.
-			return
-		}
-		c.AddAt(id, &cachedVec{vec: vec, raw: raw, prefetched: prefetched}, pos)
-		inserted = true
-	})
-	return inserted
+// cacheInsert caches a vector at queue position pos unless the table was
+// mutated since epoch was read from st.epoch (in which case the bytes may be
+// stale — the engine checks under the shard lock). Requested vectors pass
+// pos 0 and prefetched=false; admitted prefetches carry the policy's
+// position. raw is the vector's fp16 encoding (every call site has it at
+// hand); rawOwned reports that the bytes are immutable and heap-stable
+// rather than a view of a recycled block buffer. vec may be nil when the
+// engine does not need the decode (see tableCache.NeedsDecoded).
+func (st *storeTable) cacheInsert(ts *tableState, id uint32, vec []float32, raw []byte, rawOwned bool, pos float64, prefetched bool, epoch uint64) bool {
+	return ts.cache.Insert(id, vec, raw, rawOwned, pos, prefetched, &st.epoch, epoch)
 }
 
 // admitBlock offers every not-yet-cached vector of the freshly read block to
-// the admission policy, decoding and caching the ones it admits. requested
-// reports IDs that were explicitly asked for in this operation (they are
-// cached separately and must not be double-counted as prefetches).
+// the admission policy, caching the ones it admits (decoding them only when
+// the engine stores decoded vectors). requested reports IDs that were
+// explicitly asked for in this operation (they are cached separately and
+// must not be double-counted as prefetches).
 func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, members []uint32, requested func(uint32) bool) {
+	needDec := ts.cache.NeedsDecoded()
 	for mslot, other := range members {
 		if requested(other) || ts.cache.Contains(other) {
 			continue
@@ -275,9 +293,13 @@ func (st *storeTable) admitBlock(ts *tableState, buf []byte, epoch uint64, membe
 		if !admit {
 			continue
 		}
-		dec := make([]float32, st.dim)
-		fp16.DecodeSlice(dec, buf[mslot*st.vecBytes:(mslot+1)*st.vecBytes])
-		if st.cacheInsert(ts, other, dec, nil, pos, true, epoch) {
+		raw := buf[mslot*st.vecBytes : (mslot+1)*st.vecBytes]
+		var dec []float32
+		if needDec {
+			dec = make([]float32, st.dim)
+			fp16.DecodeSlice(dec, raw)
+		}
+		if st.cacheInsert(ts, other, dec, raw, false, pos, true, epoch) {
 			st.prefetchAdds.Inc(hashID(other))
 		}
 	}
@@ -452,7 +474,7 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32, tr *StageTrace) ([]f
 			dec := make([]float32, st.dim)
 			fp16.DecodeSlice(dec, raw)
 			st.observeDecode(decStart, tr)
-			st.cacheInsert(ts, id, dec, raw, 0, false, epoch)
+			st.cacheInsert(ts, id, dec, raw, true, 0, false, epoch)
 			return dec, nil
 		}
 	}
@@ -484,13 +506,7 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32, tr *StageTrace) ([]f
 		// device read, one decode, fan-out to all waiters). Counters are
 		// final at this point — the lookup was already classified a miss.
 		st.coalescedReads.Inc(h)
-		var got []float32
-		ts.cache.Do(id, func(c *lru.Cache[uint32, *cachedVec]) {
-			if e, ok := c.Get(id); ok && !e.prefetched {
-				got = e.vec
-			}
-		})
-		if got != nil {
+		if got, served := ts.cache.GetRequested(id); served {
 			st.observeMissIO(lat, wait, tr)
 			return got, nil
 		}
@@ -522,10 +538,11 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32, tr *StageTrace) ([]f
 	// same immutable slice.
 	decStart := time.Now()
 	slot := ts.layout.SlotOf(id)
+	rawSlot := buf[slot*st.vecBytes : (slot+1)*st.vecBytes]
 	want := make([]float32, st.dim)
-	fp16.DecodeSlice(want, buf[slot*st.vecBytes:(slot+1)*st.vecBytes])
+	fp16.DecodeSlice(want, rawSlot)
 	st.observeDecode(decStart, tr)
-	st.cacheInsert(ts, id, want, nil, 0, false, epoch)
+	st.cacheInsert(ts, id, want, rawSlot, false, 0, false, epoch)
 
 	// Prefetch co-located vectors that pass the admission policy.
 	if ts.prefetch && ts.policy != nil {
@@ -542,7 +559,15 @@ func (st *storeTable) lookup(device *nvm.Device, id uint32, tr *StageTrace) ([]f
 // serving machinery — counters, dedupe, admission, prefetch, cache fill —
 // and differ only in what they hand back. tr, when non-nil, accumulates the
 // per-stage latency breakdown.
-func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float32, outRaw [][]byte, tr *StageTrace) error {
+//
+// Raw mode hands out cache views whose lifetime may be bounded by a lease
+// (the arena engine's slab views; see tableCache.StableViews): release must
+// be non-nil in raw mode, and serveBatch stores the operation's lease
+// release into it — even when it fails — which the caller must invoke once
+// it no longer reads the returned views. Only pass-1 cache hits hand out
+// leased views (overlay bytes are heap-stable and pass-2 block decodes are
+// fresh copies), so the single lease taken before pass 1 covers everything.
+func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float32, outRaw [][]byte, tr *StageTrace, release *func()) error {
 	for _, id := range ids {
 		if int(id) >= st.src.NumVectors() {
 			return fmt.Errorf("core: table %q: %w: %d", st.name, table.ErrBadVector, id)
@@ -564,6 +589,13 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 		}
 	}
 	ts := st.loadState()
+	if outRaw != nil {
+		// Lease the cache for the raw views handed out below. Pass 2 may
+		// reload the state snapshot, but a swapped-in cache never contributes
+		// views to this operation's output (pass 2 only inserts), so leasing
+		// the pass-1 cache is sufficient.
+		*release = ts.cache.Lease()
+	}
 	// One batch is one co-access set ("query" in the paper's terms): record
 	// it whole so the adaptation engine sees the hypergraph SHP needs, not
 	// just a flat ID stream.
@@ -681,7 +713,7 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 				} else {
 					out[i] = dec
 				}
-				st.cacheInsert(ts, id, dec, raw, 0, false, epoch)
+				st.cacheInsert(ts, id, dec, raw, true, 0, false, epoch)
 				continue
 			}
 		}
@@ -703,6 +735,7 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 	st.rewriteMu.RLock()
 	defer st.rewriteMu.RUnlock()
 	ts = st.loadState()
+	needDec := ts.cache.NeedsDecoded()
 	missesByBlock := make(map[int][]missRef)
 	for _, ref := range missed {
 		block := ts.layout.BlockOf(ref.id)
@@ -778,22 +811,25 @@ func (st *storeTable) serveBatch(device *nvm.Device, ids []uint32, out [][]float
 			}
 			slot := ts.layout.SlotOf(ref.id)
 			rawSlot := buf[slot*st.vecBytes : (slot+1)*st.vecBytes]
-			// The cache entry always carries the decoded vector (float
-			// lookups must be able to hit it); a raw request additionally
-			// copies the fp16 bytes straight off the block image — no
-			// decode-encode round trip on what it returns.
-			decStart := time.Now()
-			dec := make([]float32, st.dim)
-			fp16.DecodeSlice(dec, rawSlot)
-			st.observeDecode(decStart, tr)
-			var rawCopy []byte
+			// A raw request copies the fp16 bytes straight off the block
+			// image — no decode-encode round trip on what it returns. The
+			// decode is skipped entirely when neither the caller (raw mode)
+			// nor the engine (fp16 arenas) needs it.
+			var dec []float32
+			if outRaw == nil || needDec {
+				decStart := time.Now()
+				dec = make([]float32, st.dim)
+				fp16.DecodeSlice(dec, rawSlot)
+				st.observeDecode(decStart, tr)
+			}
 			if outRaw != nil {
-				rawCopy = append(make([]byte, 0, st.vecBytes), rawSlot...)
+				rawCopy := append(make([]byte, 0, st.vecBytes), rawSlot...)
 				outRaw[ref.pos] = rawCopy
+				st.cacheInsert(ts, ref.id, dec, rawCopy, true, 0, false, epoch)
 			} else {
 				out[ref.pos] = dec
+				st.cacheInsert(ts, ref.id, dec, rawSlot, false, 0, false, epoch)
 			}
-			st.cacheInsert(ts, ref.id, dec, rawCopy, 0, false, epoch)
 			requested[ref.id] = struct{}{}
 		}
 		if ts.prefetch && ts.policy != nil {

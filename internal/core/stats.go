@@ -28,8 +28,18 @@ type TableStats struct {
 	CacheVectors   int
 	CacheUsed      int
 	CacheShards    int
-	Threshold      uint32
-	Prefetching    bool
+	// CacheEngine names the cache representation serving this table (see
+	// Config.CacheEngine); the fields below are its byte accounting. The
+	// arena engine reports exact resident fp16 payload bytes, allocated slab
+	// bytes and their ratio; the LRU engine reports decoded payload bytes
+	// with no arenas (ArenaBytes and Slabs stay 0).
+	CacheEngine           string
+	CacheBytesResident    int64
+	CacheArenaBytes       int64
+	CacheArenaUtilization float64
+	CacheSlabs            int
+	Threshold             uint32
+	Prefetching           bool
 	// Policy names the admission policy currently serving prefetches
 	// (empty when prefetching is off).
 	Policy string
@@ -77,6 +87,12 @@ func (s *Store) Stats() []TableStats {
 			QueueWaitLatency: st.queueWaitLatency.Snapshot(),
 			DecodeLatency:    st.decodeLatency.Snapshot(),
 		}
+		es := state.cache.EngineStats()
+		ts.CacheEngine = es.Engine
+		ts.CacheBytesResident = es.BytesResident
+		ts.CacheArenaBytes = es.ArenaBytes
+		ts.CacheArenaUtilization = es.ArenaUtilization
+		ts.CacheSlabs = es.Slabs
 		if st.overlay != nil {
 			ts.OverlayEntries = st.overlay.size()
 		}

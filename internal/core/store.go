@@ -136,7 +136,7 @@ type tableState struct {
 	threshold uint32   // prefetch admission threshold (counts must exceed it)
 	prefetch  bool     // whether prefetching is enabled (set by Train)
 	policy    cache.AdmissionPolicy
-	cache     *vecCache
+	cache     tableCache
 	cacheCap  int
 }
 
@@ -152,6 +152,7 @@ type storeTable struct {
 	blockBase    int // first device block of this table
 	numBlocks    int
 	shards       int
+	engine       string // canonical cache engine name (see cacheengine.go)
 
 	// state is the published trained state; the serving path loads it once
 	// per operation. stateMu serializes mutators (Train, LoadState,
@@ -318,6 +319,10 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 	if shards <= 0 {
 		shards = DefaultCacheShards()
 	}
+	engine, err := normalizeCacheEngine(cfg.CacheEngine)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &Store{
 		device:     device,
@@ -369,6 +374,7 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 			blockBase:        spans[i].base,
 			numBlocks:        spans[i].blocks,
 			shards:           shards,
+			engine:           engine,
 			lookups:          metrics.NewStripedCounter(counterStripes),
 			hits:             metrics.NewStripedCounter(counterStripes),
 			deltaHits:        metrics.NewStripedCounter(counterStripes),
@@ -386,7 +392,7 @@ func buildStore(cfg Config, device *nvm.Device, owns bool, spans []tableSpan) (*
 		st.state.Store(&tableState{
 			layout:   layout.Identity(t.NumVectors(), spans[i].blockVectors),
 			cacheCap: perTable,
-			cache:    newVecCache(perTable, shards),
+			cache:    newTableCache(engine, perTable, shards, t.Dim),
 		})
 		if s.deltaLog != nil {
 			st.overlay = newDeltaOverlay()
@@ -495,7 +501,7 @@ func (st *storeTable) resizeCache(capacity int) {
 	}
 	st.mutateState(func(ts *tableState) {
 		ts.cacheCap = capacity
-		ts.cache = newVecCache(capacity, st.shards)
+		ts.cache = newTableCache(st.engine, capacity, st.shards, st.dim)
 	})
 }
 

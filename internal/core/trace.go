@@ -68,23 +68,32 @@ func (s *Store) LookupBatchTraced(tableIdx int, ids []uint32, tr *StageTrace) ([
 		return nil, err
 	}
 	out := make([][]float32, len(ids))
-	if err := st.serveBatch(s.device, ids, out, nil, tr); err != nil {
+	if err := st.serveBatch(s.device, ids, out, nil, tr, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // LookupBatchRawTraced is LookupBatchRaw with a per-stage latency breakdown
-// accumulated into tr (which must be non-nil).
+// accumulated into tr (which must be non-nil). Like LookupBatchRaw, the
+// returned slices are caller-owned copies under the arena engine.
 func (s *Store) LookupBatchRawTraced(tableIdx int, ids []uint32, tr *StageTrace) ([][]byte, error) {
 	st, err := s.tableAt(tableIdx)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, len(ids))
-	if err := st.serveBatch(s.device, ids, nil, out, tr); err != nil {
+	var release func()
+	if err := st.serveBatch(s.device, ids, nil, out, tr, &release); err != nil {
+		if release != nil {
+			release()
+		}
 		return nil, err
 	}
+	if !st.loadState().cache.StableViews() {
+		copyRawViews(out)
+	}
+	release()
 	return out, nil
 }
 

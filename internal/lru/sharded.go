@@ -30,11 +30,12 @@ type Sharded[K comparable, V any] struct {
 
 // lockedShard pairs one shard's cache with its lock. The padding keeps
 // neighbouring shard locks on different cache lines so uncontended shards do
-// not false-share.
+// not false-share: mutex (8) + cache pointer (8) + 48 pad = 64 bytes, one
+// full line per shard.
 type lockedShard[K comparable, V any] struct {
 	mu sync.Mutex
 	c  *Cache[K, V]
-	_  [40]byte
+	_  [48]byte
 }
 
 // NewSharded creates a sharded cache with the given total capacity. shards

@@ -28,25 +28,27 @@ func (s *Server) WireServer() *wire.Server { return s.wire }
 // wireBackend adapts the Server (with its storeRef pinning) to wire.Backend.
 type wireBackend struct{ s *Server }
 
-func (b wireBackend) LookupBatchRaw(table string, ids []uint32) (int, [][]byte, error) {
+func (b wireBackend) LookupBatchRaw(table string, ids []uint32) (int, [][]byte, func(), error) {
 	ref := b.s.acquireRef()
 	defer ref.release()
 	store := ref.store
 	idx, err := store.TableIndex(table)
 	if err != nil {
-		return 0, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+		return 0, nil, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
 	}
 	dim, err := store.TableDim(idx)
 	if err != nil {
-		return 0, nil, &wire.Error{Code: wire.CodeInternal, Msg: err.Error()}
+		return 0, nil, nil, &wire.Error{Code: wire.CodeInternal, Msg: err.Error()}
 	}
-	vecs, err := store.LookupBatchRaw(idx, ids)
+	// The leased variant hands the wire server zero-copy views into the
+	// cache arenas; the server releases after serializing the frame.
+	vecs, release, err := store.LookupBatchRawLeased(idx, ids)
 	if err != nil {
 		// Lookup failures are id-range problems: the client asked for
 		// something the table does not hold.
-		return 0, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+		return 0, nil, nil, &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
 	}
-	return dim, vecs, nil
+	return dim, vecs, release, nil
 }
 
 func (b wireBackend) UpdateRaw(table string, id uint32, raw []byte) error {

@@ -1,0 +1,30 @@
+package vcache
+
+// CheckInvariants exposes the internal consistency checker to tests.
+func (c *Cache) CheckInvariants() error { return c.checkInvariants() }
+
+// LimboLen returns the number of slots waiting out the lease grace period,
+// for reclamation tests.
+func (c *Cache) LimboLen() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.limbo) - s.limboHead
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// MintedSlots returns the total number of payload slots ever created, for
+// bounding transient overshoot in tests.
+func (c *Cache) MintedSlots() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int(s.nextSlot)
+		s.mu.Unlock()
+	}
+	return n
+}

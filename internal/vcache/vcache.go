@@ -1,0 +1,943 @@
+// Package vcache implements a pointer-free, arena-backed vector cache: the
+// DRAM tier of the store with zero heap objects per cached entry.
+//
+// The classic LRU engine (internal/lru with *cachedVec values) costs ~100+
+// bytes of pointer-bearing overhead per 128-byte fp16 vector — a map entry,
+// a heap-allocated list node, a value struct and two slice headers — and
+// every GC cycle scans all of it. At tens of millions of cached vectors that
+// scan time dominates GC pauses and steals CPU from the ~120 ns hit path.
+//
+// vcache stores the fp16 payloads themselves in large slab arenas (one slot
+// class per table, slot size = the table's vector size), indexes them with
+// an open-addressing hash table of packed (id, slot) words, and tracks
+// recency with an intrusive prev/next uint32 list packed into 16-byte slot
+// metadata. The only heap objects are a handful of flat slices per shard;
+// per-entry overhead is ~16 B of metadata plus ~11 B of index, and the GC
+// sees no per-entry pointers at all.
+//
+// Semantics mirror internal/lru exactly — the same sharding (hash-routed,
+// power-of-two shard count, exact capacity split), the same per-shard
+// segmented LRU with positional insertion (AddAt) and rebalancing cascade,
+// the same eviction order — so the two engines produce identical
+// hit/miss/eviction sequences for identical operation streams. The
+// equivalence suite in internal/core pins this.
+//
+// # View lifetime and leases
+//
+// Get/GetRaw return read-only views directly into the arenas (the zero-copy
+// raw/bwp serving path). A slot freed by eviction is eventually reused, so a
+// view must not outlive its request. Readers bracket a request with
+// release := c.Lease(); ... release(), and reclamation is epoch-based: an
+// evicted slot is parked in a limbo list stamped with the current lease
+// epoch, and reused only once the epoch has advanced twice — which requires
+// every lease that could have observed the slot to have been released. Slots
+// parked while no lease is active anywhere skip limbo entirely. Payloads are
+// never overwritten in place: replacing a live entry's value relocates it to
+// a fresh slot and parks the old one, so a leased view is immutable for the
+// lease's lifetime.
+//
+// Decode-on-hit paths that want a heap-safe []float32 instead of a view use
+// GetFunc, which runs the caller's closure under the shard lock; the closure
+// copies/decodes and the result needs no lease.
+package vcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// nilIdx is the nil slot index (list terminator, empty index entry marker).
+const nilIdx = ^uint32(0)
+
+// DefaultSegments matches lru.DefaultSegments: the positional-insertion
+// segment count per shard.
+const DefaultSegments = 16
+
+// targetSlabBytes is the preferred payload slab size. Slabs are allocated
+// lazily as shards grow, so a small cache never pays for a full slab, and a
+// big one amortizes allocator and GC bookkeeping over thousands of slots.
+const targetSlabBytes = 256 << 10
+
+// prefetchedBit marks an entry inserted by prefetch admission and not yet
+// requested, packed above the segment number in slotMeta.segflags.
+const (
+	segMask       = 0xFFFF
+	prefetchedBit = 1 << 16
+)
+
+// slotMeta is the per-slot bookkeeping: the entry's key, its intrusive
+// recency-list links (slot indices, not pointers) and its segment/flag word.
+// 16 bytes, no pointers — the GC never visits it.
+type slotMeta struct {
+	id       uint32
+	prev     uint32
+	next     uint32
+	segflags uint32
+}
+
+// limboSlot is an evicted slot awaiting lease-grace reclamation.
+type limboSlot struct {
+	slot  uint32
+	epoch uint64
+}
+
+// segment is one region of a shard's eviction queue, ordered MRU→LRU.
+// head/tail are slot indices into the shard's meta array.
+type segment struct {
+	head uint32
+	tail uint32
+	size int
+}
+
+// shard is one independently locked slice of the cache. All fields are
+// guarded by mu. The struct is comfortably larger than a cache line, so
+// neighbouring shard locks do not false-share.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+
+	// Open-addressing index with linear probing and backward-shift deletion.
+	// Each word packs slot<<32 | id; a word with slot == nilIdx is empty.
+	idx     []uint64
+	idxMask uint32
+
+	// Payload arenas: slabs of slotsPerSlab fixed-size slots each, allocated
+	// lazily. meta is indexed by slot and grows as slots are minted.
+	slabs [][]byte
+	meta  []slotMeta
+
+	// free holds immediately reusable slots; limbo holds evicted slots
+	// waiting out the lease grace period (FIFO from limboHead).
+	free      []uint32
+	limbo     []limboSlot
+	limboHead int
+	nextSlot  uint32
+
+	segs []segment
+}
+
+// Options configures New.
+type Options struct {
+	// Capacity is the total entry budget across all shards. Must be > 0.
+	Capacity int
+	// SlotBytes is the fixed payload size of every entry (the table's
+	// fp16 vector size). Must be > 0.
+	SlotBytes int
+	// Shards is the requested shard count, rounded up to a power of two and
+	// halved until it does not exceed Capacity (every shard holds at least
+	// one entry); <= 0 selects one shard. Identical to lru.NewSharded.
+	Shards int
+	// Segments is the positional segment count per shard, clamped to
+	// [1, shard capacity]; 0 selects DefaultSegments.
+	Segments int
+	// Hash routes an id to its shard (low bits) and to its home index
+	// position within the shard (high 32 bits). nil selects a splitmix
+	// finalizer. For engine equivalence, pass the same hash the lru engine
+	// shards with.
+	Hash func(uint32) uint64
+}
+
+// Cache is the sharded arena cache. Construct with New.
+type Cache struct {
+	slotBytes int
+	slabShift uint
+	hash      func(uint32) uint64
+	shardMask uint64
+	capacity  atomic.Int64
+
+	// Lease epoch machinery. cnt[e&1] counts live leases acquired during
+	// epoch e; the epoch may advance from e to e+1 only while cnt[(e+1)&1]
+	// is zero, so a parked slot stamped at epoch p is provably unobservable
+	// once the epoch reaches p+2. Each counter gets its own cache line.
+	epoch    atomic.Uint64
+	cnt      [2]paddedCount
+	releases [2]func()
+
+	shards []shard
+}
+
+type paddedCount struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// defaultHash is a splitmix64-style finalizer (the same mixing the store
+// uses for shard routing).
+func defaultHash(id uint32) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New builds a Cache. Capacity and SlotBytes must be positive.
+func New(opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		panic(fmt.Sprintf("vcache: capacity must be positive, got %d", opts.Capacity))
+	}
+	if opts.SlotBytes <= 0 {
+		panic(fmt.Sprintf("vcache: slot size must be positive, got %d", opts.SlotBytes))
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for n > opts.Capacity {
+		n >>= 1
+	}
+	hash := opts.Hash
+	if hash == nil {
+		hash = defaultHash
+	}
+	segments := opts.Segments
+	if segments <= 0 {
+		segments = DefaultSegments
+	}
+
+	c := &Cache{
+		slotBytes: opts.SlotBytes,
+		hash:      hash,
+		shardMask: uint64(n - 1),
+		shards:    make([]shard, n),
+	}
+	c.capacity.Store(int64(opts.Capacity))
+	c.releases[0] = func() { c.cnt[0].n.Add(-1) }
+	c.releases[1] = func() { c.cnt[1].n.Add(-1) }
+
+	// Slots per slab: a power of two targeting ~targetSlabBytes, but no
+	// larger than the (rounded-up) shard capacity so small caches do not
+	// allocate megabytes they can never fill.
+	per := 1
+	for per*2*opts.SlotBytes <= targetSlabBytes {
+		per <<= 1
+	}
+	maxShardCap := opts.Capacity/n + 1
+	capPow := 1
+	for capPow < maxShardCap {
+		capPow <<= 1
+	}
+	if per > capPow {
+		per = capPow
+	}
+	shift := uint(0)
+	for 1<<shift < per {
+		shift++
+	}
+	c.slabShift = shift
+
+	base, rem := opts.Capacity/n, opts.Capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		c.shards[i].init(sc, segments)
+	}
+	return c
+}
+
+func (s *shard) init(capacity, segments int) {
+	if segments > capacity {
+		segments = capacity
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	s.capacity = capacity
+	s.segs = make([]segment, segments)
+	for i := range s.segs {
+		s.segs[i] = segment{head: nilIdx, tail: nilIdx}
+	}
+	s.idx = newIndex(capacity)
+	s.idxMask = uint32(len(s.idx) - 1)
+}
+
+// newIndex allocates an empty probe table sized for capacity entries at
+// <= 0.75 load (power of two, minimum 8).
+func newIndex(capacity int) []uint64 {
+	n := 8
+	for n*3 < (capacity+1)*4 {
+		n <<= 1
+	}
+	idx := make([]uint64, n)
+	for i := range idx {
+		idx[i] = uint64(nilIdx) << 32
+	}
+	return idx
+}
+
+// NumShards returns the shard count.
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// Cap returns the total configured capacity.
+func (c *Cache) Cap() int { return int(c.capacity.Load()) }
+
+// SlotBytes returns the fixed per-entry payload size.
+func (c *Cache) SlotBytes() int { return c.slotBytes }
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *Cache) shardOf(h uint64) *shard {
+	return &c.shards[h&c.shardMask]
+}
+
+// Lease marks the start of a request that will hold arena views (Get/GetRaw
+// results). The returned release function must be called when the request is
+// done with every view it obtained; it is safe to call from another
+// goroutine. Lease/release are two atomic adds — no allocation, no lock.
+func (c *Cache) Lease() func() {
+	for {
+		e := c.epoch.Load()
+		b := e & 1
+		c.cnt[b].n.Add(1)
+		if c.epoch.Load() == e {
+			return c.releases[b]
+		}
+		// The epoch moved mid-acquisition: this increment may be in a bucket
+		// already treated as drained. Back out and retry on the new epoch.
+		c.cnt[b].n.Add(-1)
+	}
+}
+
+// tryAdvance moves the lease epoch forward when the bucket about to be
+// entered has no live leases (i.e. all leases from epoch-1 released).
+func (c *Cache) tryAdvance() {
+	e := c.epoch.Load()
+	if c.cnt[(e+1)&1].n.Load() == 0 {
+		c.epoch.CompareAndSwap(e, e+1)
+	}
+}
+
+// payload returns slot's arena bytes (read-write; callers hand out read-only
+// subslices).
+func (s *shard) payload(c *Cache, slot uint32) []byte {
+	slab := s.slabs[slot>>c.slabShift]
+	off := int(slot&(1<<c.slabShift-1)) * c.slotBytes
+	return slab[off : off+c.slotBytes : off+c.slotBytes]
+}
+
+// ---- open-addressing index ----
+
+func home(h uint64, mask uint32) uint32 { return uint32(h>>32) & mask }
+
+// idxFind returns the slot stored for id, or nilIdx.
+func (s *shard) idxFind(id uint32, h uint64) uint32 {
+	i := home(h, s.idxMask)
+	for {
+		e := s.idx[i]
+		if uint32(e>>32) == nilIdx {
+			return nilIdx
+		}
+		if uint32(e) == id {
+			return uint32(e >> 32)
+		}
+		i = (i + 1) & s.idxMask
+	}
+}
+
+// idxInsert adds (id -> slot); id must not be present.
+func (s *shard) idxInsert(id, slot uint32, h uint64) {
+	i := home(h, s.idxMask)
+	for uint32(s.idx[i]>>32) != nilIdx {
+		i = (i + 1) & s.idxMask
+	}
+	s.idx[i] = uint64(slot)<<32 | uint64(id)
+}
+
+// idxUpdate rewrites id's slot in place (relocation on value replace).
+func (s *shard) idxUpdate(id, slot uint32, h uint64) {
+	i := home(h, s.idxMask)
+	for uint32(s.idx[i]) != id || uint32(s.idx[i]>>32) == nilIdx {
+		i = (i + 1) & s.idxMask
+	}
+	s.idx[i] = uint64(slot)<<32 | uint64(id)
+}
+
+// idxDelete removes id using backward-shift deletion, which keeps probe
+// chains dense (no tombstones, no periodic rebuilds).
+func (s *shard) idxDelete(c *Cache, id uint32, h uint64) {
+	i := home(h, s.idxMask)
+	for {
+		e := s.idx[i]
+		if uint32(e>>32) == nilIdx {
+			return // not present
+		}
+		if uint32(e) == id {
+			break
+		}
+		i = (i + 1) & s.idxMask
+	}
+	// Shift later chain members back over the hole. Entry e at position j may
+	// move into the hole at i iff its home k lies cyclically at or before i,
+	// i.e. (j - k) mod size >= (j - i) mod size.
+	j := i
+	for {
+		j = (j + 1) & s.idxMask
+		e := s.idx[j]
+		if uint32(e>>32) == nilIdx {
+			break
+		}
+		k := home(c.hash(uint32(e)), s.idxMask)
+		if (j-k)&s.idxMask >= (j-i)&s.idxMask {
+			s.idx[i] = e
+			i = j
+		}
+	}
+	s.idx[i] = uint64(nilIdx) << 32
+}
+
+// growIndex rebuilds the probe table for a larger capacity.
+func (s *shard) growIndex(c *Cache, capacity int) {
+	next := newIndex(capacity)
+	if len(next) <= len(s.idx) {
+		return
+	}
+	mask := uint32(len(next) - 1)
+	for _, e := range s.idx {
+		if uint32(e>>32) == nilIdx {
+			continue
+		}
+		i := home(c.hash(uint32(e)), mask)
+		for uint32(next[i]>>32) != nilIdx {
+			i = (i + 1) & mask
+		}
+		next[i] = e
+	}
+	s.idx = next
+	s.idxMask = mask
+}
+
+// ---- intrusive segmented recency list ----
+
+func (s *shard) pushFront(seg int, slot uint32) {
+	sg := &s.segs[seg]
+	m := &s.meta[slot]
+	m.segflags = m.segflags&^segMask | uint32(seg)
+	m.prev = nilIdx
+	m.next = sg.head
+	if sg.head != nilIdx {
+		s.meta[sg.head].prev = slot
+	}
+	sg.head = slot
+	if sg.tail == nilIdx {
+		sg.tail = slot
+	}
+	sg.size++
+}
+
+func (s *shard) listRemove(slot uint32) {
+	m := &s.meta[slot]
+	sg := &s.segs[m.segflags&segMask]
+	if m.prev != nilIdx {
+		s.meta[m.prev].next = m.next
+	} else {
+		sg.head = m.next
+	}
+	if m.next != nilIdx {
+		s.meta[m.next].prev = m.prev
+	} else {
+		sg.tail = m.prev
+	}
+	m.prev, m.next = nilIdx, nilIdx
+	sg.size--
+}
+
+// rebalance cascades overflow from earlier segments into later ones so each
+// segment holds at most ceil(capacity/segments) entries — the positional
+// interpretation of segments stays stable. Mirrors lru.Cache.rebalance.
+func (s *shard) rebalance() {
+	target := (s.capacity + len(s.segs) - 1) / len(s.segs)
+	for i := 0; i < len(s.segs)-1; i++ {
+		sg := &s.segs[i]
+		for sg.size > target {
+			victim := sg.tail
+			s.listRemove(victim)
+			s.pushFront(i+1, victim)
+		}
+	}
+}
+
+// ---- slot allocation / reclamation ----
+
+// alloc returns a payload slot: from the free list, from limbo once the
+// lease grace has passed, or freshly minted (growing a slab if needed).
+// Minting while evicted slots sit in limbo transiently overshoots the
+// arena's slot budget by at most the number of evictions inside concurrent
+// lease windows.
+func (s *shard) alloc(c *Cache) uint32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	if s.limboHead < len(s.limbo) {
+		ls := s.limbo[s.limboHead]
+		e := c.epoch.Load()
+		if e < ls.epoch+2 {
+			c.tryAdvance()
+			e = c.epoch.Load()
+		}
+		if e >= ls.epoch+2 {
+			s.limboHead++
+			if s.limboHead == len(s.limbo) {
+				s.limbo = s.limbo[:0]
+				s.limboHead = 0
+			}
+			return ls.slot
+		}
+	}
+	slot := s.nextSlot
+	s.nextSlot++
+	if int(slot)>>c.slabShift == len(s.slabs) {
+		s.slabs = append(s.slabs, make([]byte, (1<<c.slabShift)*c.slotBytes))
+	}
+	s.meta = append(s.meta, slotMeta{prev: nilIdx, next: nilIdx})
+	return slot
+}
+
+// park retires a slot that is no longer reachable through the index. If no
+// lease is active anywhere it goes straight back to the free list (the
+// common case for stores serving float lookups); otherwise it waits out the
+// epoch grace period in limbo. The caller must have removed the slot from
+// the index before calling (under this shard's lock), which is what makes
+// the counters-both-zero fast path sound: any lease acquired after the
+// check starts cannot find the slot anymore.
+func (s *shard) park(c *Cache, slot uint32) {
+	if c.cnt[0].n.Load() == 0 && c.cnt[1].n.Load() == 0 {
+		s.free = append(s.free, slot)
+		return
+	}
+	s.limbo = append(s.limbo, limboSlot{slot: slot, epoch: c.epoch.Load()})
+	c.tryAdvance()
+}
+
+// evictOne removes the LRU entry of the last non-empty segment and returns
+// its id. Mirrors lru.Cache.evictOne.
+func (s *shard) evictOne(c *Cache) (uint32, bool) {
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		sg := &s.segs[i]
+		if sg.tail == nilIdx {
+			continue
+		}
+		victim := sg.tail
+		id := s.meta[victim].id
+		s.listRemove(victim)
+		s.idxDelete(c, id, c.hash(id))
+		s.park(c, victim)
+		s.used--
+		return id, true
+	}
+	return 0, false
+}
+
+// ---- public operations ----
+
+// segOf maps a queue position in [0,1] to a segment exactly like lru.AddAt.
+func segOf(pos float64, segments int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > 1 {
+		pos = 1
+	}
+	seg := int(pos * float64(segments))
+	if seg >= segments {
+		seg = segments - 1
+	}
+	return seg
+}
+
+// Add inserts id at the MRU position (or updates and promotes it).
+func (c *Cache) Add(id uint32, payload []byte, prefetched bool) (uint32, bool) {
+	return c.AddAt(id, payload, 0, prefetched)
+}
+
+// AddAt inserts id's payload at queue position pos in [0,1] within its
+// shard (0 = MRU). The payload is copied into the arena; it must be exactly
+// SlotBytes long. If id is already cached its value is replaced (relocating
+// the slot if the bytes differ, so leased views of the old value stay
+// intact) and it moves to the requested position. Returns the evicted id
+// and true if the insertion evicted an entry.
+func (c *Cache) AddAt(id uint32, payload []byte, pos float64, prefetched bool) (uint32, bool) {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addAt(c, id, payload, pos, prefetched, h)
+}
+
+// AddAtGuard is AddAt fused with the serving path's insert guards, all under
+// the shard lock: it aborts (returning false) when guard's value no longer
+// equals want — the table was mutated since the caller decoded — or when
+// prefetched is set and id is already cached (a concurrent lookup cached it
+// as a requested entry; do not demote it).
+func (c *Cache) AddAtGuard(id uint32, payload []byte, pos float64, prefetched bool, guard *atomic.Uint64, want uint64) bool {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if guard != nil && guard.Load() != want {
+		return false
+	}
+	if prefetched && s.idxFind(id, h) != nilIdx {
+		return false
+	}
+	s.addAt(c, id, payload, pos, prefetched, h)
+	return true
+}
+
+func (s *shard) addAt(c *Cache, id uint32, payload []byte, pos float64, prefetched bool, h uint64) (uint32, bool) {
+	if len(payload) != c.slotBytes {
+		panic(fmt.Sprintf("vcache: payload is %d bytes, slot size is %d", len(payload), c.slotBytes))
+	}
+	seg := segOf(pos, len(s.segs))
+
+	if slot := s.idxFind(id, h); slot != nilIdx {
+		cur := s.payload(c, slot)
+		if !bytesEqual(cur, payload) {
+			// Never overwrite a slot a lease may be reading: relocate.
+			next := s.alloc(c)
+			copy(s.payload(c, next), payload)
+			m := &s.meta[next]
+			m.id = id
+			m.segflags = s.meta[slot].segflags // seg rewritten by pushFront below
+			s.listRemove(slot)
+			s.park(c, slot)
+			s.idxUpdate(id, next, h)
+			slot = next
+		} else {
+			s.listRemove(slot)
+		}
+		m := &s.meta[slot]
+		if prefetched {
+			m.segflags |= prefetchedBit
+		} else {
+			m.segflags &^= prefetchedBit
+		}
+		s.pushFront(seg, slot)
+		s.rebalance()
+		return 0, false
+	}
+
+	slot := s.alloc(c)
+	copy(s.payload(c, slot), payload)
+	m := &s.meta[slot]
+	m.id = id
+	m.segflags = 0
+	if prefetched {
+		m.segflags = prefetchedBit
+	}
+	s.idxInsert(id, slot, h)
+	s.pushFront(seg, slot)
+	s.used++
+
+	if s.used > s.capacity {
+		victim, _ := s.evictOne(c)
+		s.rebalance()
+		return victim, true
+	}
+	s.rebalance()
+	return 0, false
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns a read-only arena view of id's payload, promotes the entry to
+// its shard's MRU position and clears the prefetched flag, reporting whether
+// the flag was set. The caller must hold a lease (see Lease) for as long as
+// it reads the view. Allocation-free.
+func (c *Cache) Get(id uint32) (payload []byte, wasPrefetched, ok bool) {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	slot := s.idxFind(id, h)
+	if slot == nilIdx {
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	m := &s.meta[slot]
+	wasPrefetched = m.segflags&prefetchedBit != 0
+	m.segflags &^= prefetchedBit
+	s.listRemove(slot)
+	s.pushFront(0, slot)
+	s.rebalance()
+	payload = s.payload(c, slot)
+	s.mu.Unlock()
+	return payload, wasPrefetched, true
+}
+
+// GetFunc is Get with the payload handed to fn under the shard lock instead
+// of returned: fn must copy or decode what it needs and not retain the view.
+// The result needs no lease. Promotes and clears the prefetched flag exactly
+// like Get.
+func (c *Cache) GetFunc(id uint32, fn func(payload []byte, wasPrefetched bool)) bool {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	slot := s.idxFind(id, h)
+	if slot == nilIdx {
+		s.mu.Unlock()
+		return false
+	}
+	m := &s.meta[slot]
+	wasPrefetched := m.segflags&prefetchedBit != 0
+	m.segflags &^= prefetchedBit
+	s.listRemove(slot)
+	s.pushFront(0, slot)
+	s.rebalance()
+	fn(s.payload(c, slot), wasPrefetched)
+	s.mu.Unlock()
+	return true
+}
+
+// GetRequestedFunc promotes id if present (like Get) but hands its payload
+// to fn only when the entry was NOT prefetch-inserted, without clearing the
+// flag — the coalesced-miss reuse probe of the serving path. Reports whether
+// fn ran.
+func (c *Cache) GetRequestedFunc(id uint32, fn func(payload []byte)) bool {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	slot := s.idxFind(id, h)
+	if slot == nilIdx {
+		s.mu.Unlock()
+		return false
+	}
+	s.listRemove(slot)
+	s.pushFront(0, slot)
+	s.rebalance()
+	served := false
+	if s.meta[slot].segflags&prefetchedBit == 0 {
+		fn(s.payload(c, slot))
+		served = true
+	}
+	s.mu.Unlock()
+	return served
+}
+
+// Contains reports whether id is cached, without affecting recency.
+func (c *Cache) Contains(id uint32) bool {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	ok := s.idxFind(id, h) != nilIdx
+	s.mu.Unlock()
+	return ok
+}
+
+// Remove deletes id and reports whether it was present.
+func (c *Cache) Remove(id uint32) bool {
+	h := c.hash(id)
+	s := c.shardOf(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := s.idxFind(id, h)
+	if slot == nilIdx {
+		return false
+	}
+	s.listRemove(slot)
+	s.idxDelete(c, id, h)
+	s.park(c, slot)
+	s.used--
+	return true
+}
+
+// Resize changes the total capacity in place with the same exact split and
+// per-shard incremental eviction as lru.Sharded.Resize: entries outside the
+// evicted overflow survive, so a live cache rebalances without losing its
+// working set. Capacity is clamped to one entry per shard; returns the
+// recorded capacity.
+func (c *Cache) Resize(capacity int) int {
+	n := len(c.shards)
+	if capacity < n {
+		capacity = n
+	}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.growIndex(c, sc)
+		s.capacity = sc
+		for s.used > s.capacity {
+			s.evictOne(c)
+		}
+		s.rebalance()
+		s.mu.Unlock()
+	}
+	c.capacity.Store(int64(capacity))
+	return capacity
+}
+
+// Stats is a point-in-time byte-accounting snapshot.
+type Stats struct {
+	Entries  int
+	Capacity int
+	Shards   int
+	// BytesResident is the payload bytes of resident entries
+	// (Entries * SlotBytes) — what the cache is actually holding for
+	// serving.
+	BytesResident int64
+	// ArenaBytes is the total allocated slab bytes (resident payloads plus
+	// free/limbo slots and slab tails not yet minted).
+	ArenaBytes int64
+	// MetaBytes is the slot-metadata footprint; IndexBytes the probe tables.
+	MetaBytes  int64
+	IndexBytes int64
+	// Utilization is BytesResident / ArenaBytes (0 with no slabs).
+	Utilization float64
+	Slabs       int
+	FreeSlots   int
+	LimboSlots  int
+	Epoch       uint64
+}
+
+// Stats gathers byte accounting across all shards.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Capacity: c.Cap(),
+		Shards:   len(c.shards),
+		Epoch:    c.epoch.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.used
+		st.Slabs += len(s.slabs)
+		for _, slab := range s.slabs {
+			st.ArenaBytes += int64(len(slab))
+		}
+		st.MetaBytes += int64(len(s.meta)) * 16
+		st.IndexBytes += int64(len(s.idx)) * 8
+		st.FreeSlots += len(s.free)
+		st.LimboSlots += len(s.limbo) - s.limboHead
+		s.mu.Unlock()
+	}
+	st.BytesResident = int64(st.Entries) * int64(c.slotBytes)
+	if st.ArenaBytes > 0 {
+		st.Utilization = float64(st.BytesResident) / float64(st.ArenaBytes)
+	}
+	return st
+}
+
+// ShardKeys returns shard i's keys ordered MRU→LRU (segment by segment,
+// matching lru.Cache.Keys). Intended for tests and diagnostics; O(n).
+func (c *Cache) ShardKeys(i int) []uint32 {
+	s := &c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]uint32, 0, s.used)
+	for seg := range s.segs {
+		for slot := s.segs[seg].head; slot != nilIdx; slot = s.meta[slot].next {
+			keys = append(keys, s.meta[slot].id)
+		}
+	}
+	return keys
+}
+
+// checkInvariants validates internal consistency; exposed to tests via
+// export_test.go.
+func (c *Cache) checkInvariants() error {
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.Lock()
+		err := s.checkInvariants(c, si)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shard) checkInvariants(c *Cache, si int) error {
+	total := 0
+	seen := make(map[uint32]bool)
+	for i := range s.segs {
+		sg := &s.segs[i]
+		n := 0
+		prev := nilIdx
+		for slot := sg.head; slot != nilIdx; slot = s.meta[slot].next {
+			m := &s.meta[slot]
+			if int(m.segflags&segMask) != i {
+				return fmt.Errorf("shard %d: slot %d records segment %d but lives in %d", si, slot, m.segflags&segMask, i)
+			}
+			if m.prev != prev {
+				return fmt.Errorf("shard %d: slot %d prev link broken", si, slot)
+			}
+			if got := s.idxFind(m.id, c.hash(m.id)); got != slot {
+				return fmt.Errorf("shard %d: id %d indexed to slot %d, listed in slot %d", si, m.id, got, slot)
+			}
+			if seen[m.id] {
+				return fmt.Errorf("shard %d: id %d listed twice", si, m.id)
+			}
+			seen[m.id] = true
+			prev = slot
+			n++
+			if n > s.used+1 {
+				return fmt.Errorf("shard %d: cycle in segment %d", si, i)
+			}
+		}
+		if prev != sg.tail {
+			return fmt.Errorf("shard %d: segment %d tail mismatch", si, i)
+		}
+		if n != sg.size {
+			return fmt.Errorf("shard %d: segment %d size %d, counted %d", si, i, sg.size, n)
+		}
+		total += n
+	}
+	if total != s.used {
+		return fmt.Errorf("shard %d: segments hold %d entries, used records %d", si, total, s.used)
+	}
+	if total > s.capacity {
+		return fmt.Errorf("shard %d over capacity: %d > %d", si, total, s.capacity)
+	}
+	// Index population must match exactly.
+	live := 0
+	for _, e := range s.idx {
+		if uint32(e>>32) != nilIdx {
+			live++
+		}
+	}
+	if live != s.used {
+		return fmt.Errorf("shard %d: index holds %d entries, used records %d", si, live, s.used)
+	}
+	// Every slot is accounted for exactly once: listed, free, limbo or
+	// unminted.
+	accounted := total + len(s.free) + (len(s.limbo) - s.limboHead)
+	if accounted != int(s.nextSlot) {
+		return fmt.Errorf("shard %d: %d slots minted, %d accounted (listed+free+limbo)", si, s.nextSlot, accounted)
+	}
+	return nil
+}

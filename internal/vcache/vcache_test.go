@@ -1,0 +1,525 @@
+package vcache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bandana/internal/lru"
+	"bandana/internal/vcache"
+)
+
+const testSlot = 8 // payload bytes per entry in these tests
+
+func testHash(id uint32) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func payloadFor(id uint32, gen byte) []byte {
+	p := make([]byte, testSlot)
+	p[0] = byte(id)
+	p[1] = byte(id >> 8)
+	p[2] = byte(id >> 16)
+	p[3] = byte(id >> 24)
+	p[4] = gen
+	return p
+}
+
+func newTestCache(capacity, shards int) *vcache.Cache {
+	return vcache.New(vcache.Options{
+		Capacity:  capacity,
+		SlotBytes: testSlot,
+		Shards:    shards,
+		Hash:      testHash,
+	})
+}
+
+func TestBasicAddGet(t *testing.T) {
+	c := newTestCache(64, 4)
+	release := c.Lease()
+	defer release()
+
+	if _, _, ok := c.Get(7); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Add(7, payloadFor(7, 1), false)
+	p, pre, ok := c.Get(7)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if pre {
+		t.Fatal("entry reported prefetched")
+	}
+	want := payloadFor(7, 1)
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("payload byte %d = %d, want %d", i, p[i], want[i])
+		}
+	}
+	if !c.Contains(7) {
+		t.Fatal("Contains(7) = false")
+	}
+	if c.Contains(8) {
+		t.Fatal("Contains(8) = true")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchedFlag(t *testing.T) {
+	c := newTestCache(64, 1)
+	c.Add(1, payloadFor(1, 0), true)
+
+	// GetRequestedFunc must promote but not serve a prefetched entry, and
+	// must not clear the flag.
+	served := c.GetRequestedFunc(1, func([]byte) { t.Fatal("served a prefetched entry") })
+	if served {
+		t.Fatal("GetRequestedFunc reported served")
+	}
+
+	// Get clears the flag and reports it was set.
+	if _, pre, ok := c.Get(1); !ok || !pre {
+		t.Fatalf("Get = (_, %v, %v), want prefetched hit", pre, ok)
+	}
+	if _, pre, _ := c.Get(1); pre {
+		t.Fatal("prefetched flag not cleared")
+	}
+
+	// Now GetRequestedFunc serves it.
+	ran := false
+	if !c.GetRequestedFunc(1, func([]byte) { ran = true }) || !ran {
+		t.Fatal("GetRequestedFunc did not serve a requested entry")
+	}
+
+	// Re-adding with prefetched=false on an existing prefetched entry
+	// clears the flag (and vice versa).
+	c.Add(2, payloadFor(2, 0), true)
+	c.Add(2, payloadFor(2, 0), false)
+	if _, pre, _ := c.Get(2); pre {
+		t.Fatal("re-add did not clear prefetched flag")
+	}
+}
+
+func TestEvictionOrderMatchesLRU(t *testing.T) {
+	// Single shard: fill beyond capacity and check exact LRU eviction.
+	c := newTestCache(4, 1)
+	for id := uint32(0); id < 4; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	c.Get(0) // promote 0; LRU order now 1,2,3
+	victim, evicted := c.Add(100, payloadFor(100, 0), false)
+	if !evicted || victim != 1 {
+		t.Fatalf("evicted (%d, %v), want (1, true)", victim, evicted)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateRelocatesUnderLease(t *testing.T) {
+	c := newTestCache(8, 1)
+	c.Add(1, payloadFor(1, 1), false)
+	release := c.Lease()
+	view, _, ok := c.Get(1)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	// Replace the value while the lease holds a view of the old one.
+	c.Add(1, payloadFor(1, 2), false)
+	if view[4] != 1 {
+		t.Fatalf("leased view mutated: gen byte = %d, want 1", view[4])
+	}
+	fresh, _, _ := c.Get(1)
+	if fresh[4] != 2 {
+		t.Fatalf("updated value gen byte = %d, want 2", fresh[4])
+	}
+	release()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParkFastPathWithoutLeases(t *testing.T) {
+	c := newTestCache(4, 1)
+	for id := uint32(0); id < 16; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	if n := c.LimboLen(); n != 0 {
+		t.Fatalf("limbo holds %d slots with no leases active", n)
+	}
+	// With no leases, evicted slots recycle. Insertion allocates before
+	// evicting (matching lru's insert-then-evict order), so at most one
+	// transient slot above capacity is ever minted.
+	if m := c.MintedSlots(); m > 5 {
+		t.Fatalf("minted %d slots for capacity-4 cache", m)
+	}
+}
+
+func TestLimboReclaim(t *testing.T) {
+	c := newTestCache(2, 1)
+	c.Add(1, payloadFor(1, 0), false)
+	c.Add(2, payloadFor(2, 0), false)
+	release := c.Lease()
+	// Evict 1 while a lease is active: its slot must park in limbo.
+	c.Add(3, payloadFor(3, 0), false)
+	if n := c.LimboLen(); n != 1 {
+		t.Fatalf("limbo holds %d slots, want 1", n)
+	}
+	release()
+	// After release the epoch can advance; churn inserts until the parked
+	// slot is reclaimed. Each insert evicts (capacity 2), and with no lease
+	// active evictions recycle directly, so minted slots must stay bounded.
+	for id := uint32(10); id < 20; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	if n := c.LimboLen(); n != 0 {
+		t.Fatalf("limbo still holds %d slots after lease release and churn", n)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAtGuard(t *testing.T) {
+	c := newTestCache(8, 1)
+	var guard atomic.Uint64
+	guard.Store(5)
+
+	if !c.AddAtGuard(1, payloadFor(1, 0), 0, false, &guard, 5) {
+		t.Fatal("guard insert with matching epoch rejected")
+	}
+	if c.AddAtGuard(2, payloadFor(2, 0), 0, false, &guard, 4) {
+		t.Fatal("guard insert with stale epoch accepted")
+	}
+	if c.Contains(2) {
+		t.Fatal("stale insert landed")
+	}
+	// Prefetch demotion: prefetched insert of an existing key aborts.
+	if c.AddAtGuard(1, payloadFor(1, 9), 0, true, &guard, 5) {
+		t.Fatal("prefetched insert over existing entry accepted")
+	}
+	if _, pre, _ := c.Get(1); pre {
+		t.Fatal("existing entry demoted to prefetched")
+	}
+}
+
+func TestResizeShrinkGrow(t *testing.T) {
+	c := newTestCache(64, 4)
+	for id := uint32(0); id < 64; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	if got := c.Resize(16); got != 16 {
+		t.Fatalf("Resize(16) = %d", got)
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len after shrink = %d, want 16", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Resize(128); got != 128 {
+		t.Fatalf("Resize(128) = %d", got)
+	}
+	if c.Len() != 16 {
+		t.Fatalf("grow evicted entries: Len = %d", c.Len())
+	}
+	for id := uint32(100); id < 212; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	// Hash routing is uneven, so some shards evict before others fill; the
+	// total just must never exceed capacity (exact equivalence with lru is
+	// pinned by TestEquivalenceRandomized).
+	if c.Len() > 128 || c.Len() < 100 {
+		t.Fatalf("Len after refill = %d, want (100, 128]", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Clamp: capacity below shard count.
+	if got := c.Resize(1); got != c.NumShards() {
+		t.Fatalf("Resize(1) = %d, want shard count %d", got, c.NumShards())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := newTestCache(100, 4)
+	for id := uint32(0); id < 50; id++ {
+		c.Add(id, payloadFor(id, 0), false)
+	}
+	st := c.Stats()
+	if st.Entries != 50 {
+		t.Fatalf("Entries = %d", st.Entries)
+	}
+	if st.BytesResident != int64(50*testSlot) {
+		t.Fatalf("BytesResident = %d", st.BytesResident)
+	}
+	if st.ArenaBytes < st.BytesResident {
+		t.Fatalf("ArenaBytes %d < BytesResident %d", st.ArenaBytes, st.BytesResident)
+	}
+	if st.Slabs == 0 {
+		t.Fatal("no slabs reported")
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("Utilization = %v", st.Utilization)
+	}
+}
+
+// lruRef wraps lru.Sharded as the reference model: values are generation
+// bytes so update semantics are observable.
+type lruRef struct {
+	s *lru.Sharded[uint32, byte]
+}
+
+// TestEquivalenceRandomized drives vcache and lru.Sharded with identical
+// randomized op streams (Add/AddAt/Get/Remove/Resize) and asserts identical
+// contents, sizes and exact per-shard MRU->LRU key order after every
+// operation batch. This is the engine-equivalence contract the serving
+// goldens rely on.
+func TestEquivalenceRandomized(t *testing.T) {
+	for _, cfg := range []struct {
+		capacity, shards int
+	}{
+		{1, 1}, {7, 1}, {64, 4}, {100, 8}, {257, 16},
+	} {
+		t.Run(fmt.Sprintf("cap%d_shards%d", cfg.capacity, cfg.shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cfg.capacity)*31 + int64(cfg.shards)))
+			vc := newTestCache(cfg.capacity, cfg.shards)
+			ref := &lruRef{lru.NewSharded[uint32, byte](cfg.capacity, cfg.shards, testHash)}
+			if vc.NumShards() != ref.s.NumShards() {
+				t.Fatalf("shard counts differ: %d vs %d", vc.NumShards(), ref.s.NumShards())
+			}
+
+			keySpace := uint32(cfg.capacity * 3)
+			gens := make(map[uint32]byte)
+
+			for step := 0; step < 4000; step++ {
+				id := rng.Uint32() % keySpace
+				switch op := rng.Intn(10); {
+				case op < 4: // AddAt at random position
+					pos := rng.Float64()
+					gens[id]++
+					vc.AddAt(id, payloadFor(id, gens[id]), pos, false)
+					ref.s.AddAt(id, gens[id], pos)
+				case op < 6: // Add at MRU
+					gens[id]++
+					vc.Add(id, payloadFor(id, gens[id]), false)
+					ref.s.Add(id, gens[id])
+				case op < 9: // Get
+					var vGen byte
+					vOK := vc.GetFunc(id, func(p []byte, _ bool) { vGen = p[4] })
+					rGen, rOK := ref.s.Get(id)
+					if vOK != rOK {
+						t.Fatalf("step %d: Get(%d) hit mismatch: vcache %v, lru %v", step, id, vOK, rOK)
+					}
+					if vOK && vGen != rGen {
+						t.Fatalf("step %d: Get(%d) value mismatch: gen %d vs %d", step, id, vGen, rGen)
+					}
+				case op == 9 && step%97 == 0: // occasional Resize
+					target := 1 + rng.Intn(cfg.capacity*2)
+					if got, want := vc.Resize(target), ref.s.Resize(target); got != want {
+						t.Fatalf("step %d: Resize(%d) = %d vs %d", step, target, got, want)
+					}
+				default: // Remove
+					if got, want := vc.Remove(id), ref.s.Remove(id); got != want {
+						t.Fatalf("step %d: Remove(%d) = %v vs %v", step, id, got, want)
+					}
+				}
+
+				if step%200 == 0 || step == 3999 {
+					compareState(t, step, vc, ref)
+					if err := vc.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// compareState asserts identical per-shard exact MRU->LRU key sequences.
+func compareState(t *testing.T, step int, vc *vcache.Cache, ref *lruRef) {
+	t.Helper()
+	if vc.Len() != ref.s.Len() {
+		t.Fatalf("step %d: Len %d vs %d", step, vc.Len(), ref.s.Len())
+	}
+	// lru.Sharded has no per-shard key dump; reconstruct via ForEachShard.
+	var refKeys [][]uint32
+	ref.s.ForEachShard(func(c *lru.Cache[uint32, byte]) {
+		refKeys = append(refKeys, c.Keys())
+	})
+	for i := 0; i < vc.NumShards(); i++ {
+		got := vc.ShardKeys(i)
+		want := refKeys[i]
+		if len(got) != len(want) {
+			t.Fatalf("step %d shard %d: %d keys vs %d", step, i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("step %d shard %d pos %d: key %d vs %d (vcache %v, lru %v)",
+					step, i, j, got[j], want[j], got, want)
+			}
+		}
+	}
+}
+
+// TestResizeUnderConcurrentServing is the -race stress test: readers hold
+// leases and serve views, writers insert, one goroutine resizes up and down
+// continuously. Run with -race.
+func TestResizeUnderConcurrentServing(t *testing.T) {
+	const capacity = 2048
+	c := newTestCache(capacity, 8)
+	for id := uint32(0); id < capacity; id++ {
+		c.Add(id, payloadFor(id, 1), false)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Readers: lease, read views, verify self-consistency of payloads.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				release := c.Lease()
+				for i := 0; i < 64; i++ {
+					id := rng.Uint32() % (capacity * 2)
+					if p, _, ok := c.Get(id); ok {
+						if got := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24; got != id {
+							panic(fmt.Sprintf("view for id %d holds id %d: slot reused under lease", id, got))
+						}
+					}
+				}
+				release()
+			}
+		}(int64(r))
+	}
+
+	// Writer: inserts (some updates with new generations) and removes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		gen := byte(2)
+		for !stop.Load() {
+			id := rng.Uint32() % (capacity * 2)
+			switch rng.Intn(4) {
+			case 0:
+				c.Remove(id)
+			default:
+				c.AddAt(id, payloadFor(id, gen), rng.Float64(), rng.Intn(8) == 0)
+				gen++
+			}
+		}
+	}()
+
+	// Resizer: continuous live grow/shrink.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{capacity / 4, capacity / 2, capacity, capacity * 2}
+		for i := 0; !stop.Load(); i++ {
+			c.Resize(sizes[i%len(sizes)])
+		}
+	}()
+
+	// Let it run briefly; -race makes this plenty of interleavings.
+	for i := 0; i < 200; i++ {
+		c.Len()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	c.Resize(capacity)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHitPathZeroAlloc is the CI alloc-regression gate: the raw hit path of
+// BOTH engines must not allocate. For vcache that is Get under a
+// pre-acquired lease; for lru.Sharded it is Get on a cached value.
+func TestHitPathZeroAlloc(t *testing.T) {
+	t.Run("vcache", func(t *testing.T) {
+		// Capacity 8x the population so hash imbalance never evicts: every
+		// inserted key stays resident.
+		c := newTestCache(8192, 8)
+		for id := uint32(0); id < 1024; id++ {
+			c.Add(id, payloadFor(id, 0), false)
+		}
+		release := c.Lease()
+		defer release()
+		id := uint32(0)
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, _, ok := c.Get(id % 1024); !ok {
+				t.Fatal("miss on resident key")
+			}
+			id++
+		})
+		if allocs != 0 {
+			t.Fatalf("vcache hit path allocates %v allocs/op, want 0", allocs)
+		}
+		// Lease acquire/release itself must also be allocation-free.
+		leaseAllocs := testing.AllocsPerRun(1000, func() { c.Lease()() })
+		if leaseAllocs != 0 {
+			t.Fatalf("Lease allocates %v allocs/op, want 0", leaseAllocs)
+		}
+	})
+	t.Run("lru", func(t *testing.T) {
+		s := lru.NewSharded[uint32, []byte](8192, 8, testHash)
+		for id := uint32(0); id < 1024; id++ {
+			s.Add(id, payloadFor(id, 0))
+		}
+		id := uint32(0)
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, ok := s.Get(id % 1024); !ok {
+				t.Fatal("miss on resident key")
+			}
+			id++
+		})
+		if allocs != 0 {
+			t.Fatalf("lru hit path allocates %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+func BenchmarkHit(b *testing.B) {
+	b.Run("vcache", func(b *testing.B) {
+		c := vcache.New(vcache.Options{Capacity: 1 << 16, SlotBytes: 128, Shards: 8, Hash: testHash})
+		p := make([]byte, 128)
+		for id := uint32(0); id < 1<<16; id++ {
+			c.Add(id, p, false)
+		}
+		release := c.Lease()
+		defer release()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get(uint32(i) & (1<<16 - 1))
+		}
+	})
+	b.Run("lru", func(b *testing.B) {
+		s := lru.NewSharded[uint32, []byte](1<<16, 8, testHash)
+		p := make([]byte, 128)
+		for id := uint32(0); id < 1<<16; id++ {
+			s.Add(id, p)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Get(uint32(i) & (1<<16 - 1))
+		}
+	})
+}

@@ -20,8 +20,12 @@ import (
 // any other error is reported as CodeInternal.
 type Backend interface {
 	// LookupBatchRaw resolves ids in table to their fp16 encodings. All
-	// returned vectors are dim elements (2*dim bytes) long.
-	LookupBatchRaw(table string, ids []uint32) (dim int, vecs [][]byte, err error)
+	// returned vectors are dim elements (2*dim bytes) long. release, when
+	// non-nil, is called by the server exactly once after it has serialized
+	// the vectors into the response frame: it lets the backend hand out
+	// zero-copy views into its own storage (e.g. the store's cache arenas)
+	// whose lifetime ends at the release.
+	LookupBatchRaw(table string, ids []uint32) (dim int, vecs [][]byte, release func(), err error)
 	// UpdateRaw overwrites id in table with the given fp16 encoding.
 	UpdateRaw(table string, id uint32, raw []byte) error
 }
@@ -271,12 +275,17 @@ func (s *Server) handle(h Header, payload []byte, out chan<- []byte) {
 			fail(CodeTooLarge, "batch exceeds server limit")
 			return
 		}
-		dim, vecs, err := s.Backend.LookupBatchRaw(table, ids)
+		dim, vecs, release, err := s.Backend.LookupBatchRaw(table, ids)
 		if err != nil {
 			failBackend(err)
 			return
 		}
 		pay := appendLookupResponse(make([]byte, 0, lookupResponseHeaderLen+len(vecs)*dim*2), dim, vecs)
+		if release != nil {
+			// The vectors are serialized into pay; the backend's views are
+			// done with.
+			release()
+		}
 		out <- appendFrame(make([]byte, 0, HeaderLen+len(pay)+4), resp, pay)
 	case OpUpdate:
 		table, id, raw, err := parseUpdateRequest(payload)

@@ -51,18 +51,18 @@ func (b *memBackend) vector(table string, id uint32) []byte {
 	return fp16.EncodeSlice(nil, vals)
 }
 
-func (b *memBackend) LookupBatchRaw(table string, ids []uint32) (int, [][]byte, error) {
+func (b *memBackend) LookupBatchRaw(table string, ids []uint32) (int, [][]byte, func(), error) {
 	if gate := b.gate; gate != nil {
 		<-gate
 	}
 	if !b.tables[table] {
-		return 0, nil, &Error{Code: CodeNotFound, Msg: "unknown table " + table}
+		return 0, nil, nil, &Error{Code: CodeNotFound, Msg: "unknown table " + table}
 	}
 	vecs := make([][]byte, len(ids))
 	for i, id := range ids {
 		vecs[i] = b.vector(table, id)
 	}
-	return b.dim, vecs, nil
+	return b.dim, vecs, nil, nil
 }
 
 func (b *memBackend) UpdateRaw(table string, id uint32, raw []byte) error {
